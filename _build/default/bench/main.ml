@@ -1,0 +1,77 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (printed below, with the paper's reported values alongside)
+   and micro-benchmarks the cost of each regeneration with Bechamel — one
+   Test.make per table/figure. *)
+
+open Bechamel
+open Toolkit
+
+let figure_tests =
+  [ Test.make ~name:"table2_atomic_specs"
+      (Staged.stage (fun () -> List.length Graphene.Atomic.registry))
+  ; Test.make ~name:"fig1_ldmatrix"
+      (Staged.stage (fun () ->
+           Codegen.Emit.cuda Graphene.Arch.SM86
+             (Kernels.Ldmatrix_demo.kernel ())))
+  ; Test.make ~name:"fig8_codegen"
+      (Staged.stage (fun () ->
+           Codegen.Emit.cuda Graphene.Arch.SM86
+             (Kernels.Gemm.naive ~m:1024 ~n:1024 ~k:1024 ~bm:128 ~bn:128
+                ~tm:8 ~tn:8 ())))
+  ; Test.make ~name:"fig9_gemm"
+      (Staged.stage (fun () -> Experiments.Figures.fig9 ()))
+  ; Test.make ~name:"fig10_epilogues"
+      (Staged.stage (fun () -> Experiments.Figures.fig10 ()))
+  ; Test.make ~name:"fig11_mlp"
+      (Staged.stage (fun () -> Experiments.Figures.fig11 ~m:1024 ~width:128 ()))
+  ; Test.make ~name:"fig12_lstm"
+      (Staged.stage (fun () -> Experiments.Figures.fig12 ()))
+  ; Test.make ~name:"fig13_layernorm"
+      (Staged.stage (fun () ->
+           Experiments.Figures.fig13 ~rows:1024 ~hiddens:[ 1024 ] ()))
+  ; Test.make ~name:"fig14_fmha"
+      (Staged.stage (fun () -> Experiments.Figures.fig14 ()))
+  ; Test.make ~name:"fig15_transformers"
+      (Staged.stage (fun () -> Experiments.Figures.fig15 ()))
+  ; Test.make ~name:"ablations_simulated"
+      (Staged.stage (fun () -> Experiments.Figures.ablations ()))
+  ]
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~kde:None () in
+  let test = Test.make_grouped ~name:"figures" ~fmt:"%s %s" figure_tests in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.printf "== Bechamel: time to regenerate each table/figure ==@.";
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let est =
+          match Analyze.OLS.estimates ols_result with
+          | Some [ e ] -> e
+          | Some _ | None -> Float.nan
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, est) ->
+      Format.printf "%-40s %14.1f ns/run@." name est)
+    rows;
+  Format.printf "@."
+
+let () =
+  Format.printf
+    "Graphene reproduction benchmark harness — regenerating the paper's \
+     evaluation@.(ASPLOS 2023: Graphene: An IR for Optimized Tensor \
+     Computations on GPUs)@.@.";
+  Experiments.Figures.print_all Format.std_formatter;
+  (try run_bechamel ()
+   with exn ->
+     Format.printf "bechamel micro-benchmark skipped: %s@."
+       (Printexc.to_string exn))

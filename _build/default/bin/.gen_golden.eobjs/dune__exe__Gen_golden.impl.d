@@ -1,0 +1,1 @@
+bin/gen_golden.ml: Codegen Graphene Kernels

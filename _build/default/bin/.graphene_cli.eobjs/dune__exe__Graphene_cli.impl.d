@@ -1,0 +1,1 @@
+bin/graphene_cli.ml: Arg Array Cmd Cmdliner Codegen Experiments Format Gpu_sim Graphene Kernels List Printf Reference String Term Tuner

@@ -1,0 +1,1 @@
+bin/graphene_cli.mli:

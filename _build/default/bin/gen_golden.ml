@@ -1,0 +1,17 @@
+let () =
+  let fig8 = Kernels.Gemm.naive ~m:1024 ~n:1024 ~k:1024 ~bm:128 ~bn:128 ~tm:8 ~tn:8 () in
+  let oc = open_out "test/golden/fig8_sm86.cu" in
+  output_string oc (Codegen.Emit.cuda Graphene.Arch.SM86 fig8);
+  close_out oc;
+  let ld = Kernels.Ldmatrix_demo.kernel () in
+  let oc = open_out "test/golden/ldmatrix_sm86.cu" in
+  output_string oc (Codegen.Emit.cuda Graphene.Arch.SM86 ld);
+  close_out oc;
+  let tc =
+    Kernels.Gemm.tensor_core Graphene.Arch.SM86
+      (Kernels.Gemm.test_config Graphene.Arch.SM86)
+      ~epilogue:Kernels.Epilogue.bias_relu ~m:64 ~n:64 ~k:32 ()
+  in
+  let oc = open_out "test/golden/gemm_tc_sm86.cu" in
+  output_string oc (Codegen.Emit.cuda Graphene.Arch.SM86 tc);
+  close_out oc

@@ -1,0 +1,1 @@
+examples/attention.ml: Array Experiments Format Gpu_sim Graphene Kernels Reference

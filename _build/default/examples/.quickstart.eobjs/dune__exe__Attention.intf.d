@@ -1,0 +1,1 @@
+examples/attention.mli:

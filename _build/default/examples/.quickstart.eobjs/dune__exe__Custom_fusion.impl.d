@@ -1,0 +1,1 @@
+examples/custom_fusion.ml: Array Baselines Format Gpu_sim Graphene Kernels Reference

@@ -1,0 +1,1 @@
+examples/fused_mlp.ml: Array Baselines Format Gpu_sim Graphene Kernels List Reference

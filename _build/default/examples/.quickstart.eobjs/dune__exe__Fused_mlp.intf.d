@@ -1,0 +1,1 @@
+examples/fused_mlp.mli:

@@ -1,0 +1,1 @@
+examples/layernorm_example.ml: Array Experiments Format Gpu_sim Graphene Kernels Reference

@@ -1,0 +1,1 @@
+examples/layernorm_example.mli:

@@ -1,0 +1,1 @@
+examples/ldmatrix_move.ml: Array Codegen Format Gpu_sim Gpu_tensor Graphene Kernels List Printf Shape String

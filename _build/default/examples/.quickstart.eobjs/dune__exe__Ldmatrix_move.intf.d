@@ -1,0 +1,1 @@
+examples/ldmatrix_move.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Codegen Format Gpu_sim Graphene Kernels List Reference

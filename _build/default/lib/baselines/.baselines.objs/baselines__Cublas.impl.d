@@ -1,0 +1,1 @@
+lib/baselines/cublas.ml: Gpu_sim Graphene Kernels Lib_model

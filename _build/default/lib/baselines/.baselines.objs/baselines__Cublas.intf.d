@@ -1,0 +1,1 @@
+lib/baselines/cublas.mli: Gpu_sim

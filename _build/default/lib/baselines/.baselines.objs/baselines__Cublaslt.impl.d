@@ -1,0 +1,1 @@
+lib/baselines/cublaslt.ml: Gpu_sim Kernels Lib_model List

@@ -1,0 +1,1 @@
+lib/baselines/cublaslt.mli: Gpu_sim Kernels

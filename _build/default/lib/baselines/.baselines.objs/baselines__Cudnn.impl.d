@@ -1,0 +1,1 @@
+lib/baselines/cudnn.ml: Gpu_sim Lib_model

@@ -1,0 +1,1 @@
+lib/baselines/cudnn.mli: Gpu_sim

@@ -1,0 +1,1 @@
+lib/baselines/lib_model.ml: Gpu_sim List

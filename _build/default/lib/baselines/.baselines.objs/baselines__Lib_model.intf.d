@@ -1,0 +1,1 @@
+lib/baselines/lib_model.mli: Gpu_sim

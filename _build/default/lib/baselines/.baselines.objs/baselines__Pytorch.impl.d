@@ -1,0 +1,1 @@
+lib/baselines/pytorch.ml: Gpu_sim Lib_model

@@ -1,0 +1,1 @@
+lib/baselines/pytorch.mli: Gpu_sim

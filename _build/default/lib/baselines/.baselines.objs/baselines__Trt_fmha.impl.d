@@ -1,0 +1,1 @@
+lib/baselines/trt_fmha.ml: Gpu_sim Kernels

@@ -1,0 +1,1 @@
+lib/baselines/trt_fmha.mli: Gpu_sim

@@ -1,0 +1,18 @@
+(** cuBLAS cost model: one tensor-core GEMM kernel per call (paper
+    Figure 9's comparator). *)
+
+(** Plain [C = A @ B]. *)
+val gemm :
+  Gpu_sim.Machine.t ->
+  ?batch:int ->
+  m:int ->
+  n:int ->
+  k:int ->
+  unit ->
+  Gpu_sim.Perf_model.estimate
+
+(** The paper notes the Ampere cuBLAS kernel achieves the same time with
+    noticeably lower memory throughput than Graphene's (better L2
+    scheduling); this reports the achieved DRAM fraction with that
+    adjustment, for the Figure 9 columns. *)
+val memory_util : Gpu_sim.Machine.t -> m:int -> n:int -> k:int -> float

@@ -1,0 +1,35 @@
+module PM = Gpu_sim.Perf_model
+module Epi = Kernels.Epilogue
+
+let gemm_epilogue machine ~epilogue ~m ~n ~k () =
+  let arch = machine.Gpu_sim.Machine.arch in
+  let cfg = Kernels.Gemm.default_config arch in
+  if
+    m mod cfg.Kernels.Gemm.bm = 0
+    && n mod cfg.Kernels.Gemm.bn = 0
+    && k mod cfg.Kernels.Gemm.bk = 0
+  then
+    (* Same tiles, same kernel structure (see Cublas.gemm). *)
+    PM.of_kernel machine
+      (Kernels.Gemm.tensor_core arch cfg ~epilogue ~m ~n ~k ())
+      ()
+  else
+    PM.of_totals machine
+      (Lib_model.gemm_totals
+         ~epilogue_flops_per_elem:(Epi.flops_per_element epilogue)
+         ~bias:epilogue.Epi.bias ~m ~n ~k ())
+
+let lstm_two_kernels machine ~m ~n ~k () =
+  let first = Lib_model.gemm_totals ~m ~n ~k () in
+  let second =
+    Lib_model.gemm_totals ~c_read:true ~bias:true ~epilogue_flops_per_elem:1
+      ~m ~n ~k ()
+  in
+  Lib_model.sequence machine [ first; second ]
+
+let mlp_layers machine ~m ~width ~layers () =
+  let layer =
+    Lib_model.gemm_totals ~bias:true ~epilogue_flops_per_elem:1 ~m ~n:width
+      ~k:width ()
+  in
+  Lib_model.sequence machine (List.init layers (fun _ -> layer))

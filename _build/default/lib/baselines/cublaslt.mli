@@ -1,0 +1,34 @@
+(** cuBLASLt cost model: GEMMs with fused pointwise epilogues
+    (paper Figures 10-12). *)
+
+(** One kernel: [C = act(A @ B + bias)]. *)
+val gemm_epilogue :
+  Gpu_sim.Machine.t ->
+  epilogue:Kernels.Epilogue.t ->
+  m:int ->
+  n:int ->
+  k:int ->
+  unit ->
+  Gpu_sim.Perf_model.estimate
+
+(** The optimized two-kernel LSTM-cell lowering (paper Figure 12): the
+    second GEMM accumulates into the first's output and fuses bias and
+    activation — but the intermediate still round-trips global memory. *)
+val lstm_two_kernels :
+  Gpu_sim.Machine.t ->
+  m:int ->
+  n:int ->
+  k:int ->
+  unit ->
+  Gpu_sim.Perf_model.estimate
+
+(** Multi-layer MLP as [layers] successive fused-epilogue GEMM calls, every
+    activation bouncing through global memory (paper Figure 11's
+    comparator). *)
+val mlp_layers :
+  Gpu_sim.Machine.t ->
+  m:int ->
+  width:int ->
+  layers:int ->
+  unit ->
+  Gpu_sim.Perf_model.estimate

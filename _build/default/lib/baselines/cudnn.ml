@@ -1,0 +1,16 @@
+module PM = Gpu_sim.Perf_model
+
+let add machine ~elems =
+  PM.of_totals machine
+    (Lib_model.pointwise_totals ~reads:(2 * elems) ~writes:elems
+       ~flops_per_elem:1 ())
+
+let bias_add machine ~rows ~cols =
+  let elems = rows * cols in
+  PM.of_totals machine
+    (Lib_model.pointwise_totals ~reads:(elems + cols) ~writes:elems
+       ~flops_per_elem:1 ())
+
+let activation machine ~elems =
+  PM.of_totals machine
+    (Lib_model.pointwise_totals ~reads:elems ~writes:elems ~flops_per_elem:2 ())

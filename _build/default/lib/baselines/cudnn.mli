@@ -1,0 +1,14 @@
+(** cuDNN-style standalone pointwise kernels, used by the unfused LSTM
+    baseline (paper Figure 12: "one library kernel per node in the graph"). *)
+
+(** [Z = X + Y] over [elems] fp16 values. *)
+val add :
+  Gpu_sim.Machine.t -> elems:int -> Gpu_sim.Perf_model.estimate
+
+(** Broadcast bias add over [rows x cols]. *)
+val bias_add :
+  Gpu_sim.Machine.t -> rows:int -> cols:int -> Gpu_sim.Perf_model.estimate
+
+(** Elementwise activation. *)
+val activation :
+  Gpu_sim.Machine.t -> elems:int -> Gpu_sim.Perf_model.estimate

@@ -1,0 +1,79 @@
+module SA = Gpu_sim.Static_analysis
+
+let ceil_div a b = (a + b - 1) / b
+
+let gemm_totals ?(batch = 1) ?(epilogue_flops_per_elem = 0) ?(bias = false)
+    ?(c_read = false) ~m ~n ~k () =
+  let bm = 128 and bn = 128 and bk = 32 in
+  let blocks_m = ceil_div m bm and blocks_n = ceil_div n bn in
+  let m' = blocks_m * bm and n' = blocks_n * bn in
+  let k' = ceil_div k bk * bk in
+  let blocks = batch * blocks_m * blocks_n in
+  let fb = float_of_int batch in
+  let tc_flops = fb *. (2.0 *. float_of_int m' *. float_of_int n' *. float_of_int k') in
+  let fma_flops =
+    fb *. float_of_int (epilogue_flops_per_elem * m * n)
+    +. if bias then fb *. float_of_int (m * n) else 0.0
+  in
+  (* Issued tile traffic: every block streams its A row panel and B column
+     panel; C is written once (and read once for accumulating calls). *)
+  let tile_bytes =
+    fb
+    *. float_of_int
+         (((blocks_m * blocks_n * ((bm * k') + (k' * bn))) + (m * n))
+         * 2)
+  in
+  let c_read_bytes = if c_read then fb *. float_of_int (m * n * 2) else 0.0 in
+  let global_bytes = tile_bytes +. c_read_bytes in
+  (* Staged tiles are written to and re-read from shared memory several
+     times (fragment loads); factor matches the IR-derived GEMM kernel. *)
+  let shared_bytes = 4.0 *. (tile_bytes -. (fb *. float_of_int (m * n * 2))) in
+  let param_bytes =
+    fb
+    *. float_of_int
+         (((m * k) + (k * n) + (m * n) + (if bias then n else 0)) * 2)
+    +. c_read_bytes
+  in
+  { SA.tc_flops
+  ; fma_flops
+  ; global_bytes
+  ; shared_bytes
+  ; instructions = tc_flops /. 4096.0
+  ; blocks
+  ; threads_per_block = 256
+  ; smem_bytes_per_block = (bm + bn) * bk * 2
+  ; param_bytes
+  ; regs_per_thread = 128
+  }
+
+let pointwise_totals ~reads ~writes ~flops_per_elem () =
+  let bytes = float_of_int ((reads + writes) * 2) in
+  { SA.tc_flops = 0.0
+  ; fma_flops = float_of_int (flops_per_elem * writes)
+  ; global_bytes = bytes
+  ; shared_bytes = 0.0
+  ; instructions = float_of_int (reads + writes) /. 8.0
+  ; blocks = max 1 (ceil_div writes 2048)
+  ; threads_per_block = 256
+  ; smem_bytes_per_block = 0
+  ; param_bytes = bytes
+  ; regs_per_thread = 32
+  }
+
+let row_reduce_totals ~rows ~cols () =
+  let read = float_of_int (rows * cols * 2) in
+  { SA.tc_flops = 0.0
+  ; fma_flops = float_of_int (rows * cols)
+  ; global_bytes = read +. float_of_int (rows * 4)
+  ; shared_bytes = float_of_int (rows * 256)
+  ; instructions = float_of_int (rows * cols) /. 8.0
+  ; blocks = max 1 rows
+  ; threads_per_block = 256
+  ; smem_bytes_per_block = 128
+  ; param_bytes = read +. float_of_int (rows * 4)
+  ; regs_per_thread = 32
+  }
+
+let sequence machine totals =
+  Gpu_sim.Perf_model.sequence
+    (List.map (Gpu_sim.Perf_model.of_totals machine) totals)

@@ -1,0 +1,43 @@
+(** Analytic cost models for closed-source library kernels.
+
+    The comparators of the paper's evaluation (cuBLAS, cuBLASLt, cuDNN,
+    PyTorch, TensorRT) are closed source; what the figures depend on is
+    their {e kernel-launch structure} and near-peak per-kernel efficiency
+    (the paper itself establishes that Graphene merely {e matches} cuBLAS
+    per kernel). Each function here builds {!Gpu_sim.Static_analysis.totals}
+    for one library call, mirroring the traffic a 128x128x32-tiled GEMM or
+    a streaming pointwise kernel issues; {!Gpu_sim.Perf_model} turns them
+    into time. See DESIGN.md ("substitutions"). *)
+
+(** One dense GEMM kernel call: [C = A @ B (+bias)(+act)], fp16 tensor-core,
+    sizes padded up to the library's 128x128x32 tiles.
+    [batch] multiplies everything (batched GEMM in a single launch).
+    [c_read] adds a read of C (accumulating GEMMs, cuBLASLt beta=1). *)
+val gemm_totals :
+  ?batch:int ->
+  ?epilogue_flops_per_elem:int ->
+  ?bias:bool ->
+  ?c_read:bool ->
+  m:int ->
+  n:int ->
+  k:int ->
+  unit ->
+  Gpu_sim.Static_analysis.totals
+
+(** A streaming elementwise kernel: reads [reads] and writes [writes]
+    fp16 elements with [flops_per_elem] work each. *)
+val pointwise_totals :
+  reads:int -> writes:int -> flops_per_elem:int -> unit ->
+  Gpu_sim.Static_analysis.totals
+
+(** A row-reduction kernel (mean/var/softmax-style pass): reads [rows*cols]
+    and writes [rows] fp32 statistics. *)
+val row_reduce_totals :
+  rows:int -> cols:int -> unit -> Gpu_sim.Static_analysis.totals
+
+(** Time for a sequence of library calls on the machine — each call pays a
+    kernel-launch overhead. *)
+val sequence :
+  Gpu_sim.Machine.t ->
+  Gpu_sim.Static_analysis.totals list ->
+  Gpu_sim.Perf_model.estimate

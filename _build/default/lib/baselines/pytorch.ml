@@ -1,0 +1,67 @@
+module PM = Gpu_sim.Perf_model
+
+type layernorm_impl = Eager | Jit | Fused | Apex
+
+let layernorm_impls = [ Eager; Jit; Fused; Apex ]
+
+let impl_name = function
+  | Eager -> "PyTorch Eager"
+  | Jit -> "PyTorch JIT"
+  | Fused -> "PyTorch fused"
+  | Apex -> "NVIDIA Apex"
+
+let layernorm machine ~impl ~rows ~cols =
+  let n = rows * cols in
+  let reduce () = Lib_model.row_reduce_totals ~rows ~cols () in
+  let pw ?(reads = n) ?(writes = n) flops =
+    Lib_model.pointwise_totals ~reads ~writes ~flops_per_elem:flops ()
+  in
+  match impl with
+  | Eager ->
+    (* mean, centred difference, variance, normalize, scale, shift: one
+       kernel per primitive, intermediates in global memory. *)
+    Lib_model.sequence machine
+      [ reduce (); pw 1; reduce (); pw 2; pw ~reads:(n + cols) 1
+      ; pw ~reads:(n + cols) 1
+      ]
+  | Jit ->
+    (* Torchscript fuses the pointwise chains but keeps the reductions as
+       separate kernels. *)
+    Lib_model.sequence machine [ reduce (); reduce (); pw ~reads:(n + (2 * cols)) 4 ]
+  | Fused | Apex ->
+    (* Single fused kernel: read the row, two in-register reductions,
+       normalize, write. Apex and the built-in kernel share this
+       structure. *)
+    Lib_model.sequence machine [ pw ~reads:(n + (2 * cols)) ~writes:n 8 ]
+
+let attention_pieces ~batch ~heads ~seq ~dh =
+  let b = batch * heads in
+  let bss = b * seq * seq in
+  let scores = Lib_model.gemm_totals ~batch:b ~m:seq ~n:seq ~k:dh () in
+  let softmax =
+    Lib_model.pointwise_totals ~reads:(2 * bss) ~writes:bss ~flops_per_elem:5 ()
+  in
+  let output = Lib_model.gemm_totals ~batch:b ~m:seq ~n:dh ~k:seq () in
+  (scores, softmax, output)
+
+let unfused_attention machine ~batch ~heads ~seq ~dh =
+  let scores, softmax, output = attention_pieces ~batch ~heads ~seq ~dh in
+  Lib_model.sequence machine [ scores; softmax; output ]
+
+let eager_attention machine ~batch ~heads ~seq ~dh =
+  let b = batch * heads in
+  let bsd = b * seq * dh in
+  let bss = b * seq * seq in
+  (* Full eager-mode attention additionally pays reshape/transpose copies
+     for Q, K and V (batch-seq-hidden -> batch-heads-seq-dh), a scale+mask
+     kernel on the scores, and the inverse transpose of the context — all
+     separate kernels through global memory. *)
+  let transpose n = Lib_model.pointwise_totals ~reads:n ~writes:n ~flops_per_elem:0 () in
+  let scores, softmax, output = attention_pieces ~batch ~heads ~seq ~dh in
+  let scale_mask =
+    Lib_model.pointwise_totals ~reads:(2 * bss) ~writes:bss ~flops_per_elem:2 ()
+  in
+  Lib_model.sequence machine
+    [ transpose bsd; transpose bsd; transpose bsd; scores; scale_mask
+    ; softmax; output; transpose bsd
+    ]

@@ -1,0 +1,42 @@
+(** PyTorch reference implementations of Layernorm (paper Figure 13) and
+    the unfused attention used as the Figure 14 baseline and inside the
+    Figure 15 end-to-end networks. *)
+
+type layernorm_impl =
+  | Eager  (** default eager execution: one kernel per primitive op *)
+  | Jit  (** Torchscript fusion: pointwise chains fused, reductions apart *)
+  | Fused  (** the built-in fused Layernorm CUDA kernel *)
+  | Apex  (** NVIDIA Apex's hand-tuned fused kernel *)
+
+val layernorm_impls : layernorm_impl list
+val impl_name : layernorm_impl -> string
+
+val layernorm :
+  Gpu_sim.Machine.t ->
+  impl:layernorm_impl ->
+  rows:int ->
+  cols:int ->
+  Gpu_sim.Perf_model.estimate
+
+(** Unfused multi-head attention: batched [Q K^T] (cuBLAS), a standalone
+    softmax kernel, and batched [P V] — the "cumulative execution time" of
+    paper Figure 14's baseline. *)
+val unfused_attention :
+  Gpu_sim.Machine.t ->
+  batch:int ->
+  heads:int ->
+  seq:int ->
+  dh:int ->
+  Gpu_sim.Perf_model.estimate
+
+(** Full eager-mode PyTorch attention: {!unfused_attention} plus the
+    reshape/transpose and scale+mask kernels eager execution launches —
+    the attention block replaced in the paper's Figure 15 end-to-end
+    experiment. *)
+val eager_attention :
+  Gpu_sim.Machine.t ->
+  batch:int ->
+  heads:int ->
+  seq:int ->
+  dh:int ->
+  Gpu_sim.Perf_model.estimate

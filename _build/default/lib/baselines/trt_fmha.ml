@@ -1,0 +1,20 @@
+(* TensorRT's hand-tuned layouts avoid the bulk of the bank conflicts a
+   naive score layout incurs, but not all of them; it shares the conflicts
+   common to the algorithm (e.g. the softmax phase). Modeled as the
+   swizzled kernel's measured penalty plus a small residual of the
+   layout-specific extra — hence the paper's "small speedup" for
+   Graphene's optimized shared-memory layouts. *)
+let residual_conflict_fraction = 0.06
+
+let estimate machine ~smem_penalty_naive ~smem_penalty_swizzled ~batch ~heads
+    ~seq ~dh ~chunk ~nthreads =
+  let kernel =
+    Kernels.Fmha.kernel ~swizzle_smem:false machine.Gpu_sim.Machine.arch
+      ~batch ~heads ~seq ~dh ~chunk ~nthreads ()
+  in
+  let penalty =
+    smem_penalty_swizzled
+    +. ((smem_penalty_naive -. smem_penalty_swizzled)
+       *. residual_conflict_fraction)
+  in
+  Gpu_sim.Perf_model.of_kernel ~smem_penalty:penalty machine kernel ()

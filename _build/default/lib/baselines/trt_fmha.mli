@@ -1,0 +1,25 @@
+(** NVIDIA's handwritten fused MHA kernels (TensorRT / MLPerf BERT
+    submission), the strong baseline of paper Figure 14.
+
+    Modeled as the {e same} fusion structure as the Graphene FMHA kernel —
+    the two kernels differ only in shared-memory layout: the paper
+    attributes its small edge to "optimized shared memory layouts", which
+    the simulator quantifies as the bank-conflict ratio of the unswizzled
+    score buffer. *)
+
+(** [estimate machine ~smem_penalty_naive ~smem_penalty_swizzled ...] —
+    the penalties (>= 1) are the measured conflict degradations of the
+    unswizzled and swizzled layouts (from {!Gpu_sim.Counters}); TensorRT is
+    modeled at the swizzled level plus a small residual of the
+    layout-specific difference. *)
+val estimate :
+  Gpu_sim.Machine.t ->
+  smem_penalty_naive:float ->
+  smem_penalty_swizzled:float ->
+  batch:int ->
+  heads:int ->
+  seq:int ->
+  dh:int ->
+  chunk:int ->
+  nthreads:int ->
+  Gpu_sim.Perf_model.estimate

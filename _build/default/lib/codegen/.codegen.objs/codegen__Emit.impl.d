@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Buffer Format Gpu_tensor Graphene Index_gen List Printf Shape String

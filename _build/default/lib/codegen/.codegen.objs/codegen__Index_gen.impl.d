@@ -1,0 +1,1 @@
+lib/codegen/index_gen.ml: Gpu_tensor List Printf Shape

@@ -1,0 +1,1 @@
+lib/codegen/index_gen.mli: Gpu_tensor Shape

@@ -1,0 +1,1 @@
+lib/core/arch.mli: Format

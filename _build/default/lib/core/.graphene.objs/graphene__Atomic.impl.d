@@ -1,0 +1,1 @@
+lib/core/atomic.ml: Arch Format Gpu_tensor List Op Option Printf Shape Spec String

@@ -1,0 +1,1 @@
+lib/core/atomic.mli: Arch Format Gpu_tensor Spec

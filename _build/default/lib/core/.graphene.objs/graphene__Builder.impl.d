@@ -1,0 +1,1 @@
+lib/core/builder.ml: Gpu_tensor Shape Spec

@@ -1,0 +1,1 @@
+lib/core/builder.mli: Gpu_tensor Op Shape Spec

@@ -1,0 +1,1 @@
+lib/core/spec.ml: Format Gpu_tensor List Op Printf Shape String

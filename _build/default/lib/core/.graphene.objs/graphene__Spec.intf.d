@@ -1,0 +1,1 @@
+lib/core/spec.mli: Format Gpu_tensor Op Shape

@@ -1,0 +1,1 @@
+lib/core/validate.ml: Arch Atomic Format Gpu_tensor List Printf Spec String

@@ -1,0 +1,1 @@
+lib/core/validate.mli: Arch Spec

@@ -1,0 +1,11 @@
+type t = SM70 | SM86
+
+let name = function SM70 -> "sm70" | SM86 -> "sm86"
+
+let display_name = function
+  | SM70 -> "Volta (V100)"
+  | SM86 -> "Ampere (RTX A6000)"
+
+let equal (a : t) b = a = b
+let pp fmt t = Format.pp_print_string fmt (name t)
+let all = [ SM70; SM86 ]

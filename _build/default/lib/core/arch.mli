@@ -1,0 +1,14 @@
+(** Target GPU architectures used in the paper's evaluation. *)
+
+type t =
+  | SM70  (** Volta (V100) *)
+  | SM86  (** Ampere (RTX A6000) *)
+
+val name : t -> string
+
+(** Marketing name used in plots, e.g. ["Volta (V100)"]. *)
+val display_name : t -> string
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val all : t list

@@ -1,0 +1,50 @@
+(** Atomic specifications: the instruction-level leaves of a decomposition
+    (paper Section 5.2, Table 2).
+
+    A spec without decomposition is matched against this registry; a match
+    associates it with a GPU instruction, fixing its code generation (inline
+    PTX), its simulator semantics (by instruction name), and its cost for
+    the performance model. *)
+
+(** Per-instance resource usage, used by the static analyzer. *)
+type cost =
+  { flops : int
+  ; global_bytes : int  (** bytes moved to/from global memory *)
+  ; shared_bytes : int  (** bytes moved to/from shared memory *)
+  ; instructions : int  (** issued instructions *)
+  }
+
+type instr =
+  { name : string  (** registry key, e.g. ["ldmatrix.x4"] *)
+  ; ptx : string  (** the associated PTX instruction (paper Table 2) *)
+  ; archs : Arch.t list  (** architectures providing the instruction *)
+  ; threads : int  (** participating threads per instance *)
+  ; sig_threads : string  (** Table 2 display: thread arrangement *)
+  ; sig_ins : string  (** Table 2 display: input tensors *)
+  ; sig_outs : string  (** Table 2 display: output tensors *)
+  ; matches : Spec.t -> bool
+  ; cost : Spec.t -> cost
+  }
+
+(** The full registry, in matching priority order (more specific
+    instructions first). *)
+val registry : instr list
+
+(** [find arch spec] — the first available instruction matching an
+    undecomposed spec. *)
+val find : Arch.t -> Spec.t -> instr option
+
+(** [find_exn] raises [Failure] with a description of the unmatched spec. *)
+val find_exn : Arch.t -> Spec.t -> instr
+
+(** [lookup name] — registry entry by name (for simulator semantics). *)
+val lookup : string -> instr option
+
+(** {1 Matching helpers (exposed for tests)} *)
+
+(** Flattened per-level dimensions with unit dims dropped; [None] when the
+    view is not concrete. *)
+val dims_signature : Gpu_tensor.Tensor.t -> int list list option
+
+(** Render the registry as the paper's Table 2. *)
+val pp_table : Format.formatter -> Arch.t option -> unit

@@ -1,0 +1,96 @@
+module Ts = Gpu_tensor.Tensor
+
+type problem = string
+
+let spec_desc (s : Spec.t) =
+  Format.asprintf "%a" Spec.pp { s with Spec.decomp = None }
+
+let check_atomics arch (k : Spec.kernel) =
+  Spec.fold_specs
+    (fun acc s ->
+      match s.Spec.decomp with
+      | Some _ -> acc
+      | None -> (
+        match Atomic.find arch s with
+        | Some _ -> acc
+        | None ->
+          Format.asprintf "no atomic spec on %s matches: %s" (Arch.name arch)
+            (spec_desc s)
+          :: acc))
+    [] k.Spec.body
+  |> List.rev
+
+let total v = try Some (Ts.num_scalars_int v) with Invalid_argument _ -> None
+
+let check_shapes (k : Spec.kernel) =
+  Spec.fold_specs
+    (fun acc s ->
+      match s.Spec.kind with
+      | Spec.Move -> (
+        match (s.Spec.ins, s.Spec.outs) with
+        | [ i ], [ o ] -> (
+          (* A collective Move distributes a shared tensor across the
+             participating threads: the source holds group-size times the
+             per-thread destination (e.g. ldmatrix, paper Figure 1). *)
+          let g = Gpu_tensor.Thread_tensor.size s.Spec.threads in
+          match (total i, total o) with
+          | Some a, Some b
+            when a <> b && a <> b * g && b <> a * g && s.Spec.decomp = None ->
+            Format.asprintf "Move size mismatch (%d vs %d scalars): %s" a b
+              (spec_desc s)
+            :: acc
+          | _ -> acc)
+        | _ -> Format.asprintf "Move arity: %s" (spec_desc s) :: acc)
+      | Spec.Binary_pointwise _ -> (
+        match (s.Spec.ins, s.Spec.outs) with
+        | [ a; b ], [ o ] -> (
+          (* Size-1 operands broadcast over the output extent. *)
+          match (total a, total b, total o) with
+          | Some x, Some y, Some z
+            when (x <> z && x <> 1) || (y <> z && y <> 1) ->
+            Format.asprintf "pointwise extent mismatch: %s" (spec_desc s)
+            :: acc
+          | _ -> acc)
+        | _ -> Format.asprintf "BinaryPW arity: %s" (spec_desc s) :: acc)
+      | Spec.Mat_mul -> (
+        match (s.Spec.ins, s.Spec.outs) with
+        | [ _; _ ], [ _ ] -> acc
+        | _ -> Format.asprintf "MatMul arity: %s" (spec_desc s) :: acc)
+      | Spec.Unary_pointwise _ | Spec.Reduction _ | Spec.Shfl _ -> (
+        match (s.Spec.ins, s.Spec.outs) with
+        | [ _ ], [ _ ] -> acc
+        | _ -> Format.asprintf "arity: %s" (spec_desc s) :: acc)
+      | Spec.Init _ -> (
+        match (s.Spec.ins, s.Spec.outs) with
+        | [], [ _ ] -> acc
+        | _ -> Format.asprintf "Init arity: %s" (spec_desc s) :: acc)
+      | Spec.Generic _ -> acc)
+    [] k.Spec.body
+  |> List.rev
+
+let check_allocs (k : Spec.kernel) =
+  let allocs = Spec.allocs k.Spec.body in
+  let names = List.map (fun (t : Ts.t) -> t.Ts.buffer) allocs in
+  let param_names = List.map (fun (t : Ts.t) -> t.Ts.buffer) k.Spec.params in
+  let dup =
+    List.filter
+      (fun n -> List.length (List.filter (String.equal n) names) > 1)
+      names
+    |> List.sort_uniq String.compare
+  in
+  let clash =
+    List.filter (fun n -> List.mem n param_names) names
+    |> List.sort_uniq String.compare
+  in
+  List.map (Printf.sprintf "duplicate allocation name: %s") dup
+  @ List.map (Printf.sprintf "allocation shadows kernel parameter: %s") clash
+
+let check arch k = check_atomics arch k @ check_shapes k @ check_allocs k
+
+let check_exn arch k =
+  match check arch k with
+  | [] -> ()
+  | problems ->
+    failwith
+      (Printf.sprintf "kernel %s is ill-formed:\n%s" k.Spec.name
+         (String.concat "\n" problems))

@@ -1,0 +1,26 @@
+(** Static well-formedness checks for Graphene kernels. *)
+
+(** A human-readable problem description with the offending spec/stmt. *)
+type problem = string
+
+(** [check_atomics arch kernel] — every spec without a decomposition must
+    match an atomic spec available on [arch] (paper Section 5.5: "every spec
+    without decomposition is matched against the set of pre-defined atomic
+    specs"). *)
+val check_atomics : Arch.t -> Spec.kernel -> problem list
+
+(** [check_shapes kernel] — structural checks on concrete views: a [Move]'s
+    source and destination must hold the same number of scalars per
+    instance; pointwise specs need equal extents; a [MatMul]'s operands must
+    live in compatible memory spaces. *)
+val check_shapes : Spec.kernel -> problem list
+
+(** [check_allocs kernel] — allocation names must be unique and must not
+    collide with kernel parameters. *)
+val check_allocs : Spec.kernel -> problem list
+
+(** All checks; empty list means the kernel is well-formed for [arch]. *)
+val check : Arch.t -> Spec.kernel -> problem list
+
+(** Raises [Failure] listing all problems, if any. *)
+val check_exn : Arch.t -> Spec.kernel -> unit

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Baselines Format Gpu_sim Graphene Kernels List Reference Workloads

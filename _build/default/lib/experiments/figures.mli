@@ -1,0 +1,141 @@
+(** Regeneration of every table and figure in the paper's evaluation
+    (Section 6). Each [figN] computes the figure's data series from the
+    Graphene kernels' IR (via the static analyzer and performance model,
+    plus simulator-measured bank-conflict penalties where layout quality is
+    the differentiator) and the library baselines; [print_figN] renders a
+    text table with the paper's reported values alongside. *)
+
+(** {1 Figure 9: GEMM vs cuBLAS} *)
+
+type fig9_row =
+  { arch : Graphene.Arch.t
+  ; m : int
+  ; n : int
+  ; k : int
+  ; graphene_us : float
+  ; cublas_us : float
+  ; speedup : float  (** Graphene vs cuBLAS; the paper reports 1.0 *)
+  ; graphene_compute_pct : float
+  ; cublas_compute_pct : float
+  ; graphene_memory_pct : float
+  ; cublas_memory_pct : float
+  }
+
+val fig9 : unit -> fig9_row list
+val print_fig9 : Format.formatter -> unit
+
+(** {1 Figure 10: GEMM + pointwise epilogues vs cuBLASLt} *)
+
+type fig10_row =
+  { arch : Graphene.Arch.t
+  ; epilogue : string
+  ; graphene_us : float
+  ; cublaslt_us : float
+  ; speedup : float
+  }
+
+val fig10 : unit -> fig10_row list
+val print_fig10 : Format.formatter -> unit
+
+(** {1 Figure 11: fused multi-layer MLP vs cuBLASLt} *)
+
+type fig11_row =
+  { arch : Graphene.Arch.t
+  ; layers : int
+  ; graphene_us : float
+  ; cublaslt_us : float
+  ; speedup : float
+  }
+
+val fig11 : ?m:int -> ?width:int -> unit -> fig11_row list
+val print_fig11 : Format.formatter -> unit
+
+(** {1 Figure 12: fused LSTM cell} *)
+
+type fig12_row =
+  { arch : Graphene.Arch.t
+  ; impl : string
+  ; kernels : int
+  ; us : float
+  ; speedup_vs_baseline : float
+  }
+
+val fig12 : ?m:int -> ?n:int -> ?k:int -> unit -> fig12_row list
+val print_fig12 : Format.formatter -> unit
+
+(** {1 Figure 13: Layernorm vs PyTorch implementations} *)
+
+type fig13_row =
+  { arch : Graphene.Arch.t
+  ; impl : string
+  ; hidden : int
+  ; us : float
+  }
+
+val fig13 : ?rows:int -> ?hiddens:int list -> unit -> fig13_row list
+val print_fig13 : Format.formatter -> unit
+
+(** {1 Figure 14: FMHA (MLPerf BERT configuration)} *)
+
+type fig14_row =
+  { arch : Graphene.Arch.t
+  ; impl : string
+  ; us : float
+  ; speedup_vs_unfused : float
+  }
+
+val fig14 : unit -> fig14_row list
+val print_fig14 : Format.formatter -> unit
+
+(** {1 Figure 15: end-to-end Transformer inference} *)
+
+type fig15_row =
+  { network : string
+  ; baseline_ms : float
+  ; injected_ms : float
+  ; speedup : float
+  ; fmha_fraction : float
+  }
+
+val fig15 : unit -> fig15_row list
+val print_fig15 : Format.formatter -> unit
+
+(** {1 Supplementary: GEMM size sweep} *)
+
+type sweep_row =
+  { arch : Graphene.Arch.t
+  ; m : int
+  ; n : int
+  ; k : int
+  ; us : float
+  ; tflops : float
+  ; tc_pct : float
+  }
+
+(** Achieved throughput of the default tensor-core GEMM across problem
+    sizes — a supplementary table beyond the paper's single Figure 9
+    point. *)
+val gemm_sweep : unit -> sweep_row list
+
+val print_gemm_sweep : Format.formatter -> unit
+
+(** {1 Table 2 and ablations} *)
+
+val print_table2 : Format.formatter -> unit
+
+type ablation_row =
+  { name : string
+  ; variant : string
+  ; instructions : int
+  ; shared_conflicts : int
+  ; correct : bool
+  }
+
+(** Simulator-measured ablations: ldmatrix vs per-lane loads, swizzled vs
+    linear shared memory, vectorized vs scalar global access. *)
+val ablations : unit -> ablation_row list
+
+val print_ablations : Format.formatter -> unit
+
+(** Everything, in order. *)
+val print_all : Format.formatter -> unit

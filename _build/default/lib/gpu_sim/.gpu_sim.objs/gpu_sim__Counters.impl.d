@@ -1,0 +1,1 @@
+lib/gpu_sim/counters.ml: Array Format Hashtbl List Option

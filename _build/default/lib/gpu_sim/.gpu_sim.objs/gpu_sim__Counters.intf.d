@@ -1,0 +1,1 @@
+lib/gpu_sim/counters.mli: Format Hashtbl

@@ -1,0 +1,1 @@
+lib/gpu_sim/interp.ml: Array Counters Format Fun Gpu_tensor Graphene Hashtbl List Memory Option Semantics Shape Stdlib String

@@ -1,0 +1,1 @@
+lib/gpu_sim/interp.mli: Counters Graphene

@@ -1,0 +1,1 @@
+lib/gpu_sim/machine.ml: Graphene

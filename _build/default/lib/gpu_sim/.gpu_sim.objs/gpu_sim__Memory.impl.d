@@ -1,0 +1,1 @@
+lib/gpu_sim/memory.ml: Array Format Gpu_tensor Hashtbl

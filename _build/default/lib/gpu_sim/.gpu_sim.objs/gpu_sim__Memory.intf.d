@@ -1,0 +1,1 @@
+lib/gpu_sim/memory.mli: Gpu_tensor

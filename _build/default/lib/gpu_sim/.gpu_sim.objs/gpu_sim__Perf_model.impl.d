@@ -1,0 +1,1 @@
+lib/gpu_sim/perf_model.ml: Float Format List Machine Static_analysis

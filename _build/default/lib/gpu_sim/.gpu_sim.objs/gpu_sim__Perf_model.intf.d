@@ -1,0 +1,1 @@
+lib/gpu_sim/perf_model.mli: Format Graphene Machine Static_analysis

@@ -1,0 +1,1 @@
+lib/gpu_sim/program.ml: Array Counters Gpu_tensor Graphene Interp List Option Perf_model

@@ -1,0 +1,1 @@
+lib/gpu_sim/program.mli: Counters Graphene Machine Perf_model

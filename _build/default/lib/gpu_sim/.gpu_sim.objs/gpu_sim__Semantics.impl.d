@@ -1,0 +1,1 @@
+lib/gpu_sim/semantics.ml: Array Gpu_tensor Graphene List Memory Printf Shape String

@@ -1,0 +1,1 @@
+lib/gpu_sim/static_analysis.ml: Float Format Gpu_tensor Graphene List Printf Shape String

@@ -1,0 +1,1 @@
+lib/gpu_sim/static_analysis.mli: Format Graphene

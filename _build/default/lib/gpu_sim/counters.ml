@@ -1,0 +1,123 @@
+type t =
+  { mutable global_load_bytes : int
+  ; mutable global_store_bytes : int
+  ; mutable global_transactions : int
+  ; mutable shared_load_bytes : int
+  ; mutable shared_store_bytes : int
+  ; mutable shared_bank_conflicts : int
+  ; mutable flops : int
+  ; mutable tensor_core_flops : int
+  ; mutable instructions : int
+  ; instr_mix : (string, int) Hashtbl.t
+  }
+
+let create () =
+  { global_load_bytes = 0
+  ; global_store_bytes = 0
+  ; global_transactions = 0
+  ; shared_load_bytes = 0
+  ; shared_store_bytes = 0
+  ; shared_bank_conflicts = 0
+  ; flops = 0
+  ; tensor_core_flops = 0
+  ; instructions = 0
+  ; instr_mix = Hashtbl.create 64
+  }
+
+let reset t =
+  t.global_load_bytes <- 0;
+  t.global_store_bytes <- 0;
+  t.global_transactions <- 0;
+  t.shared_load_bytes <- 0;
+  t.shared_store_bytes <- 0;
+  t.shared_bank_conflicts <- 0;
+  t.flops <- 0;
+  t.tensor_core_flops <- 0;
+  t.instructions <- 0;
+  Hashtbl.reset t.instr_mix
+
+let add_instr t name =
+  t.instructions <- t.instructions + 1;
+  Hashtbl.replace t.instr_mix name
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.instr_mix name))
+
+let record_global_batch t ~store ~bytes addresses =
+  let total = bytes * List.length addresses in
+  if store then t.global_store_bytes <- t.global_store_bytes + total
+  else t.global_load_bytes <- t.global_load_bytes + total;
+  (* Distinct 32-byte sectors across the batch, modelling coalescing. *)
+  let sectors = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let lo = a / 32 and hi = (a + bytes - 1) / 32 in
+      for s = lo to hi do
+        Hashtbl.replace sectors s ()
+      done)
+    addresses;
+  t.global_transactions <- t.global_transactions + Hashtbl.length sectors
+
+let rec chunks n = function
+  | [] -> []
+  | l ->
+    let rec take k acc = function
+      | [] -> (List.rev acc, [])
+      | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+      | rest -> (List.rev acc, rest)
+    in
+    let hd, tl = take n [] l in
+    hd :: chunks n tl
+
+let record_shared_batch t ~store ~bytes addresses =
+  let total = bytes * List.length addresses in
+  if store then t.shared_store_bytes <- t.shared_store_bytes + total
+  else t.shared_load_bytes <- t.shared_load_bytes + total;
+  (* The hardware serves at most 128 bytes (32 banks x 4 bytes) per phase;
+     wide per-thread accesses split into phases of 128/bytes threads. Bank
+     conflicts are extra cycles within a phase: the maximum number of
+     distinct 4-byte words mapping to one bank. *)
+  let per_phase = max 1 (128 / max 1 bytes) in
+  List.iter
+    (fun phase ->
+      let words_per_bank = Array.make 32 [] in
+      List.iter
+        (fun a ->
+          let lo = a / 4 and hi = (a + bytes - 1) / 4 in
+          for w = lo to hi do
+            let bank = w mod 32 in
+            if not (List.mem w words_per_bank.(bank)) then
+              words_per_bank.(bank) <- w :: words_per_bank.(bank)
+          done)
+        phase;
+      let degree =
+        Array.fold_left
+          (fun acc ws -> max acc (List.length ws))
+          1 words_per_bank
+      in
+      t.shared_bank_conflicts <- t.shared_bank_conflicts + (degree - 1))
+    (chunks per_phase addresses)
+
+let merge dst src =
+  dst.global_load_bytes <- dst.global_load_bytes + src.global_load_bytes;
+  dst.global_store_bytes <- dst.global_store_bytes + src.global_store_bytes;
+  dst.global_transactions <- dst.global_transactions + src.global_transactions;
+  dst.shared_load_bytes <- dst.shared_load_bytes + src.shared_load_bytes;
+  dst.shared_store_bytes <- dst.shared_store_bytes + src.shared_store_bytes;
+  dst.shared_bank_conflicts <-
+    dst.shared_bank_conflicts + src.shared_bank_conflicts;
+  dst.flops <- dst.flops + src.flops;
+  dst.tensor_core_flops <- dst.tensor_core_flops + src.tensor_core_flops;
+  dst.instructions <- dst.instructions + src.instructions;
+  Hashtbl.iter
+    (fun k v ->
+      Hashtbl.replace dst.instr_mix k
+        (v + Option.value ~default:0 (Hashtbl.find_opt dst.instr_mix k)))
+    src.instr_mix
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>global: %d B loaded, %d B stored, %d sectors@,\
+     shared: %d B loaded, %d B stored, %d conflict cycles@,\
+     flops: %d (%d tensor-core), %d instructions@]"
+    t.global_load_bytes t.global_store_bytes t.global_transactions
+    t.shared_load_bytes t.shared_store_bytes t.shared_bank_conflicts t.flops
+    t.tensor_core_flops t.instructions

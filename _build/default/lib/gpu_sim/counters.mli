@@ -1,0 +1,36 @@
+(** Hardware-event counters recorded during simulated execution — the
+    simulator's stand-in for the paper's Nsight-Compute measurements. *)
+
+type t =
+  { mutable global_load_bytes : int
+  ; mutable global_store_bytes : int
+  ; mutable global_transactions : int  (** 32-byte DRAM sectors touched *)
+  ; mutable shared_load_bytes : int
+  ; mutable shared_store_bytes : int
+  ; mutable shared_bank_conflicts : int
+        (** extra serialized shared-memory cycles beyond the conflict-free
+            cost *)
+  ; mutable flops : int
+  ; mutable tensor_core_flops : int
+  ; mutable instructions : int
+  ; instr_mix : (string, int) Hashtbl.t  (** per atomic-instruction counts *)
+  }
+
+val create : unit -> t
+val reset : t -> unit
+val add_instr : t -> string -> unit
+
+(** [record_global_batch t ~store ~bytes addresses] — one warp-synchronous
+    global access: byte addresses of every participating thread. Counts the
+    distinct 32-byte sectors touched, modelling coalescing. *)
+val record_global_batch : t -> store:bool -> bytes:int -> int list -> unit
+
+(** [record_shared_batch t ~store ~bytes addresses] — one warp-synchronous
+    shared access: byte addresses of every participating thread. Computes
+    the bank-conflict degree: the maximum number of {e distinct} 4-byte
+    words mapping to the same of 32 banks (a broadcast of the same word is
+    free); degree-1 accesses add nothing. *)
+val record_shared_batch : t -> store:bool -> bytes:int -> int list -> unit
+
+val merge : t -> t -> unit
+val pp : Format.formatter -> t -> unit

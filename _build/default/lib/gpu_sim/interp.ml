@@ -1,0 +1,253 @@
+module E = Shape.Int_expr
+module L = Shape.Layout
+module Ts = Gpu_tensor.Tensor
+module Tt = Gpu_tensor.Thread_tensor
+module Ms = Gpu_tensor.Memspace
+module Dt = Gpu_tensor.Dtype
+module Spec = Graphene.Spec
+module Atomic = Graphene.Atomic
+
+exception Exec_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Exec_error s)) fmt
+
+type ctx =
+  { arch : Graphene.Arch.t
+  ; mem : Memory.t
+  ; counters : Counters.t
+  ; cta_size : int
+  }
+
+let with_tid env tid v = if String.equal v "threadIdx.x" then tid else env v
+
+let mentions_tid e = List.mem "threadIdx.x" (E.free_vars e)
+
+let rec pred_mentions_tid = function
+  | Spec.Cmp (_, a, b) -> mentions_tid a || mentions_tid b
+  | Spec.And (a, b) | Spec.Or (a, b) -> pred_mentions_tid a || pred_mentions_tid b
+  | Spec.Not p -> pred_mentions_tid p
+
+let rec eval_pred env = function
+  | Spec.Cmp (r, a, b) ->
+    let x = E.eval ~env a and y = E.eval ~env b in
+    (match r with
+    | Spec.Lt -> x < y
+    | Spec.Le -> x <= y
+    | Spec.Eq -> x = y
+    | Spec.Ne -> x <> y
+    | Spec.Gt -> x > y
+    | Spec.Ge -> x >= y)
+  | Spec.And (a, b) -> eval_pred env a && eval_pred env b
+  | Spec.Or (a, b) -> eval_pred env a || eval_pred env b
+  | Spec.Not p -> not (eval_pred env p)
+
+(* First-scalar byte address of a view for one thread, or None for register
+   views (registers have no shared address space to model). *)
+let first_byte_address ctx env tid (v : Ts.t) =
+  match v.Ts.mem with
+  | Ms.Register -> None
+  | Ms.Global | Ms.Shared ->
+    let offs = Memory.offsets ctx.mem ~env:(with_tid env tid) v in
+    if Array.length offs = 0 then None
+    else Some (offs.(0) * Dt.size_bytes (Ts.dtype v))
+
+let record_view_batch ctx env tids ~store (v : Ts.t) =
+  match v.Ts.mem with
+  | Ms.Register -> ()
+  | Ms.Global | Ms.Shared ->
+    let n = try Ts.num_scalars_int v with Invalid_argument _ -> 1 in
+    let bytes = n * Dt.size_bytes (Ts.dtype v) in
+    let addrs =
+      List.filter_map (fun tid -> first_byte_address ctx env tid v) tids
+    in
+    if addrs <> [] then
+      if Ms.equal v.Ts.mem Ms.Global then
+        Counters.record_global_batch ctx.counters ~store ~bytes addrs
+      else Counters.record_shared_batch ctx.counters ~store ~bytes addrs
+
+let account_cost ctx (instr : Atomic.instr) (s : Spec.t) ~instances =
+  let c = instr.Atomic.cost s in
+  let is_tc =
+    String.length instr.Atomic.name >= 3
+    && String.equal (String.sub instr.Atomic.name 0 3) "mma"
+  in
+  if is_tc then
+    ctx.counters.Counters.tensor_core_flops <-
+      ctx.counters.Counters.tensor_core_flops + (c.Atomic.flops * instances)
+  else
+    ctx.counters.Counters.flops <-
+      ctx.counters.Counters.flops + (c.Atomic.flops * instances);
+  ctx.counters.Counters.instructions <-
+    ctx.counters.Counters.instructions
+    + (c.Atomic.instructions * instances)
+    - instances;
+  for _ = 1 to instances do
+    Counters.add_instr ctx.counters instr.Atomic.name
+  done
+
+(* Execute a per-thread atomic spec for all active threads, warp by warp, so
+   that address batches model warp-synchronous coalescing. *)
+let exec_per_thread ctx (instr : Atomic.instr) (s : Spec.t) env active =
+  let by_warp = Hashtbl.create 8 in
+  List.iter
+    (fun tid ->
+      let w = tid / 32 in
+      Hashtbl.replace by_warp w
+        (tid :: Option.value ~default:[] (Hashtbl.find_opt by_warp w)))
+    active;
+  let warps = Hashtbl.fold (fun w tids acc -> (w, List.rev tids) :: acc) by_warp [] in
+  let warps = List.sort Stdlib.compare warps in
+  List.iter
+    (fun (_, tids) ->
+      (* Address accounting happens before data movement so that loads
+         observe pre-instruction state (irrelevant for addresses). *)
+      List.iter (record_view_batch ctx env tids ~store:false) s.Spec.ins;
+      List.iter (record_view_batch ctx env tids ~store:true) s.Spec.outs;
+      List.iter
+        (fun tid ->
+          Semantics.exec ctx.mem ~instr ~spec:s ~env ~members:[| tid |])
+        tids)
+    warps;
+  account_cost ctx instr s ~instances:(List.length active)
+
+(* ldmatrix address traffic: each lane supplies one 16-byte address covering
+   a stored row (a logical column for the .trans variants); matrices are
+   consumed in phases of eight lanes. *)
+let record_ldmatrix ctx ~trans x (s : Spec.t) env members =
+  match s.Spec.ins with
+  | [ src ] ->
+    let outer_dims =
+      if Ts.depth src > 1 then
+        List.map
+          (fun m -> E.to_int_exn (Shape.Int_tuple.size m))
+          (Shape.Int_tuple.modes (L.dims src.Ts.layout))
+      else []
+    in
+    let row_addr j r =
+      let tile =
+        if outer_dims = [] then src
+        else Ts.select_ints src (Semantics.tile_coords outer_dims j)
+      in
+      let row =
+        if trans then Ts.select_ints tile [ 0; r ]
+        else Ts.select_ints tile [ r; 0 ]
+      in
+      let offs = Memory.offsets ctx.mem ~env:(with_tid env members.(0)) row in
+      offs.(0) * Dt.size_bytes (Ts.dtype src)
+    in
+    for j = 0 to x - 1 do
+      let addrs = List.init 8 (fun r -> row_addr j r) in
+      Counters.record_shared_batch ctx.counters ~store:false ~bytes:16 addrs
+    done
+  | _ -> ()
+
+let exec_collective ctx (instr : Atomic.instr) (s : Spec.t) env active =
+  (* Group the active threads into instances of the collective. *)
+  let seen = Hashtbl.create 8 in
+  let active_set = Hashtbl.create 64 in
+  List.iter (fun t -> Hashtbl.replace active_set t ()) active;
+  let groups = ref [] in
+  List.iter
+    (fun tid ->
+      let members =
+        Tt.member_ids ~env:(with_tid env tid) s.Spec.threads
+      in
+      let key = Array.to_list members in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        if not (Array.for_all (Hashtbl.mem active_set) members) then
+          error "collective %s executed with divergent threads"
+            instr.Atomic.name;
+        groups := members :: !groups
+      end)
+    active;
+  let groups = List.rev !groups in
+  List.iter
+    (fun members ->
+      let name = instr.Atomic.name in
+      if String.length name >= 8 && String.equal (String.sub name 0 8) "ldmatrix"
+      then begin
+        let x = int_of_string (String.sub name 10 1) in
+        let trans =
+          String.length name > 11
+          && String.equal (String.sub name 11 6) ".trans"
+        in
+        record_ldmatrix ctx ~trans x s env members
+      end;
+      Semantics.exec ctx.mem ~instr ~spec:s ~env ~members)
+    groups;
+  account_cost ctx instr s ~instances:(List.length groups)
+
+let rec exec_stmt ctx env active stmt =
+  match stmt with
+  | Spec.Comment _ | Spec.Alloc _ -> ()
+  | Spec.Sync ->
+    (* A barrier under divergent control flow deadlocks real hardware. *)
+    if List.length active <> ctx.cta_size then
+      error "__syncthreads() inside divergent control flow (%d of %d threads)"
+        (List.length active) ctx.cta_size
+  | Spec.For { var; lo; hi; step; body; _ } ->
+    if mentions_tid lo || mentions_tid hi || mentions_tid step then
+      error "loop %s has thread-dependent bounds" var;
+    let lo = E.eval ~env lo and hi = E.eval ~env hi and step = E.eval ~env step in
+    if step <= 0 then error "loop %s has non-positive step" var;
+    let v = ref lo in
+    while !v < hi do
+      let env' x = if String.equal x var then !v else env x in
+      List.iter (exec_stmt ctx env' active) body;
+      v := !v + step
+    done
+  | Spec.If { cond; then_; else_ } ->
+    if pred_mentions_tid cond then begin
+      let taken, not_taken =
+        List.partition (fun tid -> eval_pred (with_tid env tid) cond) active
+      in
+      if taken <> [] then List.iter (exec_stmt ctx env taken) then_;
+      if not_taken <> [] && else_ <> [] then
+        List.iter (exec_stmt ctx env not_taken) else_
+    end
+    else if eval_pred env cond then List.iter (exec_stmt ctx env active) then_
+    else List.iter (exec_stmt ctx env active) else_
+  | Spec.Spec_stmt s -> (
+    match s.Spec.decomp with
+    | Some body -> List.iter (exec_stmt ctx env active) body
+    | None -> (
+      match Atomic.find ctx.arch s with
+      | None ->
+        error "no atomic spec matches %s"
+          (Format.asprintf "%a" Spec.pp { s with Spec.decomp = None })
+      | Some instr ->
+        if instr.Atomic.threads = 1 then exec_per_thread ctx instr s env active
+        else exec_collective ctx instr s env active))
+
+let shared_alloc_size (t : Ts.t) =
+  let cosize = L.cosize t.Ts.layout in
+  let w = Shape.Swizzle.window t.Ts.swizzle in
+  (cosize + w - 1) / w * w
+
+let run ~arch (k : Spec.kernel) ~args ?(scalars = []) () =
+  let mem = Memory.create () in
+  let counters = Counters.create () in
+  List.iter (fun (name, data) -> Memory.bind_global mem name data) args;
+  List.iter
+    (fun (t : Ts.t) ->
+      match t.Ts.mem with
+      | Ms.Shared -> Memory.declare_shared mem t.Ts.buffer (shared_alloc_size t)
+      | Ms.Register -> Memory.declare_regs mem t.Ts.buffer (L.cosize t.Ts.layout)
+      | Ms.Global -> error "Alloc of a global tensor %s" t.Ts.buffer)
+    (Spec.allocs k.Spec.body);
+  let cta_size = Tt.size k.Spec.cta in
+  let grid_size = Tt.size k.Spec.grid in
+  let ctx = { arch; mem; counters; cta_size } in
+  let base_env v =
+    match List.assoc_opt v scalars with
+    | Some n -> n
+    | None -> error "unbound variable %s (missing scalar argument?)" v
+  in
+  let all_threads = List.init cta_size Fun.id in
+  for bid = 0 to grid_size - 1 do
+    Memory.reset_block mem;
+    let env v = if String.equal v "blockIdx.x" then bid else base_env v in
+    List.iter (exec_stmt ctx env all_threads) k.Spec.body
+  done;
+  counters

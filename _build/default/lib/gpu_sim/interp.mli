@@ -1,0 +1,27 @@
+(** SIMT interpreter: executes Graphene IR kernels on the simulated GPU.
+
+    The interpreter walks a kernel's decomposition block by block. All
+    threads of a block advance in lock step; thread-dependent [If]
+    conditions split the active mask (divergence); undecomposed specs
+    dispatch to the matched atomic instruction's {!Semantics}. Event
+    counters model coalescing (32-byte sectors) and shared-memory bank
+    conflicts from the very addresses the kernel touches. *)
+
+exception Exec_error of string
+
+(** [run ~arch kernel ~args ~scalars] executes the kernel.
+
+    [args] binds every global parameter name to a caller-owned array
+    (mutated in place); [scalars] binds the kernel's symbolic size
+    parameters. Returns the accumulated event counters.
+
+    Raises {!Exec_error} (or {!Memory.Fault}) on malformed kernels:
+    unmatched atomic specs, thread-dependent loop bounds, divergent
+    collective instructions, out-of-bounds accesses. *)
+val run :
+  arch:Graphene.Arch.t ->
+  Graphene.Spec.kernel ->
+  args:(string * float array) list ->
+  ?scalars:(string * int) list ->
+  unit ->
+  Counters.t

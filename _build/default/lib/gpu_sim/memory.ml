@@ -1,0 +1,106 @@
+module Ts = Gpu_tensor.Tensor
+module Ms = Gpu_tensor.Memspace
+module Dt = Gpu_tensor.Dtype
+
+type t =
+  { global : (string, float array) Hashtbl.t
+  ; shared : (string, float array) Hashtbl.t
+  ; regs : (string * int, float array) Hashtbl.t
+  ; shared_sizes : (string, int) Hashtbl.t
+  ; reg_sizes : (string, int) Hashtbl.t
+  }
+
+exception Fault of string
+
+let fault fmt = Format.kasprintf (fun s -> raise (Fault s)) fmt
+
+let create () =
+  { global = Hashtbl.create 16
+  ; shared = Hashtbl.create 16
+  ; regs = Hashtbl.create 1024
+  ; shared_sizes = Hashtbl.create 16
+  ; reg_sizes = Hashtbl.create 16
+  }
+
+let bind_global t name data = Hashtbl.replace t.global name data
+
+let find_global t name =
+  match Hashtbl.find_opt t.global name with
+  | Some a -> a
+  | None -> fault "unknown global buffer %s" name
+
+let declare_shared t name size = Hashtbl.replace t.shared_sizes name size
+let declare_regs t name size = Hashtbl.replace t.reg_sizes name size
+
+let reset_block t =
+  Hashtbl.reset t.shared;
+  Hashtbl.reset t.regs
+
+let buffer t ~tid (v : Ts.t) =
+  match v.Ts.mem with
+  | Ms.Global -> find_global t v.Ts.buffer
+  | Ms.Shared -> (
+    match Hashtbl.find_opt t.shared v.Ts.buffer with
+    | Some a -> a
+    | None -> (
+      match Hashtbl.find_opt t.shared_sizes v.Ts.buffer with
+      | Some size ->
+        let a = Array.make size 0.0 in
+        Hashtbl.replace t.shared v.Ts.buffer a;
+        a
+      | None -> fault "shared buffer %s was never allocated" v.Ts.buffer))
+  | Ms.Register -> (
+    let key = (v.Ts.buffer, tid) in
+    match Hashtbl.find_opt t.regs key with
+    | Some a -> a
+    | None -> (
+      match Hashtbl.find_opt t.reg_sizes v.Ts.buffer with
+      | Some size ->
+        let a = Array.make size 0.0 in
+        Hashtbl.replace t.regs key a;
+        a
+      | None -> fault "register buffer %s was never allocated" v.Ts.buffer))
+
+let offsets _t ~env v = Ts.scalar_offsets ~env v
+
+let checked buf (v : Ts.t) off =
+  if off < 0 || off >= Array.length buf then
+    fault "view %%%s: offset %d outside buffer %s of size %d" v.Ts.name off
+      v.Ts.buffer (Array.length buf)
+
+let read t ~env ~tid v =
+  let buf = buffer t ~tid v in
+  Array.map
+    (fun off ->
+      checked buf v off;
+      buf.(off))
+    (Ts.scalar_offsets ~env v)
+
+let write t ~env ~tid v data =
+  let buf = buffer t ~tid v in
+  let offs = Ts.scalar_offsets ~env v in
+  if Array.length offs <> Array.length data then
+    fault "view %%%s: writing %d values into %d slots" v.Ts.name
+      (Array.length data) (Array.length offs);
+  let dt = Ts.dtype v in
+  Array.iteri
+    (fun i off ->
+      checked buf v off;
+      buf.(off) <- Dt.round dt data.(i))
+    offs
+
+let read_k t ~env ~tid v k =
+  let buf = buffer t ~tid v in
+  let offs = Ts.scalar_offsets ~env v in
+  if k >= Array.length offs then
+    fault "view %%%s: scalar index %d out of %d" v.Ts.name k (Array.length offs);
+  checked buf v offs.(k);
+  buf.(offs.(k))
+
+let write_k t ~env ~tid v k x =
+  let buf = buffer t ~tid v in
+  let offs = Ts.scalar_offsets ~env v in
+  if k >= Array.length offs then
+    fault "view %%%s: scalar index %d out of %d" v.Ts.name k (Array.length offs);
+  checked buf v offs.(k);
+  buf.(offs.(k)) <- Dt.round (Ts.dtype v) x

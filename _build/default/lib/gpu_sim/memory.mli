@@ -1,0 +1,48 @@
+(** Simulated GPU memory: global buffers, per-block shared memory, and
+    per-thread register files, all addressed through tensor views.
+
+    Values are stored as OCaml floats; writes are rounded through the
+    destination view's element type (fp16/bf16), so simulated numerics match
+    what mixed-precision GPU kernels produce. *)
+
+type t
+
+exception Fault of string
+
+val create : unit -> t
+
+(** {1 Buffer management} *)
+
+(** [bind_global t name data] — attach a caller-owned array as a global
+    buffer; the kernel mutates it in place. *)
+val bind_global : t -> string -> float array -> unit
+
+val find_global : t -> string -> float array
+
+(** Declare a shared / register allocation (from [Alloc] statements). *)
+val declare_shared : t -> string -> int -> unit
+
+val declare_regs : t -> string -> int -> unit
+
+(** Discard all shared buffers and register files (between blocks). *)
+val reset_block : t -> unit
+
+(** {1 View access}
+
+    [env] must bind every free variable of the view, including
+    ["threadIdx.x"] / ["blockIdx.x"]. *)
+
+(** Element offsets of the view's scalars (innermost fastest). *)
+val offsets : t -> env:(string -> int) -> Gpu_tensor.Tensor.t -> int array
+
+(** Read all scalars of a view. [tid] selects the register file. *)
+val read : t -> env:(string -> int) -> tid:int -> Gpu_tensor.Tensor.t -> float array
+
+val write :
+  t -> env:(string -> int) -> tid:int -> Gpu_tensor.Tensor.t -> float array -> unit
+
+(** Single-scalar convenience accessors (by scalar position [k]). *)
+val read_k : t -> env:(string -> int) -> tid:int -> Gpu_tensor.Tensor.t -> int -> float
+
+val write_k :
+  t -> env:(string -> int) -> tid:int -> Gpu_tensor.Tensor.t -> int -> float -> unit

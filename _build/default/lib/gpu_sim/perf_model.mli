@@ -1,0 +1,45 @@
+(** Analytic performance model: converts static resource totals into time.
+
+    A roofline with launch overhead and occupancy effects: kernel time is
+    the maximum of tensor-core/CUDA-core compute time, DRAM time, and
+    shared-memory time, degraded by grid underfill and wave quantization,
+    plus a fixed launch overhead. Absolute numbers are approximations of
+    the paper's hardware; the model exists to regenerate the {e shape} of
+    Figures 9-15 (who wins, by what factor, where crossovers fall) from the
+    kernels' actual IR-derived traffic (see DESIGN.md). *)
+
+type estimate =
+  { time_s : float  (** total, including launch overhead *)
+  ; exec_s : float  (** on-device execution time *)
+  ; launch_s : float
+  ; compute_s : float
+  ; dram_s : float
+  ; smem_s : float
+  ; tc_util : float
+        (** achieved fraction of tensor-core peak — the "compute
+            throughput" percentage of paper Figure 9 *)
+  ; dram_util : float  (** achieved fraction of DRAM peak ("memory") *)
+  }
+
+(** [smem_penalty] scales the shared-memory time, standing in for measured
+    bank-conflict degradation (obtained from the simulator's counters). *)
+val of_totals :
+  ?smem_penalty:float -> Machine.t -> Static_analysis.totals -> estimate
+
+(** Analyze the kernel and estimate in one step. *)
+val of_kernel :
+  ?smem_penalty:float ->
+  Machine.t ->
+  Graphene.Spec.kernel ->
+  ?scalars:(string * int) list ->
+  unit ->
+  estimate
+
+(** Sum of sequential kernel launches (each pays its launch overhead). *)
+val sequence : estimate list -> estimate
+
+val pp : Format.formatter -> estimate -> unit
+
+(** [tflops est ~flops] — achieved teraflop/s for a computation of the
+    given flop count. *)
+val tflops : estimate -> flops:float -> float

@@ -1,0 +1,286 @@
+module E = Shape.Int_expr
+module Ts = Gpu_tensor.Tensor
+module Spec = Graphene.Spec
+module Atomic = Graphene.Atomic
+module Op = Graphene.Op
+
+let with_tid env tid v =
+  if String.equal v "threadIdx.x" then tid else env v
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+(* ----- fragment layouts ----- *)
+
+let mma_m16n8k16_a_coords lane =
+  let g = lane / 4 and t = lane mod 4 in
+  [| (g, 2 * t)
+   ; (g, (2 * t) + 1)
+   ; (g + 8, 2 * t)
+   ; (g + 8, (2 * t) + 1)
+   ; (g, (2 * t) + 8)
+   ; (g, (2 * t) + 9)
+   ; (g + 8, (2 * t) + 8)
+   ; (g + 8, (2 * t) + 9)
+  |]
+
+let mma_m16n8k16_b_coords lane =
+  let g = lane / 4 and t = lane mod 4 in
+  [| (2 * t, g); ((2 * t) + 1, g); ((2 * t) + 8, g); ((2 * t) + 9, g) |]
+
+let mma_m16n8k16_c_coords lane =
+  let g = lane / 4 and t = lane mod 4 in
+  [| (g, 2 * t); (g, (2 * t) + 1); (g + 8, 2 * t); (g + 8, (2 * t) + 1) |]
+
+let ldmatrix_frag_coords lane =
+  let g = lane / 4 and t = lane mod 4 in
+  [| (g mod 8, 2 * t); (g mod 8, (2 * t) + 1) |]
+
+let mma_m8n8k4_a_coords q =
+  Array.init 4 (fun i -> ((4 * (q / 4)) + i, q mod 4))
+
+let mma_m8n8k4_b_coords q =
+  Array.init 4 (fun i -> (q mod 4, (4 * (q / 4)) + i))
+
+let mma_m8n8k4_c_coords q =
+  Array.init 8 (fun k ->
+      let i = k / 4 and j = k mod 4 in
+      (((q mod 4) * 2) + i, (4 * (q / 4)) + j))
+
+(* ----- helpers ----- *)
+
+let single_io (s : Spec.t) =
+  match (s.Spec.ins, s.Spec.outs) with
+  | [ i ], [ o ] -> (i, o)
+  | _ -> invalid_arg "Semantics: arity"
+
+(* Read a rank-2 concrete view as a dense row-major float matrix. The view's
+   enumeration order is leftmost-fastest; reindex by coordinates instead. *)
+let read_matrix mem ~env ~tid v rows cols =
+  let data = Memory.read mem ~env:(fun x -> with_tid env tid x) ~tid v in
+  let m = Array.make_matrix rows cols 0.0 in
+  (* leftmost fastest: linear = r + rows * c *)
+  for c = 0 to cols - 1 do
+    for r = 0 to rows - 1 do
+      m.(r).(c) <- data.((c * rows) + r)
+    done
+  done;
+  m
+
+(* ----- per-thread instructions ----- *)
+
+let exec_thread_move mem (s : Spec.t) env tid =
+  let src, dst = single_io s in
+  let env' = with_tid env tid in
+  let data = Memory.read mem ~env:env' ~tid src in
+  Memory.write mem ~env:env' ~tid dst data
+
+let exec_thread_fma mem (s : Spec.t) env tid =
+  match (s.Spec.ins, s.Spec.outs) with
+  | [ a; b ], [ c ] ->
+    let env' = with_tid env tid in
+    let va = Memory.read mem ~env:env' ~tid a in
+    let vb = Memory.read mem ~env:env' ~tid b in
+    let vc = Memory.read mem ~env:env' ~tid c in
+    let vd = Array.mapi (fun i x -> (va.(i) *. vb.(i)) +. x) vc in
+    Memory.write mem ~env:env' ~tid c vd
+  | _ -> invalid_arg "fma arity"
+
+let exec_thread_unary mem op (s : Spec.t) env tid =
+  let src, dst = single_io s in
+  let env' = with_tid env tid in
+  let data = Memory.read mem ~env:env' ~tid src in
+  let n = Array.length (Memory.offsets mem ~env:env' dst) in
+  let get i = if Array.length data = 1 then data.(0) else data.(i) in
+  Memory.write mem ~env:env' ~tid dst (Array.init n (fun i -> Op.eval_unary op (get i)))
+
+let exec_thread_binary mem op (s : Spec.t) env tid =
+  match (s.Spec.ins, s.Spec.outs) with
+  | [ a; b ], [ c ] ->
+    let env' = with_tid env tid in
+    let va = Memory.read mem ~env:env' ~tid a in
+    let vb = Memory.read mem ~env:env' ~tid b in
+    (* Size-1 operands broadcast. *)
+    let n = max (Array.length va) (Array.length vb) in
+    let get v i = if Array.length v = 1 then v.(0) else v.(i) in
+    Memory.write mem ~env:env' ~tid c
+      (Array.init n (fun i -> Op.eval_binary op (get va i) (get vb i)))
+  | _ -> invalid_arg "binary arity"
+
+let exec_thread_reduction mem op axes (s : Spec.t) env tid =
+  let src, dst = single_io s in
+  let env' = with_tid env tid in
+  let data = Memory.read mem ~env:env' ~tid src in
+  let out0 = Memory.read mem ~env:env' ~tid dst in
+  if Array.length out0 = 1 then begin
+    (* Full reduction, accumulating into the destination. *)
+    let acc = Array.fold_left (Op.eval_binary op) out0.(0) data in
+    Memory.write mem ~env:env' ~tid dst [| acc |]
+  end
+  else begin
+    (* Partial reduction of a rank-2 view along one axis. The view
+       enumerates leftmost-fastest: linear = i + rows * j for (i, j). *)
+    let no = Array.length out0 in
+    let ni = Array.length data in
+    let red = ni / no in
+    let out = Array.copy out0 in
+    (match axes with
+    | [ 0 ] ->
+      (* reduce over the first (fastest) mode: out has extent = #cols *)
+      for j = 0 to no - 1 do
+        for i = 0 to red - 1 do
+          out.(j) <- Op.eval_binary op out.(j) data.((j * red) + i)
+        done
+      done
+    | _ ->
+      (* reduce over the trailing mode(s) *)
+      for i = 0 to no - 1 do
+        for j = 0 to red - 1 do
+          out.(i) <- Op.eval_binary op out.(i) data.((j * no) + i)
+        done
+      done);
+    Memory.write mem ~env:env' ~tid dst out
+  end
+
+let exec_thread_init mem v (s : Spec.t) env tid =
+  match s.Spec.outs with
+  | [ dst ] ->
+    let env' = with_tid env tid in
+    let n = Array.length (Memory.offsets mem ~env:env' dst) in
+    Memory.write mem ~env:env' ~tid dst (Array.make n v)
+  | _ -> invalid_arg "init arity"
+
+(* ----- collective instructions ----- *)
+
+(* Coordinates of the j-th tile, counting leftmost-fastest over the outer
+   dims — the hardware's matrix order for mma A operands (row block
+   fastest). *)
+let tile_coords outer_dims j =
+  let coords, _ =
+    List.fold_left
+      (fun (acc, rest) d -> ((rest mod d) :: acc, rest / d))
+      ([], j) outer_dims
+  in
+  List.rev coords
+
+let exec_ldmatrix mem x (s : Spec.t) env members =
+  let src, dst = single_io s in
+  (* Load each 8x8 matrix and distribute fragments per the PTX mapping. *)
+  for j = 0 to x - 1 do
+    let tile =
+      if Gpu_tensor.Tensor.depth src > 1 then
+        let outer_dims =
+          List.map
+            (fun m -> E.to_int_exn (Shape.Int_tuple.size m))
+            (Shape.Int_tuple.modes (Shape.Layout.dims src.Ts.layout))
+        in
+        Ts.select_ints src (tile_coords outer_dims j)
+      else src
+    in
+    let m = read_matrix mem ~env ~tid:members.(0) tile 8 8 in
+    Array.iteri
+      (fun lane tid ->
+        let coords = ldmatrix_frag_coords lane in
+        Array.iteri
+          (fun c (r, col) ->
+            Memory.write_k mem
+              ~env:(with_tid env tid)
+              ~tid dst ((2 * j) + c) m.(r).(col))
+          coords)
+      members
+  done
+
+let exec_mma mem ~m ~n ~k ~a_coords ~b_coords ~c_coords (s : Spec.t) env
+    members =
+  match (s.Spec.ins, s.Spec.outs) with
+  | [ a; b ], [ c ] ->
+    let ma = Array.make_matrix m k 0.0 in
+    let mb = Array.make_matrix k n 0.0 in
+    let mc = Array.make_matrix m n 0.0 in
+    (* Gather fragments. *)
+    Array.iteri
+      (fun lane tid ->
+        let env' = with_tid env tid in
+        let va = Memory.read mem ~env:env' ~tid a in
+        let vb = Memory.read mem ~env:env' ~tid b in
+        let vc = Memory.read mem ~env:env' ~tid c in
+        Array.iteri (fun i (r, col) -> ma.(r).(col) <- va.(i)) (a_coords lane);
+        Array.iteri (fun i (r, col) -> mb.(r).(col) <- vb.(i)) (b_coords lane);
+        Array.iteri (fun i (r, col) -> mc.(r).(col) <- vc.(i)) (c_coords lane))
+      members;
+    (* D = A @ B + C in fp32. *)
+    let md = Array.make_matrix m n 0.0 in
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref mc.(i).(j) in
+        for kk = 0 to k - 1 do
+          acc := !acc +. (ma.(i).(kk) *. mb.(kk).(j))
+        done;
+        md.(i).(j) <- !acc
+      done
+    done;
+    (* Scatter the accumulator fragments. *)
+    Array.iteri
+      (fun lane tid ->
+        let env' = with_tid env tid in
+        let frag =
+          Array.map (fun (r, col) -> md.(r).(col)) (c_coords lane)
+        in
+        Memory.write mem ~env:env' ~tid c frag)
+      members
+  | _ -> invalid_arg "mma arity"
+
+let exec_shfl mem kind (s : Spec.t) env members =
+  let src, dst = single_io s in
+  let nlanes = Array.length members in
+  let values =
+    Array.map
+      (fun tid -> Memory.read mem ~env:(with_tid env tid) ~tid src)
+      members
+  in
+  Array.iteri
+    (fun lane tid ->
+      let partner =
+        match kind with
+        | Spec.Bfly mask -> lane lxor mask
+        | Spec.Up d -> if lane - d >= 0 then lane - d else lane
+        | Spec.Down d -> if lane + d < nlanes then lane + d else lane
+        | Spec.Idx e -> E.eval ~env:(with_tid env tid) e mod nlanes
+      in
+      let p = if partner >= 0 && partner < nlanes then partner else lane in
+      Memory.write mem ~env:(with_tid env tid) ~tid dst values.(p))
+    members
+
+(* ----- dispatch ----- *)
+
+let exec mem ~instr ~spec ~env ~members =
+  let name = instr.Atomic.name in
+  if starts_with "ldmatrix.x4" name then exec_ldmatrix mem 4 spec env members
+  else if starts_with "ldmatrix.x2" name then exec_ldmatrix mem 2 spec env members
+  else if starts_with "ldmatrix.x1" name then exec_ldmatrix mem 1 spec env members
+  else if starts_with "mma.m16n8k16" name then
+    exec_mma mem ~m:16 ~n:8 ~k:16 ~a_coords:mma_m16n8k16_a_coords
+      ~b_coords:mma_m16n8k16_b_coords ~c_coords:mma_m16n8k16_c_coords spec env
+      members
+  else if String.equal "mma.m8n8k4" name then
+    exec_mma mem ~m:8 ~n:8 ~k:4 ~a_coords:mma_m8n8k4_a_coords
+      ~b_coords:mma_m8n8k4_b_coords ~c_coords:mma_m8n8k4_c_coords spec env
+      members
+  else
+    match (spec.Spec.kind, members) with
+    | Spec.Shfl kind, _ -> exec_shfl mem kind spec env members
+    | Spec.Move, [| tid |] -> exec_thread_move mem spec env tid
+    | Spec.Mat_mul, [| tid |] -> exec_thread_fma mem spec env tid
+    | Spec.Unary_pointwise op, [| tid |] -> exec_thread_unary mem op spec env tid
+    | Spec.Binary_pointwise op, [| tid |] ->
+      exec_thread_binary mem op spec env tid
+    | Spec.Reduction { op; axes }, [| tid |] ->
+      exec_thread_reduction mem op axes spec env tid
+    | Spec.Init v, [| tid |] -> exec_thread_init mem v spec env tid
+    | (Spec.Move | Spec.Mat_mul | Spec.Unary_pointwise _
+      | Spec.Binary_pointwise _ | Spec.Reduction _ | Spec.Init _
+      | Spec.Generic _), _ ->
+      invalid_arg
+        (Printf.sprintf "Semantics.exec: unhandled instruction %s (%d members)"
+           name (Array.length members))

@@ -1,0 +1,46 @@
+(** Executable semantics of atomic specs.
+
+    Each atomic instruction's prescribed data-to-thread mapping — e.g. which
+    fragment element of an [mma] each lane holds, or which shared-memory row
+    each lane addresses in an [ldmatrix] (paper Figures 1a/1b) — is encoded
+    here exactly as the PTX ISA documents it, and exercised by the
+    simulator. Getting one of these mappings wrong makes the tensor-core
+    GEMM tests fail against the CPU reference. *)
+
+(** [exec mem ~instr ~spec ~env ~members] executes one instance of an
+    atomic spec. [members] are the participating block-relative thread ids
+    in ascending order (their position is the lane index); [env] binds
+    block/loop variables (not [threadIdx.x], which is bound per member).
+    Only data movement/compute happens here; event counting is the
+    interpreter's job. *)
+val exec :
+  Memory.t ->
+  instr:Graphene.Atomic.instr ->
+  spec:Graphene.Spec.t ->
+  env:(string -> int) ->
+  members:int array ->
+  unit
+
+(** {1 Fragment layouts (exposed for tests)} *)
+
+(** [mma_m16n8k16_a_coords lane] — the (row, col) of the 16x16 A operand
+    held by each of the 8 per-thread fragment registers, per the PTX ISA. *)
+val mma_m16n8k16_a_coords : int -> (int * int) array
+
+val mma_m16n8k16_b_coords : int -> (int * int) array
+val mma_m16n8k16_c_coords : int -> (int * int) array
+
+(** [ldmatrix_frag_coords lane] — (row, col) within one 8x8 matrix of the
+    two fp16 values each lane receives. *)
+val ldmatrix_frag_coords : int -> (int * int) array
+
+(** Volta m8n8k4 quad-pair fragment coordinates (modeled mapping, see
+    DESIGN.md). *)
+val mma_m8n8k4_a_coords : int -> (int * int) array
+
+val mma_m8n8k4_b_coords : int -> (int * int) array
+val mma_m8n8k4_c_coords : int -> (int * int) array
+
+(** Coordinates of the j-th 8x8 matrix among an ldmatrix source's outer
+    tiles, leftmost-fastest (the hardware's matrix order). *)
+val tile_coords : int list -> int -> int list

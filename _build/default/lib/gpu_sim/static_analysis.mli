@@ -1,0 +1,42 @@
+(** Static resource analysis of Graphene kernels.
+
+    Walks a kernel's IR symbolically: loop trip counts multiply the costs of
+    the atomic specs they enclose, thread-dependent guards contribute the
+    exact fraction of participating threads, and each atomic spec's
+    per-instance cost comes from the registry ({!Graphene.Atomic.cost}).
+    This derives flop and traffic totals for problem sizes far beyond what
+    the interpreter can execute — the substitute for profiling real runs
+    (see DESIGN.md). *)
+
+type totals =
+  { tc_flops : float  (** tensor-core flops *)
+  ; fma_flops : float  (** CUDA-core flops *)
+  ; global_bytes : float
+  ; shared_bytes : float
+  ; instructions : float
+  ; blocks : int  (** grid size *)
+  ; threads_per_block : int
+  ; smem_bytes_per_block : int  (** static shared allocation *)
+  ; param_bytes : float
+        (** unique bytes of the kernel's global parameters — the compulsory
+            DRAM traffic, used as the L2-filtered traffic floor *)
+  ; regs_per_thread : int
+        (** 32-bit registers allocated per thread (from the register
+            [Alloc]s), an occupancy limiter *)
+  }
+
+val zero : totals
+val add : totals -> totals -> totals
+val scale : float -> totals -> totals
+
+(** [of_kernel arch kernel ~scalars] — totals over the whole grid.
+    Raises [Failure] when an undecomposed spec matches no atomic spec or a
+    loop bound cannot be evaluated from [scalars]. *)
+val of_kernel :
+  Graphene.Arch.t ->
+  Graphene.Spec.kernel ->
+  ?scalars:(string * int) list ->
+  unit ->
+  totals
+
+val pp : Format.formatter -> totals -> unit

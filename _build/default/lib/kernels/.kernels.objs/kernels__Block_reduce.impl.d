@@ -1,0 +1,1 @@
+lib/kernels/block_reduce.ml: Gpu_tensor Graphene List Shape

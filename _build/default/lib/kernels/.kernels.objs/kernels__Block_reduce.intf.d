@@ -1,0 +1,1 @@
+lib/kernels/block_reduce.mli: Gpu_tensor Graphene

@@ -1,0 +1,1 @@
+lib/kernels/epilogue.ml: Graphene

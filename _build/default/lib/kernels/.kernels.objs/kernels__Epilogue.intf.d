@@ -1,0 +1,1 @@
+lib/kernels/epilogue.mli: Graphene

@@ -1,0 +1,1 @@
+lib/kernels/fmha.ml: Block_reduce Float Gpu_tensor Graphene Shape Staging Tc_pipeline

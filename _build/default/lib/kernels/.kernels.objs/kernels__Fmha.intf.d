@@ -1,0 +1,1 @@
+lib/kernels/fmha.mli: Graphene

@@ -1,0 +1,1 @@
+lib/kernels/gemm.ml: Epilogue Format Gpu_tensor Graphene Printf Shape Staging Tc_pipeline

@@ -1,0 +1,1 @@
+lib/kernels/gemm.mli: Epilogue Gpu_tensor Graphene Shape Tc_pipeline

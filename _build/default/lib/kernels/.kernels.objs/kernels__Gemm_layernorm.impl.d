@@ -1,0 +1,1 @@
+lib/kernels/gemm_layernorm.ml: Block_reduce Gpu_tensor Graphene Shape Staging Tc_pipeline

@@ -1,0 +1,1 @@
+lib/kernels/gemm_layernorm.mli: Graphene

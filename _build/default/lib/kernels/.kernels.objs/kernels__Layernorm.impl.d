@@ -1,0 +1,1 @@
+lib/kernels/layernorm.ml: Block_reduce Gpu_tensor Graphene Shape

@@ -1,0 +1,1 @@
+lib/kernels/layernorm.mli: Graphene

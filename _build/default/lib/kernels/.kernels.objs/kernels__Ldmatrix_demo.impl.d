@@ -1,0 +1,1 @@
+lib/kernels/ldmatrix_demo.ml: Array Gpu_tensor Graphene Shape

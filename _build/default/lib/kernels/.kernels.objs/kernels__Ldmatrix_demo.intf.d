@@ -1,0 +1,1 @@
+lib/kernels/ldmatrix_demo.mli: Graphene

@@ -1,0 +1,1 @@
+lib/kernels/lstm.ml: Epilogue Gemm Gpu_tensor Graphene Shape Staging Tc_pipeline

@@ -1,0 +1,1 @@
+lib/kernels/lstm.mli: Gemm Graphene

@@ -1,0 +1,1 @@
+lib/kernels/mlp.ml: Gpu_tensor Graphene List Option Shape Staging Tc_pipeline

@@ -1,0 +1,1 @@
+lib/kernels/mlp.mli: Graphene

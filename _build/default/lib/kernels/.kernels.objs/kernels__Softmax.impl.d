@@ -1,0 +1,1 @@
+lib/kernels/softmax.ml: Block_reduce Gpu_tensor Graphene Shape

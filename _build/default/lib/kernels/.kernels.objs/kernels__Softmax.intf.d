@@ -1,0 +1,1 @@
+lib/kernels/softmax.mli: Graphene

@@ -1,0 +1,1 @@
+lib/kernels/staging.ml: Gpu_tensor Graphene Printf Shape

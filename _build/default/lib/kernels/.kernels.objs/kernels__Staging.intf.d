@@ -1,0 +1,1 @@
+lib/kernels/staging.mli: Gpu_tensor Graphene Shape

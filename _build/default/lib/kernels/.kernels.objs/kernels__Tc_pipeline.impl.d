@@ -1,0 +1,1 @@
+lib/kernels/tc_pipeline.ml: Gpu_tensor Graphene List Printf Shape

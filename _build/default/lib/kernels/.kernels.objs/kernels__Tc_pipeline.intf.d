@@ -1,0 +1,1 @@
+lib/kernels/tc_pipeline.mli: Gpu_tensor Graphene Shape

@@ -1,0 +1,597 @@
+module E = Shape.Int_expr
+module L = Shape.Layout
+module T = Shape.Int_tuple
+module Sw = Shape.Swizzle
+module Ts = Gpu_tensor.Tensor
+module Tt = Gpu_tensor.Thread_tensor
+module Dt = Gpu_tensor.Dtype
+module Ms = Gpu_tensor.Memspace
+module B = Graphene.Builder
+module Spec = Graphene.Spec
+module Op = Graphene.Op
+module Arch = Graphene.Arch
+
+type config =
+  { bm : int
+  ; bn : int
+  ; bk : int
+  ; wm : int
+  ; wn : int
+  ; swizzle_a : bool
+  ; swizzle_b : bool
+  ; use_ldmatrix : bool
+  ; use_cp_async : bool
+  ; vector_width : int
+  ; double_buffer : bool
+  }
+
+let default_config = function
+  | Arch.SM86 ->
+    { bm = 128
+    ; bn = 128
+    ; bk = 32
+    ; wm = 64
+    ; wn = 32
+    ; swizzle_a = true
+    ; swizzle_b = true
+    ; use_ldmatrix = true
+    ; use_cp_async = true
+    ; vector_width = 8
+    ; double_buffer = false
+    }
+  | Arch.SM70 ->
+    { bm = 128
+    ; bn = 128
+    ; bk = 32
+    ; wm = 64
+    ; wn = 64
+    ; swizzle_a = true
+    ; swizzle_b = true
+    ; use_ldmatrix = false
+    ; use_cp_async = false
+    ; vector_width = 8
+    ; double_buffer = false
+    }
+
+let test_config = function
+  | Arch.SM86 ->
+    { bm = 64
+    ; bn = 64
+    ; bk = 32
+    ; wm = 32
+    ; wn = 32
+    ; swizzle_a = true
+    ; swizzle_b = true
+    ; use_ldmatrix = true
+    ; use_cp_async = true
+    ; vector_width = 8
+    ; double_buffer = false
+    }
+  | Arch.SM70 ->
+    { bm = 32
+    ; bn = 32
+    ; bk = 16
+    ; wm = 32
+    ; wn = 16
+    ; swizzle_a = false
+    ; swizzle_b = false
+    ; use_ldmatrix = false
+    ; use_cp_async = false
+    ; vector_width = 8
+    ; double_buffer = false
+    }
+
+let flop_count ~epilogue ~m ~n ~k =
+  (2 * m * n * k) + (Epilogue.flops_per_element epilogue * m * n)
+
+let log2i n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+  if n <= 0 || n land (n - 1) <> 0 then
+    invalid_arg (Printf.sprintf "log2i: %d is not a power of two" n)
+  else go 0 n
+
+let require cond fmt =
+  Format.kasprintf (fun s -> if not cond then invalid_arg ("Gemm: " ^ s)) fmt
+
+(* ----- Figure 8: the simplest complete GEMM decomposition ----- *)
+
+let naive ?(name = "gemm_naive") ~m ~n ~k ~bm ~bn ~tm ~tn () =
+  require (m mod bm = 0 && n mod bn = 0) "%dx%d not divisible by block tile" m n;
+  require (bm mod tm = 0 && bn mod tn = 0) "block tile not divisible by %dx%d"
+    tm tn;
+  let a = Ts.create_rm "A" [ m; k ] Dt.FP16 Ms.Global in
+  let b = Ts.create_rm "B" [ k; n ] Dt.FP16 Ms.Global in
+  let c = Ts.create_rm "C" [ m; n ] Dt.FP16 Ms.Global in
+  let grid = Tt.grid "grid" [ m / bm; n / bn ] in
+  let cta = Tt.cta "cta" [ bm / tm; bn / tn ] in
+  let bid_m, bid_n =
+    match B.block_coords grid with
+    | [ x; y ] -> (x, y)
+    | _ -> assert false
+  in
+  let tid_m, tid_n =
+    match B.thread_coords cta with
+    | [ x; y ] -> (x, y)
+    | _ -> assert false
+  in
+  let thr = Tt.select cta [ tid_m; tid_n ] in
+  (* Tile for thread-blocks (Figure 8 lines 12-18)... *)
+  let a_blk = Ts.select (Ts.tile a [ L.tile_spec bm; None ]) [ bid_m; E.zero ] in
+  let b_blk = Ts.select (Ts.tile b [ None; L.tile_spec bn ]) [ E.zero; bid_n ] in
+  let c_blk =
+    Ts.select (Ts.tile c [ L.tile_spec bm; L.tile_spec bn ]) [ bid_m; bid_n ]
+  in
+  (* ... and immediately tile again for threads (lines 20-26). *)
+  let a_thr =
+    Ts.select (Ts.tile a_blk [ L.tile_spec tm; None ]) [ tid_m; E.zero ]
+  in
+  let b_thr =
+    Ts.select (Ts.tile b_blk [ None; L.tile_spec tn ]) [ E.zero; tid_n ]
+  in
+  let c_thr =
+    Ts.select (Ts.tile c_blk [ L.tile_spec tm; L.tile_spec tn ])
+      [ tid_m; tid_n ]
+  in
+  let body =
+    [ B.for_ "k" (E.const k) (fun kk ->
+          [ B.for_ ~unroll:true "m" (E.const tm) (fun mm ->
+                [ B.for_ ~unroll:true "n" (E.const tn) (fun nn ->
+                      [ B.matmul ~threads:thr
+                          ~a:(Ts.select a_thr [ mm; kk ])
+                          ~b:(Ts.select b_thr [ kk; nn ])
+                          ~c:(Ts.select c_thr [ mm; nn ]) ()
+                      ])
+                ])
+          ])
+    ]
+  in
+  B.kernel name ~grid ~cta ~params:[ a; b; c ] body
+
+(* ----- the optimized tensor-core decomposition ----- *)
+
+(* The common tensor-core epilogue: convert each accumulator group,
+   optionally add bias and activate, and store to C. [grow]/[gcol] map
+   block-local output coordinates to global ones. *)
+let epilogue_stores ~arch ~thr ~pipe ~epilogue ~c ~bias ~grow ~gcol =
+  let out_w = match arch with Arch.SM86 -> 2 | Arch.SM70 -> 4 in
+  let c_groups = Ts.tile c [ L.tile_spec 1; L.tile_spec out_w ] in
+  let bias_groups = Ts.tile bias [ L.tile_spec out_w ] in
+  let c_out, al_co = B.alloc_regs "c_out" (L.vector out_w) (Ts.dtype c) in
+  let bias_rf, al_bi = B.alloc_regs "bias_rf" (L.vector out_w) (Ts.dtype c) in
+  let allocs = [ al_co ] @ if epilogue.Epilogue.bias then [ al_bi ] else [] in
+  let stores =
+    Tc_pipeline.foreach_out pipe (fun ~row ~col ~width ~acc ->
+        let grow = grow row and gcol = gcol col in
+        [ B.move ~label:"cvt f32->f16" ~threads:thr ~src:acc ~dst:c_out () ]
+        @ (if epilogue.Epilogue.bias then
+             [ B.move ~label:"load bias" ~threads:thr
+                 ~src:(Ts.select bias_groups [ E.div gcol (E.const width) ])
+                 ~dst:bias_rf ()
+             ; B.binary ~threads:thr Op.Add ~lhs:c_out ~rhs:bias_rf
+                 ~dst:c_out ()
+             ]
+           else [])
+        @ (match epilogue.Epilogue.act with
+          | Some act -> [ B.unary ~threads:thr act ~src:c_out ~dst:c_out () ]
+          | None -> [])
+        @ [ B.move ~label:"store C" ~threads:thr ~src:c_out
+              ~dst:(Ts.select c_groups [ grow; E.div gcol (E.const width) ])
+              ()
+          ])
+  in
+  (allocs, stores)
+
+let tensor_core ?name ?(batch = 1) ?(dtype = Dt.FP16) arch cfg ~epilogue ~m ~n ~k () =
+  let { bm; bn; bk; wm; wn; _ } = cfg in
+  require (m mod bm = 0 && n mod bn = 0 && k mod bk = 0)
+    "%dx%dx%d not divisible by %dx%dx%d tiles" m n k bm bn bk;
+  let warps_m = bm / wm and warps_n = bn / wn in
+  let nthreads = warps_m * warps_n * 32 in
+  let name =
+    match name with
+    | Some s -> s
+    | None -> Printf.sprintf "gemm_tc_%s" (Arch.name arch)
+  in
+  (* Batched problems concatenate the instances along the rows; a third
+     grid mode selects the instance. *)
+  require (dtype = Dt.FP16 || (dtype = Dt.BF16 && arch = Arch.SM86))
+    "bf16 tensor cores need SM80+";
+  let a = Ts.create_rm "A" [ batch * m; k ] dtype Ms.Global in
+  let b = Ts.create_rm "B" [ batch * k; n ] dtype Ms.Global in
+  let c = Ts.create_rm "C" [ batch * m; n ] dtype Ms.Global in
+  let bias = Ts.create_rm "bias" [ n ] dtype Ms.Global in
+  let grid =
+    if batch = 1 then Tt.grid "grid" [ m / bm; n / bn ]
+    else Tt.grid "grid" [ m / bm; n / bn; batch ]
+  in
+  let cta = Tt.linear "cta" nthreads Tt.Thread in
+  let bid_m, bid_n, bid_z =
+    match B.block_coords grid with
+    | [ x; y ] -> (x, y, E.zero)
+    | [ x; y; z ] -> (x, y, z)
+    | _ -> assert false
+  in
+  let thr = Tt.select cta [ B.thread_idx ] in
+  (* Shared-memory staging tiles, optionally swizzled conflict-free. *)
+  let sw_a =
+    if cfg.swizzle_a && log2i bk >= 4 then
+      Sw.make ~bits:(min 2 (log2i bk - 2)) ~base:3 ~shift:(log2i bk - 2)
+    else Sw.none
+  in
+  let sw_b =
+    (* Narrow tiles leave fewer index bits to XOR with. *)
+    if cfg.swizzle_b && log2i bn >= 4 then
+      Sw.make ~bits:(min 3 (log2i bn - 3)) ~base:3 ~shift:(log2i bn - 3)
+    else Sw.none
+  in
+  let mk_stage suffix =
+    ( B.alloc_shared ~swizzle:sw_a ("As" ^ suffix) (L.row_major [ bm; bk ])
+        dtype
+    , B.alloc_shared ~swizzle:sw_b ("Bs" ^ suffix) (L.row_major [ bk; bn ])
+        dtype )
+  in
+  let (as0, alloc_as0), (bs0, alloc_bs0) = mk_stage "" in
+  let pipe =
+    Tc_pipeline.create ~dtype arch ~cta ~bm ~bn ~wm ~wn
+      ~use_ldmatrix:cfg.use_ldmatrix
+  in
+  let stg_a =
+    Staging.create ~dtype ~thr ~nthreads ~vw:cfg.vector_width
+      ~use_cp_async:cfg.use_cp_async ~prefix:"a_" ()
+  and stg_b =
+    Staging.create ~dtype ~thr ~nthreads ~vw:cfg.vector_width
+      ~use_cp_async:cfg.use_cp_async ~prefix:"b_" ()
+  in
+  let stage_tile kk ~into:(as_, bs) =
+    [ Staging.copy stg_a ~src:a
+        ~src_row0:(E.add (E.mul bid_z (E.const m)) (E.mul bid_m (E.const bm)))
+        ~src_col0:(E.mul kk (E.const bk)) ~dst:as_
+    ; Staging.copy stg_b ~src:b
+        ~src_row0:(E.add (E.mul bid_z (E.const k)) (E.mul kk (E.const bk)))
+        ~src_col0:(E.mul bid_n (E.const bn)) ~dst:bs
+    ]
+  in
+  let compute_from (as_, bs) =
+    Tc_pipeline.accumulate pipe ~a:as_ ~a_row0:E.zero ~a_col0:E.zero
+      ~b:(Tc_pipeline.B_k_major
+            { t = bs; row0 = E.zero; col0 = E.zero; ld = bn })
+      ~kc:bk
+  in
+  let ntiles = k / bk in
+  let staging_allocs, main_loop =
+    if not cfg.double_buffer then
+      ( [ alloc_as0; alloc_bs0 ]
+      , [ B.for_ "kk" (E.const ntiles) (fun kk ->
+              stage_tile kk ~into:(as0, bs0)
+              @ [ B.sync ]
+              @ compute_from (as0, bs0)
+              @ [ B.sync ])
+        ] )
+    else begin
+      (* Software pipelining: stage tile i+1 into the other buffer while
+         computing tile i; two tiles per loop iteration. *)
+      let (as1, alloc_as1), (bs1, alloc_bs1) = mk_stage "1" in
+      let body kk2 =
+        let even = E.mul kk2 (E.const 2) in
+        let odd = E.add even E.one in
+        let next_even = E.add even (E.const 2) in
+        [ B.if_ B.(odd <. E.const ntiles) (stage_tile odd ~into:(as1, bs1)) ]
+        @ compute_from (as0, bs0)
+        @ [ B.sync
+          ; B.if_
+              B.(next_even <. E.const ntiles)
+              (stage_tile next_even ~into:(as0, bs0))
+          ]
+        @ [ B.if_
+              B.(odd <. E.const ntiles)
+              (compute_from (as1, bs1))
+          ; B.sync
+          ]
+      in
+      ( [ alloc_as0; alloc_bs0; alloc_as1; alloc_bs1 ]
+      , stage_tile E.zero ~into:(as0, bs0)
+        @ [ B.sync; B.for_ "kk2" (E.const ((ntiles + 1) / 2)) body ] )
+    end
+  in
+  (* Epilogue: convert each accumulator group, optionally bias+activate,
+     and store to C (paper Figure 10). *)
+  let epi_allocs, store =
+    epilogue_stores ~arch ~thr ~pipe ~epilogue ~c ~bias
+      ~grow:(fun row ->
+        E.add (E.mul bid_z (E.const m)) (E.add (E.mul bid_m (E.const bm)) row))
+      ~gcol:(fun col -> E.add (E.mul bid_n (E.const bn)) col)
+  in
+  let body =
+    staging_allocs @ epi_allocs
+    @ Tc_pipeline.allocs pipe @ Staging.allocs stg_a @ Staging.allocs stg_b
+    @ Tc_pipeline.init_acc pipe
+    @ main_loop
+    @ store
+  in
+  let params = [ a; b; c ] @ if epilogue.Epilogue.bias then [ bias ] else [] in
+  B.kernel name ~grid ~cta ~params body
+
+(* ----- Section 3.4: parametric shapes and partial tiles ----- *)
+
+let naive_parametric ?(name = "gemm_naive_param") ~launch_m ~launch_n ~bm ~bn
+    ~tm ~tn () =
+  let mv = E.var "M" and nv = E.var "N" and kv = E.var "K" in
+  let a = Ts.create "A" (L.row_major_e [ mv; kv ]) Dt.FP16 Ms.Global in
+  let b = Ts.create "B" (L.row_major_e [ kv; nv ]) Dt.FP16 Ms.Global in
+  let c = Ts.create "C" (L.row_major_e [ mv; nv ]) Dt.FP16 Ms.Global in
+  let blocks_m = (launch_m + bm - 1) / bm in
+  let blocks_n = (launch_n + bn - 1) / bn in
+  let grid = Tt.grid "grid" [ blocks_m; blocks_n ] in
+  let cta = Tt.cta "cta" [ bm / tm; bn / tn ] in
+  let bid_m, bid_n =
+    match B.block_coords grid with
+    | [ x; y ] -> (x, y)
+    | _ -> assert false
+  in
+  let tid_m, tid_n =
+    match B.thread_coords cta with
+    | [ x; y ] -> (x, y)
+    | _ -> assert false
+  in
+  let thr = Tt.select cta [ tid_m; tid_n ] in
+  let body =
+    [ B.for_ "k" kv (fun kk ->
+          [ B.for_ ~unroll:true "m" (E.const tm) (fun mm ->
+                [ B.for_ ~unroll:true "n" (E.const tn) (fun nn ->
+                      let row =
+                        E.add (E.mul bid_m (E.const bm))
+                          (E.add (E.mul tid_m (E.const tm)) mm)
+                      in
+                      let col =
+                        E.add (E.mul bid_n (E.const bn))
+                          (E.add (E.mul tid_n (E.const tn)) nn)
+                      in
+                      (* Partial tiles: predicate against the true extents
+                         (paper Section 3.4). *)
+                      [ B.if_
+                          B.(row <. mv &&. (col <. nv))
+                          [ B.matmul ~threads:thr
+                              ~a:(Ts.select a [ row; kk ])
+                              ~b:(Ts.select b [ kk; col ])
+                              ~c:(Ts.select c [ row; col ])
+                              ()
+                          ]
+                      ])
+                ])
+          ])
+    ]
+  in
+  B.kernel name ~scalar_params:[ "M"; "N"; "K" ] ~grid ~cta
+    ~params:[ a; b; c ] body
+
+(* ----- split-K: a two-kernel decomposition ----- *)
+
+let split_k ?(name = "gemm_splitk") arch cfg ~epilogue ~splits ~m ~n ~k () =
+  let { bm; bn; bk; wm; wn; _ } = cfg in
+  require (k mod (splits * bk) = 0) "k must divide by splits * bk";
+  require (m mod bm = 0 && n mod bn = 0) "m, n must divide by block tiles";
+  let kslice = k / splits in
+  let warps_m = bm / wm and warps_n = bn / wn in
+  let nthreads = warps_m * warps_n * 32 in
+  let a = Ts.create_rm "A" [ m; k ] Dt.FP16 Ms.Global in
+  let b = Ts.create_rm "B" [ k; n ] Dt.FP16 Ms.Global in
+  let cp = Ts.create_rm "Cp" [ splits * m; n ] Dt.FP32 Ms.Global in
+  (* --- kernel 1: partial GEMMs over K slices --- *)
+  let grid = Tt.grid "grid" [ m / bm; n / bn; splits ] in
+  let cta = Tt.linear "cta" nthreads Tt.Thread in
+  let bid_m, bid_n, bid_s =
+    match B.block_coords grid with
+    | [ x; y; z ] -> (x, y, z)
+    | _ -> assert false
+  in
+  let thr = Tt.select cta [ B.thread_idx ] in
+  let sw_a =
+    if cfg.swizzle_a && log2i bk >= 4 then
+      Sw.make ~bits:(min 2 (log2i bk - 2)) ~base:3 ~shift:(log2i bk - 2)
+    else Sw.none
+  in
+  let sw_b =
+    if cfg.swizzle_b && log2i bn >= 4 then
+      Sw.make ~bits:(min 3 (log2i bn - 3)) ~base:3 ~shift:(log2i bn - 3)
+    else Sw.none
+  in
+  let as_, al_as = B.alloc_shared ~swizzle:sw_a "As" (L.row_major [ bm; bk ]) Dt.FP16 in
+  let bs, al_bs = B.alloc_shared ~swizzle:sw_b "Bs" (L.row_major [ bk; bn ]) Dt.FP16 in
+  let pipe =
+    Tc_pipeline.create arch ~cta ~bm ~bn ~wm ~wn ~use_ldmatrix:cfg.use_ldmatrix
+  in
+  let stg_a =
+    Staging.create ~thr ~nthreads ~vw:cfg.vector_width
+      ~use_cp_async:cfg.use_cp_async ~prefix:"a_" ()
+  and stg_b =
+    Staging.create ~thr ~nthreads ~vw:cfg.vector_width
+      ~use_cp_async:cfg.use_cp_async ~prefix:"b_" ()
+  in
+  let k0 = E.mul bid_s (E.const kslice) in
+  let main_loop =
+    B.for_ "kk" (E.const (kslice / bk)) (fun kk ->
+        [ Staging.copy stg_a ~src:a ~src_row0:(E.mul bid_m (E.const bm))
+            ~src_col0:(E.add k0 (E.mul kk (E.const bk))) ~dst:as_
+        ; Staging.copy stg_b ~src:b
+            ~src_row0:(E.add k0 (E.mul kk (E.const bk)))
+            ~src_col0:(E.mul bid_n (E.const bn)) ~dst:bs
+        ; B.sync
+        ]
+        @ Tc_pipeline.accumulate pipe ~a:as_ ~a_row0:E.zero ~a_col0:E.zero
+            ~b:(Tc_pipeline.B_k_major
+                  { t = bs; row0 = E.zero; col0 = E.zero; ld = bn })
+            ~kc:bk
+        @ [ B.sync ])
+  in
+  let out_w = match arch with Arch.SM86 -> 2 | Arch.SM70 -> 4 in
+  let cp_groups = Ts.tile cp [ L.tile_spec 1; L.tile_spec out_w ] in
+  let store_partials =
+    Tc_pipeline.foreach_out pipe (fun ~row ~col ~width ~acc ->
+        let grow =
+          E.add (E.mul bid_s (E.const m))
+            (E.add (E.mul bid_m (E.const bm)) row)
+        in
+        let gcol = E.add (E.mul bid_n (E.const bn)) col in
+        [ B.move ~label:"store fp32 partial" ~threads:thr ~src:acc
+            ~dst:(Ts.select cp_groups [ grow; E.div gcol (E.const width) ])
+            ()
+        ])
+  in
+  let partial_kernel =
+    B.kernel (name ^ "_partial") ~grid ~cta ~params:[ a; b; cp ]
+      ([ al_as; al_bs ]
+      @ Tc_pipeline.allocs pipe @ Staging.allocs stg_a @ Staging.allocs stg_b
+      @ Tc_pipeline.init_acc pipe
+      @ [ main_loop ]
+      @ store_partials)
+  in
+  (* --- kernel 2: reduce the partials and apply the epilogue --- *)
+  let c = Ts.create_rm "C" [ m; n ] Dt.FP16 Ms.Global in
+  let bias = Ts.create_rm "bias" [ n ] Dt.FP16 Ms.Global in
+  let rw = 4 in
+  let rthreads = 128 in
+  require (m * n mod (rw * rthreads) = 0) "m*n must divide by the reducer";
+  let rgrid = Tt.grid "grid" [ m * n / (rw * rthreads) ] in
+  let rcta = Tt.linear "cta" rthreads Tt.Thread in
+  let rthr = Tt.select rcta [ B.thread_idx ] in
+  let acc_rf, al_acc = B.alloc_regs "acc" (L.vector rw) Dt.FP32 in
+  let part_rf, al_part = B.alloc_regs "part" (L.vector rw) Dt.FP32 in
+  let out_rf, al_out = B.alloc_regs "out" (L.vector rw) Dt.FP16 in
+  let bias_rf, al_bi = B.alloc_regs "bias_rf" (L.vector rw) Dt.FP16 in
+  let elem0 =
+    E.mul
+      (E.add (E.mul B.block_idx (E.const rthreads)) B.thread_idx)
+      (E.const rw)
+  in
+  let cp_vecs = Ts.tile cp [ L.tile_spec 1; L.tile_spec rw ] in
+  let c_vecs = Ts.tile c [ L.tile_spec 1; L.tile_spec rw ] in
+  let bias_vecs = Ts.tile bias [ L.tile_spec rw ] in
+  let row = E.div elem0 (E.const n) and colg = E.div (E.rem elem0 (E.const n)) (E.const rw) in
+  let reduce_body =
+    [ al_acc; al_part; al_out ]
+    @ (if epilogue.Epilogue.bias then [ al_bi ] else [])
+    @ [ B.init ~threads:rthr 0.0 ~dst:acc_rf ()
+      ; B.for_ ~unroll:true "s" (E.const splits) (fun s ->
+            [ B.move ~label:"load partial" ~threads:rthr
+                ~src:
+                  (Ts.select cp_vecs
+                     [ E.add (E.mul s (E.const m)) row; colg ])
+                ~dst:part_rf ()
+            ; B.binary ~threads:rthr Op.Add ~lhs:acc_rf ~rhs:part_rf
+                ~dst:acc_rf ()
+            ])
+      ]
+    @ (if epilogue.Epilogue.bias then
+         [ B.move ~threads:rthr
+             ~src:(Ts.select bias_vecs [ colg ])
+             ~dst:bias_rf ()
+         ; B.binary ~threads:rthr Op.Add ~lhs:acc_rf ~rhs:bias_rf ~dst:acc_rf ()
+         ]
+       else [])
+    @ (match epilogue.Epilogue.act with
+      | Some act -> [ B.unary ~threads:rthr act ~src:acc_rf ~dst:acc_rf () ]
+      | None -> [])
+    @ [ B.move ~label:"cvt+store" ~threads:rthr ~src:acc_rf ~dst:out_rf ()
+      ; B.move ~threads:rthr ~src:out_rf ~dst:(Ts.select c_vecs [ row; colg ]) ()
+      ]
+  in
+  let reduce_params =
+    [ cp; c ] @ if epilogue.Epilogue.bias then [ bias ] else []
+  in
+  let reduce_kernel =
+    B.kernel (name ^ "_reduce") ~grid:rgrid ~cta:rcta ~params:reduce_params
+      reduce_body
+  in
+  (partial_kernel, reduce_kernel)
+
+(* ----- arbitrary operand layouts (NN / NT / TN / TT) ----- *)
+
+let tensor_core_layouts ?(name = "gemm_tc_layouts") ?(ta = false)
+    ?(tb = false) arch cfg ~epilogue ~m ~n ~k () =
+  let { bm; bn; bk; wm; wn; _ } = cfg in
+  require (m mod bm = 0 && n mod bn = 0 && k mod bk = 0)
+    "%dx%dx%d not divisible by %dx%dx%d tiles" m n k bm bn bk;
+  let warps_m = bm / wm and warps_n = bn / wn in
+  let nthreads = warps_m * warps_n * 32 in
+  (* Operands in their storage layouts: A is [m,k] or, transposed, [k,m];
+     B is [k,n] or, transposed, [n,k]. *)
+  let a =
+    Ts.create_rm "A" (if ta then [ k; m ] else [ m; k ]) Dt.FP16 Ms.Global
+  in
+  let b =
+    Ts.create_rm "B" (if tb then [ n; k ] else [ k; n ]) Dt.FP16 Ms.Global
+  in
+  let c = Ts.create_rm "C" [ m; n ] Dt.FP16 Ms.Global in
+  let bias = Ts.create_rm "bias" [ n ] Dt.FP16 Ms.Global in
+  let grid = Tt.grid "grid" [ m / bm; n / bn ] in
+  let cta = Tt.linear "cta" nthreads Tt.Thread in
+  let bid_m, bid_n =
+    match B.block_coords grid with
+    | [ x; y ] -> (x, y)
+    | _ -> assert false
+  in
+  let thr = Tt.select cta [ B.thread_idx ] in
+  (* Shared staging keeps each operand's storage orientation; the fragment
+     loaders absorb the transpose (ldmatrix vs ldmatrix.trans). *)
+  let as_dims = if ta then [ bk; bm ] else [ bm; bk ] in
+  let bs_dims = if tb then [ bn; bk ] else [ bk; bn ] in
+  let as_, al_as = B.alloc_shared "As" (L.row_major as_dims) Dt.FP16 in
+  let bs, al_bs = B.alloc_shared "Bs" (L.row_major bs_dims) Dt.FP16 in
+  let pipe =
+    Tc_pipeline.create arch ~cta ~bm ~bn ~wm ~wn
+      ~use_ldmatrix:cfg.use_ldmatrix
+  in
+  let stg_a =
+    Staging.create ~thr ~nthreads ~vw:cfg.vector_width
+      ~use_cp_async:cfg.use_cp_async ~prefix:"a_" ()
+  and stg_b =
+    Staging.create ~thr ~nthreads ~vw:cfg.vector_width
+      ~use_cp_async:cfg.use_cp_async ~prefix:"b_" ()
+  in
+  let stage kk =
+    [ (if ta then
+         Staging.copy stg_a ~src:a ~src_row0:(E.mul kk (E.const bk))
+           ~src_col0:(E.mul bid_m (E.const bm)) ~dst:as_
+       else
+         Staging.copy stg_a ~src:a ~src_row0:(E.mul bid_m (E.const bm))
+           ~src_col0:(E.mul kk (E.const bk)) ~dst:as_)
+    ; (if tb then
+         Staging.copy stg_b ~src:b ~src_row0:(E.mul bid_n (E.const bn))
+           ~src_col0:(E.mul kk (E.const bk)) ~dst:bs
+       else
+         Staging.copy stg_b ~src:b ~src_row0:(E.mul kk (E.const bk))
+           ~src_col0:(E.mul bid_n (E.const bn)) ~dst:bs)
+    ]
+  in
+  let a_op =
+    if ta then
+      Tc_pipeline.A_k_major { t = as_; row0 = E.zero; col0 = E.zero; ld = bm }
+    else
+      Tc_pipeline.A_m_major { t = as_; row0 = E.zero; col0 = E.zero; ld = bk }
+  in
+  let b_op =
+    if tb then
+      Tc_pipeline.B_n_major { t = bs; row0 = E.zero; col0 = E.zero; ld = bk }
+    else
+      Tc_pipeline.B_k_major { t = bs; row0 = E.zero; col0 = E.zero; ld = bn }
+  in
+  let main_loop =
+    B.for_ "kk" (E.const (k / bk)) (fun kk ->
+        stage kk @ [ B.sync ]
+        @ Tc_pipeline.accumulate_op pipe ~a:a_op ~b:b_op ~kc:bk
+        @ [ B.sync ])
+  in
+  let epi_allocs, stores =
+    epilogue_stores ~arch ~thr ~pipe ~epilogue ~c ~bias
+      ~grow:(fun row -> E.add (E.mul bid_m (E.const bm)) row)
+      ~gcol:(fun col -> E.add (E.mul bid_n (E.const bn)) col)
+  in
+  let body =
+    [ al_as; al_bs ] @ epi_allocs
+    @ Tc_pipeline.allocs pipe @ Staging.allocs stg_a @ Staging.allocs stg_b
+    @ Tc_pipeline.init_acc pipe
+    @ [ main_loop ]
+    @ stores
+  in
+  let params = [ a; b; c ] @ if epilogue.Epilogue.bias then [ bias ] else [] in
+  B.kernel name ~grid ~cta ~params body

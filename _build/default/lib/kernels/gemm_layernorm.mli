@@ -1,0 +1,28 @@
+(** A fused kernel {e beyond the paper's evaluation}: the transformer output
+    block [Z = LayerNorm(X @ W + bias + R)] (projection, bias, residual add,
+    layer normalization) in a single kernel.
+
+    This is the extensibility story of the reproduction: the kernel is
+    composed entirely from the library's decomposition vocabulary — the
+    tensor-core pipeline ({!Tc_pipeline}), cooperative staging
+    ({!Staging}), and the shfl-based reductions ({!Block_reduce}) — without
+    touching the IR, the code generator, or the simulator. Each block owns
+    a stripe of rows, keeps the projection result in shared memory (fp32),
+    and normalizes it in place before the single global write. *)
+
+(** [kernel arch ~m ~k ~width ~bm ~wm ~wn ()] — [width] is the output row
+    length (= N; a whole row must fit in a block). Parameters: [X] (m x k),
+    [W] (k x width), [bias], [gamma], [beta] (width), [R] (m x width,
+    residual), [Z] (m x width). *)
+val kernel :
+  ?name:string ->
+  ?eps:float ->
+  Graphene.Arch.t ->
+  m:int ->
+  k:int ->
+  width:int ->
+  bm:int ->
+  wm:int ->
+  wn:int ->
+  unit ->
+  Graphene.Spec.kernel

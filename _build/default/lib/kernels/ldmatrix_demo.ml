@@ -1,0 +1,59 @@
+module E = Shape.Int_expr
+module L = Shape.Layout
+module Ts = Gpu_tensor.Tensor
+module Tt = Gpu_tensor.Thread_tensor
+module Dt = Gpu_tensor.Dtype
+module Ms = Gpu_tensor.Memspace
+module B = Graphene.Builder
+module Spec = Graphene.Spec
+
+let kernel () =
+  let src = Ts.create_rm "In" [ 16; 16 ] Dt.FP16 Ms.Global in
+  let out = Ts.create_rm "Out" [ 32; 8 ] Dt.FP16 Ms.Global in
+  let grid = Tt.grid "grid" [ 1 ] in
+  let cta = Tt.linear "warp" 32 Tt.Thread in
+  let tid = B.thread_idx in
+  let thr = Tt.select cta [ tid ] in
+  let smem, al_smem = B.alloc_shared "smem" (L.row_major [ 16; 16 ]) Dt.FP16 in
+  let regs, al_regs = B.alloc_regs "regs" (L.vector 8) Dt.FP16 in
+  (* Stage the tile: each thread moves one 8-wide vector. *)
+  let src_vecs = Ts.tile src [ L.tile_spec 1; L.tile_spec 8 ] in
+  let smem_vecs = Ts.tile smem [ L.tile_spec 1; L.tile_spec 8 ] in
+  let stage =
+    B.move ~label:"stage tile to shared" ~threads:thr
+      ~src:(Ts.select src_vecs [ E.div tid (E.const 2); E.rem tid (E.const 2) ])
+      ~dst:(Ts.select smem_vecs [ E.div tid (E.const 2); E.rem tid (E.const 2) ])
+      ()
+  in
+  (* Figure 1d: the warp-level Move, decomposed into the atomic ldmatrix
+     spec over tiled data ([2,2].[8,8]) and thread tensors. *)
+  let tiled_src = Ts.tile smem [ L.tile_spec 8; L.tile_spec 8 ] in
+  let outer_move =
+    Spec.make ~label:"Move 16x16 SH -> 2x4 RF per thread" Spec.Move
+      ~ins:[ smem ] ~outs:[ regs ] ~threads:cta
+  in
+  let ldmatrix_move =
+    B.decomposed outer_move
+      [ B.move ~label:"ldmatrix.x4 (atomic)" ~threads:cta ~src:tiled_src
+          ~dst:regs ()
+      ]
+  in
+  (* Make the received fragments observable: Out[lane] = regs. *)
+  let out_rows = Ts.tile out [ L.tile_spec 1; L.tile_spec 8 ] in
+  let writeback =
+    B.move ~label:"write fragments" ~threads:thr ~src:regs
+      ~dst:(Ts.select out_rows [ tid; E.zero ])
+      ()
+  in
+  B.kernel "ldmatrix_demo" ~grid ~cta ~params:[ src; out ]
+    [ al_smem; al_regs; stage; B.sync; ldmatrix_move; writeback ]
+
+let expected ~input ~lane ~reg =
+  (* Matrix j = reg / 2 walks the 2x2 tiles of the 16x16 input leftmost-
+     fastest; within a matrix, lane l receives (l/4, 2*(l%4)) and the
+     neighbour (paper Figure 1b). *)
+  let j = reg / 2 and c = reg mod 2 in
+  let tm = j mod 2 and tn = j / 2 in
+  let row = (lane / 4) + (8 * tm) in
+  let col = (2 * (lane mod 4)) + c + (8 * tn) in
+  input.((row * 16) + col)

@@ -1,0 +1,15 @@
+(** The paper's opening example (Figures 1 and 5): a warp-level Move of a
+    16x16 fp16 shared-memory tile into per-thread registers via [ldmatrix].
+
+    The kernel stages a 16x16 global tensor into shared memory, performs the
+    tensorized Move — a warp-level [Move] spec decomposed into the atomic
+    [ldmatrix.x4] spec over tiled data and thread tensors — and then writes
+    each thread's received fragment to an output tensor laid out
+    [32 x 8] (thread-major), so the prescribed data-to-thread mapping of
+    Figures 1a/1b is directly observable. *)
+
+val kernel : unit -> Graphene.Spec.kernel
+
+(** The expected output value at [(lane, reg)] given the input matrix —
+    the hardware's prescribed mapping, for verification. *)
+val expected : input:float array -> lane:int -> reg:int -> float

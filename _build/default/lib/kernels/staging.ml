@@ -1,0 +1,71 @@
+module E = Shape.Int_expr
+module L = Shape.Layout
+module T = Shape.Int_tuple
+module Ts = Gpu_tensor.Tensor
+module Dt = Gpu_tensor.Dtype
+module B = Graphene.Builder
+
+type t =
+  { thr : Gpu_tensor.Thread_tensor.t
+  ; nthreads : int
+  ; vw : int
+  ; use_cp_async : bool
+  ; stage_rf : Ts.t
+  ; alloc_stmts : Graphene.Spec.stmt list
+  }
+
+let create ?(dtype = Dt.FP16) ~thr ~nthreads ~vw ~use_cp_async ~prefix () =
+  let stage_rf, al =
+    B.alloc_regs (prefix ^ "stg") (L.vector vw) dtype
+  in
+  { thr
+  ; nthreads
+  ; vw
+  ; use_cp_async
+  ; stage_rf
+  ; alloc_stmts = (if use_cp_async then [] else [ al ])
+  }
+
+let allocs t = t.alloc_stmts
+
+let copy t ~src ~src_row0 ~src_col0 ~dst =
+  let dims = T.to_ints_exn (L.dims dst.Ts.layout) in
+  let rows, cols =
+    match dims with
+    | [ r; c ] -> (r, c)
+    | _ -> invalid_arg "Staging.copy: destination must be rank 2"
+  in
+  let vecs_per_row = cols / t.vw in
+  let total_vecs = rows * vecs_per_row in
+  if vecs_per_row * t.vw <> cols
+     || (total_vecs mod t.nthreads <> 0 && t.nthreads mod total_vecs <> 0)
+  then
+    invalid_arg
+      (Printf.sprintf "Staging.copy: %dx%d tile not divisible (%d threads)"
+         rows cols t.nthreads);
+  let src_t = Ts.tile src [ L.tile_spec 1; L.tile_spec t.vw ] in
+  let dst_t = Ts.tile dst [ L.tile_spec 1; L.tile_spec t.vw ] in
+  let one_vector vi =
+    let r = E.div vi (E.const vecs_per_row) in
+    let g = E.rem vi (E.const vecs_per_row) in
+    let src_view =
+      Ts.select src_t
+        [ E.add src_row0 r; E.add (E.div src_col0 (E.const t.vw)) g ]
+    in
+    let dst_view = Ts.select dst_t [ r; g ] in
+    if t.use_cp_async then
+      [ B.move ~label:"cp.async" ~threads:t.thr ~src:src_view ~dst:dst_view () ]
+    else
+      [ B.move ~threads:t.thr ~src:src_view ~dst:t.stage_rf ()
+      ; B.move ~threads:t.thr ~src:t.stage_rf ~dst:dst_view ()
+      ]
+  in
+  if total_vecs < t.nthreads then
+    (* Small tile: only the first [total_vecs] threads participate. *)
+    B.if_
+      B.(B.thread_idx <. E.const total_vecs)
+      (one_vector B.thread_idx)
+  else
+    let vpt = total_vecs / t.nthreads in
+    B.for_ ~unroll:true "v" (E.const vpt) (fun i ->
+        one_vector (E.add (E.mul i (E.const t.nthreads)) B.thread_idx))

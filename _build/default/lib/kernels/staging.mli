@@ -1,0 +1,36 @@
+(** Cooperative global-to-shared tile staging.
+
+    A thread block copies a [rows x cols] sub-tile of a global row-major
+    tensor into a shared-memory tensor, vectorized and coalesced
+    (consecutive threads access consecutive vectors). On SM86 each access is
+    one [cp.async]; otherwise the copy is staged through registers
+    (vectorized global load + shared store), matching what Volta kernels
+    must do. *)
+
+type t
+
+(** [create ~thr ~nthreads ~vw ~use_cp_async ~prefix] — [vw] is the vector
+    width in elements. *)
+val create :
+  ?dtype:Gpu_tensor.Dtype.t ->
+  thr:Gpu_tensor.Thread_tensor.t ->
+  nthreads:int ->
+  vw:int ->
+  use_cp_async:bool ->
+  prefix:string ->
+  unit ->
+  t
+
+(** Register allocations (empty when cp.async is used). *)
+val allocs : t -> Graphene.Spec.stmt list
+
+(** [copy t ~src ~src_row0 ~src_col0 ~dst] — stage [dst]'s full extent
+    ([rows x cols], from its layout) from [src] starting at the given
+    coordinates. [cols] (and the total vector count) must divide evenly. *)
+val copy :
+  t ->
+  src:Gpu_tensor.Tensor.t ->
+  src_row0:Shape.Int_expr.t ->
+  src_col0:Shape.Int_expr.t ->
+  dst:Gpu_tensor.Tensor.t ->
+  Graphene.Spec.stmt

@@ -1,0 +1,100 @@
+(** Reusable warp-level tensor-core matmul pipeline.
+
+    Encapsulates the per-architecture fragment staging and mma issue
+    pattern: on SM86, [ldmatrix]/[ldmatrix.trans] loads and
+    [mma.m16n8k16]; on SM70, per-lane shared-memory moves and quad-pair
+    [mma.m8n8k4]. Fused kernels (GEMM, MLP, LSTM, FMHA) compose this
+    pipeline with their own staging and epilogues, which is precisely the
+    paper's story: one decomposition vocabulary shared by every kernel. *)
+
+type t
+
+(** Where the A operand lives in shared memory. *)
+type a_operand =
+  | A_m_major of
+      { t : Gpu_tensor.Tensor.t  (** storage [*, k], m rows (the NN case) *)
+      ; row0 : Shape.Int_expr.t  (** first m row *)
+      ; col0 : Shape.Int_expr.t  (** first k column *)
+      ; ld : int
+      }
+  | A_k_major of
+      { t : Gpu_tensor.Tensor.t  (** storage [*, m], k rows (A transposed) *)
+      ; row0 : Shape.Int_expr.t  (** first k row *)
+      ; col0 : Shape.Int_expr.t  (** first m column *)
+      ; ld : int
+      }
+
+(** Where the B operand lives in shared memory. *)
+type b_operand =
+  | B_k_major of
+      { t : Gpu_tensor.Tensor.t  (** storage [*, n], k rows *)
+      ; row0 : Shape.Int_expr.t  (** first k row *)
+      ; col0 : Shape.Int_expr.t  (** first n column *)
+      ; ld : int  (** leading dimension (elements per k row) *)
+      }
+  | B_n_major of
+      { t : Gpu_tensor.Tensor.t  (** storage [*, k], n rows *)
+      ; row0 : Shape.Int_expr.t  (** first n row *)
+      ; col0 : Shape.Int_expr.t  (** first k column *)
+      ; ld : int
+      }
+
+(** [create arch ~cta ~bm ~bn ~wm ~wn ~use_ldmatrix] — the block computes a
+    [bm x bn] output, tiled over warps as [wm x wn]. Requires [Tt.size cta
+    = (bm/wm) * (bn/wn) * 32]. [prefix] namespaces the register allocations
+    so that a kernel can host several pipelines. *)
+val create :
+  ?prefix:string ->
+  ?dtype:Gpu_tensor.Dtype.t ->
+  Graphene.Arch.t ->
+  cta:Gpu_tensor.Thread_tensor.t ->
+  bm:int ->
+  bn:int ->
+  wm:int ->
+  wn:int ->
+  use_ldmatrix:bool ->
+  t
+
+(** Register allocations ([Alloc] statements), to place in the kernel
+    preamble. *)
+val allocs : t -> Graphene.Spec.stmt list
+
+(** Zero the fp32 accumulators. *)
+val init_acc : t -> Graphene.Spec.stmt list
+
+(** The mma granularity in K (16 on SM86, 4 on SM70). *)
+val mma_k : t -> int
+
+(** [accumulate t ~a ~a_row0 ~a_col0 ~b ~kc] — accumulate
+    [A\[a_row0 + 0..bm, a_col0 + 0..kc\] @ B] into the block accumulators.
+    [a] is a shared-memory tensor holding the A rows (row-major, any
+    leading dimension); [kc] must divide by {!mma_k}. *)
+val accumulate :
+  t ->
+  a:Gpu_tensor.Tensor.t ->
+  a_row0:Shape.Int_expr.t ->
+  a_col0:Shape.Int_expr.t ->
+  b:b_operand ->
+  kc:int ->
+  Graphene.Spec.stmt list
+
+(** Generalization of {!accumulate} with an explicit A orientation:
+    [A_k_major] sources the A fragments from transposed storage via
+    [ldmatrix.trans] (per-lane moves on SM70), covering the TN/TT GEMM
+    layouts. *)
+val accumulate_op :
+  t -> a:a_operand -> b:b_operand -> kc:int -> Graphene.Spec.stmt list
+
+(** [foreach_out t f] — visit every contiguous accumulator group owned by
+    the calling thread: [f ~row ~col ~width ~acc] receives block-local
+    output coordinates, the group width (2 on SM86, 4 on SM70), and an fp32
+    register view of the group; it returns the statements of the epilogue
+    (convert / bias / activate / store). *)
+val foreach_out :
+  t ->
+  (row:Shape.Int_expr.t ->
+  col:Shape.Int_expr.t ->
+  width:int ->
+  acc:Gpu_tensor.Tensor.t ->
+  Graphene.Spec.stmt list) ->
+  Graphene.Spec.stmt list

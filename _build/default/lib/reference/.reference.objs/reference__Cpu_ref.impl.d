@@ -1,0 +1,1 @@
+lib/reference/cpu_ref.ml: Array Float Gpu_tensor Random

@@ -1,0 +1,1 @@
+lib/reference/cpu_ref.mli:

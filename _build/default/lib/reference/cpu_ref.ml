@@ -1,0 +1,142 @@
+module Dt = Gpu_tensor.Dtype
+
+let gemm ~m ~n ~k ?(beta = 0.0) a b c =
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for kk = 0 to k - 1 do
+        acc := !acc +. (a.((i * k) + kk) *. b.((kk * n) + j))
+      done;
+      c.((i * n) + j) <- (beta *. c.((i * n) + j)) +. !acc
+    done
+  done
+
+let gemm_fp16_inputs ~m ~n ~k ?(beta = 0.0) a b c =
+  let r = Dt.round Dt.FP16 in
+  let a' = Array.map r a and b' = Array.map r b in
+  gemm ~m ~n ~k ~beta a' b' c
+
+let bias_add ~rows ~cols x bias =
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      x.((i * cols) + j) <- x.((i * cols) + j) +. bias.(j)
+    done
+  done
+
+let map_inplace f x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- f x.(i)
+  done
+
+let relu = map_inplace (Float.max 0.0)
+
+let gelu =
+  map_inplace (fun x ->
+      0.5 *. x
+      *. (1.0
+         +. Float.tanh (0.7978845608028654 *. (x +. (0.044715 *. x *. x *. x)))))
+
+let tanh_ = map_inplace Float.tanh
+let sigmoid = map_inplace (fun x -> 1.0 /. (1.0 +. Float.exp (-.x)))
+
+let add_into ~dst src =
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- dst.(i) +. src.(i)
+  done
+
+let softmax_rows ~rows ~cols x =
+  for i = 0 to rows - 1 do
+    let base = i * cols in
+    let m = ref Float.neg_infinity in
+    for j = 0 to cols - 1 do
+      m := Float.max !m x.(base + j)
+    done;
+    let sum = ref 0.0 in
+    for j = 0 to cols - 1 do
+      let e = Float.exp (x.(base + j) -. !m) in
+      x.(base + j) <- e;
+      sum := !sum +. e
+    done;
+    for j = 0 to cols - 1 do
+      x.(base + j) <- x.(base + j) /. !sum
+    done
+  done
+
+let layernorm ~rows ~cols ?(eps = 1e-5) ~gamma ~beta x =
+  for i = 0 to rows - 1 do
+    let base = i * cols in
+    let mean = ref 0.0 in
+    for j = 0 to cols - 1 do
+      mean := !mean +. x.(base + j)
+    done;
+    let mean = !mean /. float_of_int cols in
+    let var = ref 0.0 in
+    for j = 0 to cols - 1 do
+      let d = x.(base + j) -. mean in
+      var := !var +. (d *. d)
+    done;
+    let var = !var /. float_of_int cols in
+    let inv = 1.0 /. Float.sqrt (var +. eps) in
+    for j = 0 to cols - 1 do
+      x.(base + j) <- ((x.(base + j) -. mean) *. inv *. gamma.(j)) +. beta.(j)
+    done
+  done
+
+let attention ~seq ~dh q k v out =
+  let scores = Array.make (seq * seq) 0.0 in
+  let scale = 1.0 /. Float.sqrt (float_of_int dh) in
+  for i = 0 to seq - 1 do
+    for j = 0 to seq - 1 do
+      let acc = ref 0.0 in
+      for d = 0 to dh - 1 do
+        acc := !acc +. (q.((i * dh) + d) *. k.((j * dh) + d))
+      done;
+      scores.((i * seq) + j) <- !acc *. scale
+    done
+  done;
+  softmax_rows ~rows:seq ~cols:seq scores;
+  gemm ~m:seq ~n:dh ~k:seq scores v out
+
+let attention_causal ~seq ~dh q k v out =
+  let scores = Array.make (seq * seq) 0.0 in
+  let scale = 1.0 /. Float.sqrt (float_of_int dh) in
+  for i = 0 to seq - 1 do
+    for j = 0 to seq - 1 do
+      if j > i then scores.((i * seq) + j) <- Float.neg_infinity
+      else begin
+        let acc = ref 0.0 in
+        for d = 0 to dh - 1 do
+          acc := !acc +. (q.((i * dh) + d) *. k.((j * dh) + d))
+        done;
+        scores.((i * seq) + j) <- !acc *. scale
+      end
+    done
+  done;
+  softmax_rows ~rows:seq ~cols:seq scores;
+  gemm ~m:seq ~n:dh ~k:seq scores v out
+
+let max_abs_diff a b =
+  let d = ref 0.0 in
+  Array.iteri (fun i x -> d := Float.max !d (Float.abs (x -. b.(i)))) a;
+  !d
+
+let allclose ?(rtol = 2e-2) ?(atol = 1e-2) a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i x ->
+      let y = b.(i) in
+      if Float.abs (x -. y) > atol +. (rtol *. Float.max (Float.abs x) (Float.abs y))
+      then ok := false)
+    a;
+  !ok
+
+let random_fp16 ~seed n =
+  let st = Random.State.make [| seed |] in
+  Array.init n (fun _ -> Dt.round Dt.FP16 ((Random.State.float st 2.0) -. 1.0))
+
+let random_fp32 ~seed n =
+  let st = Random.State.make [| seed |] in
+  Array.init n (fun _ ->
+      Dt.round Dt.FP32 ((Random.State.float st 2.0) -. 1.0))

@@ -1,0 +1,62 @@
+(** CPU reference numerics for verifying simulated kernels.
+
+    All tensors are dense row-major [float array]s; GEMM accumulates in
+    fp64-backed OCaml floats (a superset of the fp32 accumulation the
+    kernels use), so comparisons use tolerances scaled to fp16 inputs. *)
+
+(** [gemm ~m ~n ~k a b c] — [c := a @ b + beta * c] with [a] m-by-k, [b]
+    k-by-n, [c] m-by-n, all row-major. *)
+val gemm :
+  m:int -> n:int -> k:int -> ?beta:float -> float array -> float array ->
+  float array -> unit
+
+(** Like {!gemm} but inputs are first rounded through fp16 (matching what a
+    tensor-core kernel consumes). *)
+val gemm_fp16_inputs :
+  m:int -> n:int -> k:int -> ?beta:float -> float array -> float array ->
+  float array -> unit
+
+(** [bias_add ~rows ~cols x bias] adds [bias] (length [cols]) to each row. *)
+val bias_add : rows:int -> cols:int -> float array -> float array -> unit
+
+val relu : float array -> unit
+val gelu : float array -> unit
+val tanh_ : float array -> unit
+val sigmoid : float array -> unit
+
+(** Elementwise [dst := dst + src]. *)
+val add_into : dst:float array -> float array -> unit
+
+(** [softmax_rows ~rows ~cols x] — numerically-stable softmax per row. *)
+val softmax_rows : rows:int -> cols:int -> float array -> unit
+
+(** [layernorm ~rows ~cols ?eps ~gamma ~beta x] normalizes each row. *)
+val layernorm :
+  rows:int -> cols:int -> ?eps:float -> gamma:float array ->
+  beta:float array -> float array -> unit
+
+(** [attention ~seq ~dh q k v out] — single-head scaled-dot-product
+    attention: [out = softmax(q k^T / sqrt dh) v]; [q]/[k]/[v] are
+    seq-by-dh row-major ([k] is transposed internally). *)
+val attention :
+  seq:int -> dh:int -> float array -> float array -> float array ->
+  float array -> unit
+
+(** Causal (autoregressive) variant of {!attention}: key positions after
+    the query are masked out. *)
+val attention_causal :
+  seq:int -> dh:int -> float array -> float array -> float array ->
+  float array -> unit
+
+(** {1 Comparison and data generation} *)
+
+val max_abs_diff : float array -> float array -> float
+
+(** [allclose ?rtol ?atol a b] with defaults suited to fp16 data. *)
+val allclose : ?rtol:float -> ?atol:float -> float array -> float array -> bool
+
+(** Deterministic uniform data in [-1, 1), rounded to fp16. *)
+val random_fp16 : seed:int -> int -> float array
+
+(** Deterministic uniform data in [-1, 1) (fp32-representable). *)
+val random_fp32 : seed:int -> int -> float array

@@ -1,0 +1,1 @@
+lib/shape/int_expr.ml: Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/shape/int_expr.mli: Format

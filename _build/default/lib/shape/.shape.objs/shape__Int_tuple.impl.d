@@ -1,0 +1,1 @@
+lib/shape/int_tuple.ml: Format Int_expr List Printf

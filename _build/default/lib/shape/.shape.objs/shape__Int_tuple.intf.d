@@ -1,0 +1,1 @@
+lib/shape/int_tuple.mli: Format Int_expr

@@ -1,0 +1,1 @@
+lib/shape/layout.ml: Array Format Int_expr Int_tuple List Stdlib

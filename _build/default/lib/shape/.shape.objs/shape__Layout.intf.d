@@ -1,0 +1,1 @@
+lib/shape/layout.mli: Format Int_expr Int_tuple

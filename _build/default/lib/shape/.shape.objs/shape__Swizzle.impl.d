@@ -1,0 +1,1 @@
+lib/shape/swizzle.ml: Format Printf

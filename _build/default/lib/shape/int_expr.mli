@@ -1,0 +1,101 @@
+(** Symbolic integer expressions.
+
+    Graphene shapes, strides and generated index arithmetic are expressions
+    over non-negative integers: constants, named parameters (e.g. [M], [N] of
+    a parametric GEMM), and arithmetic over them. Smart constructors perform
+    algebraic simplification eagerly so that generated CUDA index expressions
+    stay readable, mirroring the paper's "generated indices are arithmetically
+    simplified" (Section 5.5) and the range-aware rules of Section 3.4
+    (e.g. [M % 256 --> M] iff [M < 256]).
+
+    All division is flooring integer division and all expressions are assumed
+    to denote non-negative values; this matches index arithmetic on GPUs. *)
+
+type t =
+  | Const of int
+  | Var of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t  (** flooring division *)
+  | Mod of t * t
+  | Min of t * t
+  | Max of t * t
+
+(** {1 Construction} *)
+
+val const : int -> t
+val var : string -> t
+val zero : t
+val one : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val rem : t -> t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+
+(** [ceil_div a b] is [(a + b - 1) / b], simplified. *)
+val ceil_div : t -> t -> t
+
+(** Infix aliases, intended to be used via [Int_expr.Infix]. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( % ) : t -> t -> t
+end
+
+(** {1 Inspection} *)
+
+val is_const : t -> bool
+
+(** [to_int e] is [Some n] when [e] is a constant. *)
+val to_int : t -> int option
+
+(** [to_int_exn e] raises [Invalid_argument] when [e] is not constant.
+    The message includes the printed expression. *)
+val to_int_exn : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Free variables, sorted and deduplicated. *)
+val free_vars : t -> string list
+
+(** {1 Evaluation and substitution} *)
+
+(** [eval env e] evaluates [e] with [env] giving the value of each variable.
+    Raises [Not_found] for unbound variables and [Division_by_zero] where
+    appropriate. *)
+val eval : env:(string -> int) -> t -> int
+
+(** [subst bindings e] replaces variables by expressions and re-simplifies. *)
+val subst : (string * t) list -> t -> t
+
+(** {1 Range analysis and simplification} *)
+
+(** Inclusive bounds. [None] on a side means unbounded. *)
+type range = { lo : int option; hi : int option }
+
+val range_of_const : int -> range
+
+(** [range ~bounds e] computes a conservative interval for [e], where
+    [bounds v] gives a known interval for variable [v] (defaulting to
+    [0, +inf) — all Graphene quantities are non-negative). *)
+val range : ?bounds:(string -> range option) -> t -> range
+
+(** [simplify ~bounds e] re-applies smart constructors bottom-up with range
+    information, enabling e.g. [M % 256 --> M] when [M]'s upper bound is
+    below 256, and [min(M, 256) --> M] similarly. *)
+val simplify : ?bounds:(string -> range option) -> t -> t
+
+(** {1 Printing} *)
+
+(** Prints as C-syntax arithmetic, with parentheses only where needed. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,71 @@
+type t = Leaf of Int_expr.t | Node of t list
+
+let leaf e = Leaf e
+let of_int n = Leaf (Int_expr.const n)
+let of_ints ns = Node (List.map of_int ns)
+let node ts = Node ts
+
+let rank = function Leaf _ -> 1 | Node ts -> List.length ts
+
+let rec depth = function
+  | Leaf _ -> 0
+  | Node ts -> 1 + List.fold_left (fun acc t -> max acc (depth t)) 0 ts
+
+let rec size = function
+  | Leaf e -> e
+  | Node ts -> List.fold_left (fun acc t -> Int_expr.mul acc (size t)) Int_expr.one ts
+
+let rec flatten_acc acc = function
+  | Leaf e -> e :: acc
+  | Node ts -> List.fold_left flatten_acc acc ts
+
+let flatten t = List.rev (flatten_acc [] t)
+
+let modes = function Leaf e -> [ Leaf e ] | Node ts -> ts
+
+let mode t i =
+  match List.nth_opt (modes t) i with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Int_tuple.mode: index %d" i)
+
+let rec congruent a b =
+  match (a, b) with
+  | Leaf _, Leaf _ -> true
+  | Node xs, Node ys ->
+    List.length xs = List.length ys && List.for_all2 congruent xs ys
+  | Leaf _, Node _ | Node _, Leaf _ -> false
+
+let rec map2 f a b =
+  match (a, b) with
+  | Leaf x, Leaf y -> Leaf (f x y)
+  | Node xs, Node ys when List.length xs = List.length ys ->
+    Node (List.map2 (map2 f) xs ys)
+  | _ -> invalid_arg "Int_tuple.map2: incongruent tuples"
+
+let rec map f = function
+  | Leaf x -> Leaf (f x)
+  | Node ts -> Node (List.map (map f) ts)
+
+let rec fold f acc = function
+  | Leaf x -> f acc x
+  | Node ts -> List.fold_left (fold f) acc ts
+
+let rec equal a b =
+  match (a, b) with
+  | Leaf x, Leaf y -> Int_expr.equal x y
+  | Node xs, Node ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Leaf _, Node _ | Node _, Leaf _ -> false
+
+let is_const t = fold (fun acc e -> acc && Int_expr.is_const e) true t
+let to_int_exn t = Int_expr.to_int_exn (size t)
+let to_ints_exn t = List.map Int_expr.to_int_exn (flatten t)
+
+let rec pp fmt = function
+  | Leaf e -> Int_expr.pp fmt e
+  | Node ts ->
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",") pp)
+      ts
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,71 @@
+(** Recursively nested integer tuples ([IntTuple] in the paper, Figure 2).
+
+    An [IntTuple] is either a single integer expression or a tuple of
+    [IntTuple]s. Shapes and strides of Graphene tensors are congruent pairs
+    of [IntTuple]s: nesting a dimension (a {e hierarchical dimension}) gives
+    it multiple sizes and strides without increasing the tensor's rank
+    (paper Section 3.2). *)
+
+type t = Leaf of Int_expr.t | Node of t list
+
+(** {1 Construction} *)
+
+val leaf : Int_expr.t -> t
+val of_int : int -> t
+val of_ints : int list -> t
+
+(** [node ts] is the tuple of [ts]. *)
+val node : t list -> t
+
+(** {1 Structure} *)
+
+(** Number of top-level modes: a [Leaf] has rank 1, [Node ts] has
+    [List.length ts]. *)
+val rank : t -> int
+
+(** Maximum nesting depth: a [Leaf] has depth 0. *)
+val depth : t -> int
+
+(** Total number of elements: the product of all leaves. *)
+val size : t -> Int_expr.t
+
+(** Leaves in left-to-right order. *)
+val flatten : t -> Int_expr.t list
+
+(** Top-level modes: a [Leaf] is its own single mode. *)
+val modes : t -> t list
+
+(** [mode t i] is the [i]-th top-level mode. Raises [Invalid_argument] when
+    out of bounds. *)
+val mode : t -> int -> t
+
+(** [congruent a b] holds when [a] and [b] have identical tree profiles. *)
+val congruent : t -> t -> bool
+
+(** [map2 f a b] zips two congruent tuples. Raises [Invalid_argument] when
+    the profiles differ. *)
+val map2 : (Int_expr.t -> Int_expr.t -> Int_expr.t) -> t -> t -> t
+
+val map : (Int_expr.t -> Int_expr.t) -> t -> t
+
+(** Left fold over leaves. *)
+val fold : ('a -> Int_expr.t -> 'a) -> 'a -> t -> 'a
+
+val equal : t -> t -> bool
+
+(** {1 Concrete values} *)
+
+val is_const : t -> bool
+
+(** Raises [Invalid_argument] when some leaf is symbolic. *)
+val to_int_exn : t -> int
+
+(** Flattened leaves as integers; raises on symbolic leaves. *)
+val to_ints_exn : t -> int list
+
+(** {1 Printing} *)
+
+(** CuTe-style: leaves print bare, tuples as [(a,b,(c,d))]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

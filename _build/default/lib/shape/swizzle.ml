@@ -1,0 +1,34 @@
+type t = { bits : int; base : int; shift : int }
+
+let none = { bits = 0; base = 0; shift = 0 }
+
+let make ~bits ~base ~shift =
+  if bits < 0 || base < 0 then
+    invalid_arg "Swizzle.make: negative bits or base";
+  if bits > 0 && shift < bits then
+    invalid_arg "Swizzle.make: shift must be >= bits for a permutation";
+  { bits; base; shift }
+
+let is_identity t = t.bits = 0
+let equal a b = a.bits = b.bits && a.base = b.base && a.shift = b.shift
+
+let apply t i =
+  if t.bits = 0 then i
+  else
+    let mask = (1 lsl t.bits) - 1 in
+    i lxor (((i lsr (t.base + t.shift)) land mask) lsl t.base)
+
+let to_c_expr t arg =
+  if t.bits = 0 then arg
+  else
+    let mask = (1 lsl t.bits) - 1 in
+    Printf.sprintf "(%s ^ (((%s >> %d) & %d) << %d))" arg arg
+      (t.base + t.shift) mask t.base
+
+let pp fmt t =
+  if t.bits = 0 then Format.fprintf fmt "Swizzle<id>"
+  else Format.fprintf fmt "Swizzle<%d,%d,%d>" t.bits t.base t.shift
+
+let to_string t = Format.asprintf "%a" pp t
+
+let window t = if t.bits = 0 then 1 else 1 lsl (t.base + t.shift + t.bits)

@@ -1,0 +1,42 @@
+(** XOR swizzles for shared-memory layouts (paper Section 3.2).
+
+    Optimized kernels store intermediate tiles to shared memory in swizzled
+    layouts so that the threads of a warp hit distinct banks. A swizzle
+    [S(b, m, s)] XORs [b] bits taken [s] positions above bit [m] into the
+    index bits starting at [m]:
+
+    [apply i = i lxor (((i lsr (m + s)) land (2^b - 1)) lsl m)]
+
+    which matches CuTe's [Swizzle<B,M,S>]. With [s >= b] the function is an
+    involution and therefore a permutation of every aligned power-of-two
+    window — exactly what a layout remapping must be. *)
+
+type t
+
+(** The identity swizzle. *)
+val none : t
+
+(** [make ~bits ~base ~shift] — [bits] = number of XORed bits, [base] =
+    first affected bit, [shift] = distance to the source bits. Raises
+    [Invalid_argument] when [bits < 0], [base < 0], or [shift < bits]
+    (which would break the permutation property). *)
+val make : bits:int -> base:int -> shift:int -> t
+
+val is_identity : t -> bool
+val equal : t -> t -> bool
+
+(** Apply to a physical index. *)
+val apply : t -> int -> int
+
+(** [to_c_expr t "i"] renders the swizzle of a C index expression, e.g.
+    ["(i ^ (((i >> 7) & 7) << 4))"]; returns the argument unchanged for the
+    identity swizzle. *)
+val to_c_expr : t -> string -> string
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Size of the aligned index window the swizzle permutes within (1 for the
+    identity); allocations touched by the swizzle should be padded to a
+    multiple of this. *)
+val window : t -> int

@@ -1,0 +1,1 @@
+lib/tensor/dtype.ml: Float Format Int32 Stdlib

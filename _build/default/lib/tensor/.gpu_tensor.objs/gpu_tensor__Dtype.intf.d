@@ -1,0 +1,1 @@
+lib/tensor/dtype.mli: Format

@@ -1,0 +1,1 @@
+lib/tensor/memspace.mli: Format

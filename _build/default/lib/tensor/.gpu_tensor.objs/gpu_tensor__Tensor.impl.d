@@ -1,0 +1,1 @@
+lib/tensor/tensor.ml: Array Dtype Format List Memspace Printf Shape String

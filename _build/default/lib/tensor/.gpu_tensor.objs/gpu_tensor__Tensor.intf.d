@@ -1,0 +1,1 @@
+lib/tensor/tensor.mli: Dtype Format Memspace Shape

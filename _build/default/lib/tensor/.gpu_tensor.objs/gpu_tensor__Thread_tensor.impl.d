@@ -1,0 +1,1 @@
+lib/tensor/thread_tensor.ml: Array Format List Shape Stdlib

@@ -1,0 +1,1 @@
+lib/tensor/thread_tensor.mli: Format Shape

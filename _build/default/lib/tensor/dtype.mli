@@ -1,0 +1,19 @@
+(** Scalar element types of Graphene tensors (paper Figure 2). *)
+
+type t = FP16 | BF16 | FP32 | FP64 | I8 | I32 | U32 | Bool
+
+val size_bytes : t -> int
+
+(** Name in Graphene IR notation, e.g. ["fp16"]. *)
+val to_ir_string : t -> string
+
+(** CUDA C++ type name, e.g. ["half"], ["float"]. *)
+val to_cuda_string : t -> string
+
+val is_float : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Round a float through the precision of [t] (fp16/bf16 rounding for the
+    simulator; identity for 32/64-bit types). *)
+val round : t -> float -> float

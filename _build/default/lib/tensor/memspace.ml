@@ -1,0 +1,14 @@
+type t = Global | Shared | Register
+
+let to_ir_string = function
+  | Global -> "GL"
+  | Shared -> "SH"
+  | Register -> "RF"
+
+let to_cuda_qualifier = function
+  | Global -> ""
+  | Shared -> "__shared__"
+  | Register -> ""
+
+let equal (a : t) b = a = b
+let pp fmt t = Format.pp_print_string fmt (to_ir_string t)

@@ -1,0 +1,106 @@
+module L = Shape.Layout
+module E = Shape.Int_expr
+module T = Shape.Int_tuple
+
+type kind = Thread | Block
+
+type elem = Unit | Group of { layout : L.t; elem : elem }
+
+type t =
+  { name : string
+  ; kind : kind
+  ; layout : L.t
+  ; elem : elem
+  ; offset : E.t
+  }
+
+let create name layout kind = { name; kind; layout; elem = Unit; offset = E.zero }
+let linear name n kind = create name (L.vector n) kind
+let grid name dims = create name (L.col_major dims) Block
+let cta name dims = create name (L.col_major dims) Thread
+
+let levels t =
+  let rec go acc = function
+    | Unit -> List.rev acc
+    | Group { layout; elem } -> go (layout :: acc) elem
+  in
+  go [ t.layout ] t.elem
+
+let size t =
+  List.fold_left (fun acc l -> acc * L.size_int l) 1 (levels t)
+
+let group_size t =
+  match List.rev (levels t) with
+  | innermost :: _ when t.elem <> Unit -> L.size_int innermost
+  | _ -> 1
+
+let rank t = L.rank t.layout
+
+let tile t tiler =
+  let outer, inner = L.divide t.layout tiler in
+  { t with layout = outer; elem = Group { layout = inner; elem = t.elem } }
+
+let reshape t dims = { t with layout = L.reshape t.layout dims }
+
+let select t coords =
+  let off = L.index_of_coords t.layout coords in
+  let offset = E.add t.offset off in
+  match t.elem with
+  | Group { layout; elem } -> { t with layout; elem; offset }
+  | Unit -> { t with layout = L.empty; offset }
+
+let select_ints t coords = select t (List.map E.const coords)
+
+let coord_exprs t id =
+  (* Invert the layout: for a leaf of extent d and stride s the coordinate
+     component is (id / s) % d; components combine leftmost-fastest into the
+     mode's logical coordinate. Valid for the injective layouts used for
+     thread arrangements. *)
+  let mode_coord dims strides =
+    let leaves = List.combine (T.flatten dims) (T.flatten strides) in
+    let coord, _ =
+      List.fold_left
+        (fun (acc, cum) (d, s) ->
+          let c =
+            match E.to_int d with
+            | Some 1 -> E.zero
+            | _ -> E.rem (E.div id s) d
+          in
+          (E.add acc (E.mul c cum), E.mul cum d))
+        (E.zero, E.one) leaves
+    in
+    coord
+  in
+  List.map2 mode_coord (T.modes (L.dims t.layout)) (T.modes (L.strides t.layout))
+
+let member_ids ?env t =
+  let base =
+    match (E.to_int t.offset, env) with
+    | Some n, _ -> n
+    | None, Some env -> E.eval ~env t.offset
+    | None, None -> invalid_arg "Thread_tensor.member_ids: symbolic offset"
+  in
+  let combined =
+    List.fold_left
+      (fun acc level ->
+        let idx = L.all_indices level in
+        Array.concat
+          (Array.to_list (Array.map (fun a -> Array.map (fun b -> a + b) idx) acc)))
+      [| base |] (levels t)
+  in
+  Array.sort Stdlib.compare combined;
+  combined
+
+let group_member_ids t coords = member_ids (select_ints t coords)
+
+let kind_string = function Thread -> "thread" | Block -> "block"
+
+let pp fmt t =
+  let rec pp_elem fmt = function
+    | Unit -> Format.pp_print_string fmt (kind_string t.kind)
+    | Group { layout; elem } ->
+      Format.fprintf fmt "%a.%a" L.pp layout pp_elem elem
+  in
+  Format.fprintf fmt "#%s:%a.%a" t.name L.pp t.layout pp_elem t.elem
+
+let to_string t = Format.asprintf "%a" pp t

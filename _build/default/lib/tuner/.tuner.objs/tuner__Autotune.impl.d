@@ -1,0 +1,1 @@
+lib/tuner/autotune.ml: Float Format Gpu_sim Graphene Kernels List

@@ -1,0 +1,1 @@
+lib/tuner/autotune.mli: Format Gpu_sim Graphene Kernels

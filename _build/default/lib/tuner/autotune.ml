@@ -1,0 +1,78 @@
+module Arch = Graphene.Arch
+module Gemm = Kernels.Gemm
+module PM = Gpu_sim.Perf_model
+
+type result =
+  { config : Gemm.config
+  ; estimate : PM.estimate
+  }
+
+let candidates arch ~m ~n ~k =
+  let base = Gemm.default_config arch in
+  let tiles = [ 32; 64; 128; 256 ] in
+  let bks = [ 16; 32; 64 ] in
+  let warp_tiles = [ 16; 32; 64 ] in
+  let smem_budget = (Gpu_sim.Machine.of_arch arch).Gpu_sim.Machine.smem_bytes_per_block in
+  List.concat_map
+    (fun bm ->
+      List.concat_map
+        (fun bn ->
+          List.concat_map
+            (fun bk ->
+              List.concat_map
+                (fun wm ->
+                  List.filter_map
+                    (fun wn ->
+                      let ok =
+                        m mod bm = 0 && n mod bn = 0 && k mod bk = 0
+                        && bm mod wm = 0 && bn mod wn = 0
+                        && wm mod 16 = 0
+                        && (match arch with
+                           | Arch.SM86 -> wn mod 8 = 0
+                           | Arch.SM70 -> wn mod 16 = 0)
+                        &&
+                        let warps = bm / wm * (bn / wn) in
+                        warps >= 1 && warps <= 8
+                        &&
+                        let nthreads = warps * 32 in
+                        (* cooperative staging must divide evenly *)
+                        let vecs t = t / 8 in
+                        (vecs (bm * bk) mod nthreads = 0
+                        || nthreads mod vecs (bm * bk) = 0)
+                        && (vecs (bk * bn) mod nthreads = 0
+                           || nthreads mod vecs (bk * bn) = 0)
+                        && (bm * bk) + (bk * bn) <= smem_budget / 2
+                      in
+                      if ok then Some { base with Gemm.bm; bn; bk; wm; wn }
+                      else None)
+                    warp_tiles)
+                warp_tiles)
+            bks)
+        tiles)
+    tiles
+
+let tune machine ~epilogue ~m ~n ~k () =
+  let arch = machine.Gpu_sim.Machine.arch in
+  let scored =
+    List.filter_map
+      (fun config ->
+        match Gemm.tensor_core arch config ~epilogue ~m ~n ~k () with
+        | kernel ->
+          let estimate = PM.of_kernel machine kernel () in
+          Some { config; estimate }
+        | exception Invalid_argument _ -> None)
+      (candidates arch ~m ~n ~k)
+  in
+  List.sort
+    (fun a b -> Float.compare a.estimate.PM.time_s b.estimate.PM.time_s)
+    scored
+
+let best machine ~epilogue ~m ~n ~k () =
+  match tune machine ~epilogue ~m ~n ~k () with
+  | hd :: _ -> hd
+  | [] -> failwith "Autotune.best: no valid configuration"
+
+let pp_result fmt r =
+  Format.fprintf fmt "%3dx%3dx%2d tiles, warp %2dx%2d -> %a" r.config.Gemm.bm
+    r.config.Gemm.bn r.config.Gemm.bk r.config.Gemm.wm r.config.Gemm.wn PM.pp
+    r.estimate

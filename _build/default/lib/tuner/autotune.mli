@@ -1,0 +1,43 @@
+(** Model-driven autotuning of GEMM tile configurations.
+
+    The paper's conclusion positions Graphene as "the foundation for novel
+    ML compiler research including systematically deriving optimized tensor
+    computations"; this module is a small instance of that: enumerate the
+    valid tile configurations, build each candidate kernel's IR, score it
+    with the performance model, and return the ranking. Because scoring is
+    static analysis over the actual IR, the tuner automatically accounts
+    for occupancy (shared-memory footprint), launch-grid fill, and traffic
+    of every candidate. *)
+
+type result =
+  { config : Kernels.Gemm.config
+  ; estimate : Gpu_sim.Perf_model.estimate
+  }
+
+(** All tile configurations valid for the given problem (divisibility,
+    warp-count and shared-memory constraints). *)
+val candidates :
+  Graphene.Arch.t -> m:int -> n:int -> k:int -> Kernels.Gemm.config list
+
+(** [tune machine ~epilogue ~m ~n ~k ()] — candidates ranked fastest
+    first. *)
+val tune :
+  Gpu_sim.Machine.t ->
+  epilogue:Kernels.Epilogue.t ->
+  m:int ->
+  n:int ->
+  k:int ->
+  unit ->
+  result list
+
+(** The winner; raises [Failure] when no configuration is valid. *)
+val best :
+  Gpu_sim.Machine.t ->
+  epilogue:Kernels.Epilogue.t ->
+  m:int ->
+  n:int ->
+  k:int ->
+  unit ->
+  result
+
+val pp_result : Format.formatter -> result -> unit

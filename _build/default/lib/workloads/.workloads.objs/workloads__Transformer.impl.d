@@ -1,0 +1,1 @@
+lib/workloads/transformer.ml: Baselines Gpu_sim Kernels

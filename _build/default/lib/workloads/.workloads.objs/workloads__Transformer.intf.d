@@ -1,0 +1,1 @@
+lib/workloads/transformer.mli: Gpu_sim

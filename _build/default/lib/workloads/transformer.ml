@@ -1,0 +1,106 @@
+module PM = Gpu_sim.Perf_model
+module LM = Baselines.Lib_model
+
+type config =
+  { name : string
+  ; layers : int
+  ; hidden : int
+  ; heads : int
+  ; ffn : int
+  ; seq : int
+  ; batch : int
+  }
+
+let bert_base =
+  { name = "BERT-base"
+  ; layers = 12
+  ; hidden = 768
+  ; heads = 12
+  ; ffn = 3072
+  ; seq = 384
+  ; batch = 32
+  }
+
+let bert_large =
+  { bert_base with
+    name = "BERT-large"
+  ; layers = 24
+  ; hidden = 1024
+  ; heads = 16
+  ; ffn = 4096
+  }
+
+let distilbert = { bert_base with name = "DistilBERT"; layers = 6 }
+let roberta_base = { bert_base with name = "RoBERTa-base" }
+(* GPT-2 runs its standard 512-token context (causal masking ignored by
+   both sides of the comparison). *)
+let gpt2 = { bert_base with name = "GPT-2"; seq = 512 }
+
+let all = [ distilbert; bert_base; roberta_base; gpt2; bert_large ]
+
+let head_dim c = c.hidden / c.heads
+
+type breakdown =
+  { total_s : float
+  ; attention_s : float
+  ; attention_fraction : float
+  }
+
+(* Per-layer non-attention ops, lowered to library kernels as a deep
+   learning framework would. *)
+let non_attention_ops machine c =
+  let m = c.batch * c.seq in
+  let h = c.hidden in
+  let ops =
+    [ (* fused QKV projection *)
+      LM.gemm_totals ~bias:true ~m ~n:(3 * h) ~k:h ()
+    ; (* attention output projection *)
+      LM.gemm_totals ~bias:true ~m ~n:h ~k:h ()
+    ; (* residual add *)
+      LM.pointwise_totals ~reads:(2 * m * h) ~writes:(m * h) ~flops_per_elem:1 ()
+    ; (* FFN up + gelu (separate kernel in eager PyTorch) *)
+      LM.gemm_totals ~bias:true ~m ~n:c.ffn ~k:h ()
+    ; LM.pointwise_totals ~reads:(m * c.ffn) ~writes:(m * c.ffn) ~flops_per_elem:8 ()
+    ; (* FFN down *)
+      LM.gemm_totals ~bias:true ~m ~n:h ~k:c.ffn ()
+    ; (* second residual *)
+      LM.pointwise_totals ~reads:(2 * m * h) ~writes:(m * h) ~flops_per_elem:1 ()
+    ]
+  in
+  let gemm_time = LM.sequence machine ops in
+  (* two fused layernorms per layer *)
+  let ln = Baselines.Pytorch.layernorm machine ~impl:Baselines.Pytorch.Fused ~rows:m ~cols:h in
+  gemm_time.PM.time_s +. (2.0 *. ln.PM.time_s)
+
+let attention_unfused machine c =
+  (Baselines.Pytorch.eager_attention machine ~batch:c.batch ~heads:c.heads
+     ~seq:c.seq ~dh:(head_dim c))
+    .PM.time_s
+
+(* Largest K/V chunk (multiple of 16, at most 64) dividing the sequence. *)
+let chunk_for seq =
+  let rec go c = if c >= 16 && seq mod c = 0 then c else go (c - 16) in
+  go 64
+
+let attention_fused machine c =
+  let kernel =
+    Kernels.Fmha.kernel machine.Gpu_sim.Machine.arch ~batch:c.batch
+      ~heads:c.heads ~seq:c.seq ~dh:(head_dim c) ~chunk:(chunk_for c.seq)
+      ~nthreads:64 ()
+  in
+  (PM.of_kernel machine kernel ()).PM.time_s
+
+let breakdown_of machine c ~attention =
+  let per_layer_other = non_attention_ops machine c in
+  let att = attention machine c in
+  let total = float_of_int c.layers *. (per_layer_other +. att) in
+  { total_s = total
+  ; attention_s = float_of_int c.layers *. att
+  ; attention_fraction = float_of_int c.layers *. att /. total
+  }
+
+let baseline_time machine c = breakdown_of machine c ~attention:attention_unfused
+let fmha_injected_time machine c = breakdown_of machine c ~attention:attention_fused
+
+let speedup machine c =
+  (baseline_time machine c).total_s /. (fmha_injected_time machine c).total_s

@@ -1,0 +1,47 @@
+(** Transformer inference workloads (paper Figure 15).
+
+    Network configurations of the HuggingFace models the paper injects its
+    FMHA kernels into, expanded into per-layer op graphs. End-to-end time is
+    the sum of the per-op estimates; the only difference between the
+    baseline and the Graphene-accelerated run is the attention block —
+    exactly the paper's experiment, whose speedup therefore correlates with
+    each network's FMHA fraction. *)
+
+type config =
+  { name : string
+  ; layers : int
+  ; hidden : int
+  ; heads : int
+  ; ffn : int
+  ; seq : int
+  ; batch : int
+  }
+
+val bert_base : config
+val bert_large : config
+val distilbert : config
+val roberta_base : config
+val gpt2 : config
+
+(** The five networks of Figure 15. *)
+val all : config list
+
+(** Head dimension ([hidden / heads], 64 for all of these models). *)
+val head_dim : config -> int
+
+type breakdown =
+  { total_s : float
+  ; attention_s : float  (** time spent in the attention block *)
+  ; attention_fraction : float
+  }
+
+(** Baseline inference: every op lowered to library kernels, attention
+    unfused (two batched GEMMs + softmax). *)
+val baseline_time : Gpu_sim.Machine.t -> config -> breakdown
+
+(** Same network with the attention block replaced by the Graphene fused
+    FMHA kernel. *)
+val fmha_injected_time : Gpu_sim.Machine.t -> config -> breakdown
+
+(** [speedup machine cfg] — baseline / injected, the Figure 15 bars. *)
+val speedup : Gpu_sim.Machine.t -> config -> float

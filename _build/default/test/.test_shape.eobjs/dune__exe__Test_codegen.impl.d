@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Codegen Gpu_tensor Graphene Kernels List Shape String Sys

@@ -1,0 +1,1 @@
+test/test_fused.ml: Alcotest Array Gpu_sim Gpu_tensor Graphene Kernels Reference String

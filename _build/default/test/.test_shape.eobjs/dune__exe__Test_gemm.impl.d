@@ -1,0 +1,1 @@
+test/test_gemm.ml: Alcotest Array Gpu_sim Gpu_tensor Graphene Kernels List Printf QCheck QCheck_alcotest Reference String

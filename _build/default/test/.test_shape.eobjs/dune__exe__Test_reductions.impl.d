@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Array Float Gpu_sim Graphene Kernels List QCheck QCheck_alcotest Reference String

@@ -1,0 +1,1 @@
+test/test_shape.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest Shape String

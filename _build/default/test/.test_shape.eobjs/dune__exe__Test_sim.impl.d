@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Gpu_sim Gpu_tensor Graphene Kernels List Printf Reference Shape

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float Fun Gpu_tensor List QCheck QCheck_alcotest Shape Stdlib

@@ -1,0 +1,1 @@
+test/test_tuner.ml: Alcotest Array Gpu_sim Graphene Kernels List Printf Reference Tuner

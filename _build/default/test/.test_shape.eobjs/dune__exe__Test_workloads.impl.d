@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Baselines Gpu_sim Gpu_tensor Graphene Kernels List Shape Workloads

@@ -1,0 +1,243 @@
+(* Tests for the Graphene IR core: atomic-spec matching (Table 2),
+   validation, builders, and the Figure 1 ldmatrix demo executed on the
+   simulator. *)
+
+module E = Shape.Int_expr
+module L = Shape.Layout
+module Ts = Gpu_tensor.Tensor
+module Tt = Gpu_tensor.Thread_tensor
+module Dt = Gpu_tensor.Dtype
+module Ms = Gpu_tensor.Memspace
+module B = Graphene.Builder
+module Spec = Graphene.Spec
+module Atomic = Graphene.Atomic
+module Arch = Graphene.Arch
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let cta = Tt.cta "cta" [ 32 ]
+let thr = Tt.select cta [ B.thread_idx ]
+let warp = Tt.select (Tt.tile (Tt.linear "lin" 32 Tt.Thread) [ L.tile_spec 32 ]) [ E.zero ]
+
+let rf name n dt = Ts.create name (L.vector n) dt Ms.Register
+let gl name n dt = Ts.create name (L.vector n) dt Ms.Global
+let sh name n dt = Ts.create name (L.vector n) dt Ms.Shared
+
+let spec_of stmt =
+  match stmt with Spec.Spec_stmt s -> s | _ -> Alcotest.fail "expected spec"
+
+let match_name arch stmt =
+  match Atomic.find arch (spec_of stmt) with
+  | Some i -> i.Atomic.name
+  | None -> "<none>"
+
+(* ----- Table 2 matching ----- *)
+
+let test_move_matching () =
+  let m src dst = B.move ~threads:thr ~src ~dst () in
+  check_str "vec8 fp16 load" "ld.global.v4.b32.f16x8"
+    (match_name Arch.SM86 (m (gl "a" 8 Dt.FP16) (rf "r" 8 Dt.FP16)));
+  check_str "scalar fp32 load" "ld.global.f32"
+    (match_name Arch.SM86 (m (gl "a" 1 Dt.FP32) (rf "r" 1 Dt.FP32)));
+  check_str "store" "st.global.v4.b32.f16x8"
+    (match_name Arch.SM86 (m (rf "r" 8 Dt.FP16) (gl "a" 8 Dt.FP16)));
+  check_str "cp.async on sm86" "cp.async.f16x8"
+    (match_name Arch.SM86 (m (gl "a" 8 Dt.FP16) (sh "s" 8 Dt.FP16)));
+  (* No cp.async on Volta: the same Move matches nothing. *)
+  check_str "no direct GL->SH on sm70" "<none>"
+    (match_name Arch.SM70 (m (gl "a" 8 Dt.FP16) (sh "s" 8 Dt.FP16)));
+  check_str "register move" "mov.rf"
+    (match_name Arch.SM86 (m (rf "a" 4 Dt.FP16) (rf "b" 4 Dt.FP16)));
+  check_str "conversion" "cvt.fp16.fp32"
+    (match_name Arch.SM86 (m (rf "a" 2 Dt.FP32) (rf "b" 2 Dt.FP16)))
+
+let test_ldmatrix_matching () =
+  let smem = Ts.create_rm "s" [ 16; 16 ] Dt.FP16 Ms.Shared in
+  let tiled = Ts.tile smem [ L.tile_spec 8; L.tile_spec 8 ] in
+  let frag = rf "f" 8 Dt.FP16 in
+  let stmt = B.move ~threads:warp ~src:tiled ~dst:frag () in
+  check_str "ldmatrix.x4" "ldmatrix.x4" (match_name Arch.SM86 stmt);
+  check_str "not on volta" "<none>" (match_name Arch.SM70 stmt);
+  (* A transposed view of the inner matrices selects the .trans variant. *)
+  let trans_view =
+    Ts.reinterpret smem
+      ~layout:(L.vector 2 ~stride:(8 * 16))
+      ~elem:
+        (Ts.Tile
+           { layout =
+               L.make
+                 (Shape.Int_tuple.of_ints [ 8; 8 ])
+                 (Shape.Int_tuple.node
+                    [ Shape.Int_tuple.of_int 1; Shape.Int_tuple.of_int 16 ])
+           ; elem = Ts.Scalar Dt.FP16
+           })
+      ~offset:E.zero
+  in
+  let stmt2 = B.move ~threads:warp ~src:trans_view ~dst:(rf "f2" 4 Dt.FP16) () in
+  check_str "ldmatrix.x2.trans" "ldmatrix.x2.trans" (match_name Arch.SM86 stmt2)
+
+let test_mma_matching () =
+  let mma a b c = B.matmul ~threads:warp ~a ~b ~c () in
+  check_str "m16n8k16" "mma.m16n8k16"
+    (match_name Arch.SM86
+       (mma (rf "a" 8 Dt.FP16) (rf "b" 4 Dt.FP16) (rf "c" 4 Dt.FP32)));
+  (* The Volta mma needs a quad-pair (8 threads), not a full warp. *)
+  let qp_spec =
+    L.make
+      (Shape.Int_tuple.of_ints [ 4; 2 ])
+      (Shape.Int_tuple.node
+         [ Shape.Int_tuple.of_int 1; Shape.Int_tuple.of_int 16 ])
+  in
+  let qp =
+    Tt.select (Tt.tile (Tt.linear "w" 32 Tt.Thread) [ Some qp_spec ]) [ E.zero ]
+  in
+  check_str "m8n8k4 (quad pair)" "mma.m8n8k4"
+    (match_name Arch.SM70
+       (match B.matmul ~threads:qp ~a:(rf "a" 4 Dt.FP16) ~b:(rf "b" 4 Dt.FP16)
+                ~c:(rf "c" 8 Dt.FP32) () with s -> s));
+  check_str "scalar fma fp16" "hfma"
+    (match_name Arch.SM86
+       (mma (rf "a" 1 Dt.FP16) (rf "b" 1 Dt.FP16) (rf "c" 1 Dt.FP16)
+       |> fun s ->
+       match s with
+       | Spec.Spec_stmt sp -> Spec.Spec_stmt { sp with Spec.threads = thr }
+       | other -> other))
+
+let test_pointwise_and_misc_matching () =
+  check_str "unary" "pointwise.unary"
+    (match_name Arch.SM86
+       (B.unary ~threads:thr Graphene.Op.Exp ~src:(rf "a" 4 Dt.FP32)
+          ~dst:(rf "b" 4 Dt.FP32) ()));
+  check_str "binary broadcast" "pointwise.binary"
+    (match_name Arch.SM86
+       (B.binary ~threads:thr Graphene.Op.Sub ~lhs:(rf "a" 8 Dt.FP32)
+          ~rhs:(rf "m" 1 Dt.FP32) ~dst:(rf "b" 8 Dt.FP32) ()));
+  check_str "thread reduction" "red.thread"
+    (match_name Arch.SM86
+       (B.reduction ~threads:thr Graphene.Op.Add ~axes:[ 0 ]
+          ~src:(rf "a" 16 Dt.FP32) ~dst:(rf "s" 1 Dt.FP32) ()));
+  check_str "shfl" "shfl.sync"
+    (match_name Arch.SM86
+       (B.shfl ~threads:warp (Spec.Bfly 16) ~src:(rf "a" 1 Dt.FP32)
+          ~dst:(rf "b" 1 Dt.FP32) ()));
+  check_str "init" "init"
+    (match_name Arch.SM86 (B.init ~threads:thr 0.0 ~dst:(rf "a" 32 Dt.FP32) ()))
+
+let test_registry_lookup () =
+  check_bool "lookup known" true (Atomic.lookup "mma.m16n8k16" <> None);
+  check_bool "lookup unknown" true (Atomic.lookup "frobnicate" = None);
+  check_bool "registry is non-trivial" true (List.length Atomic.registry > 40)
+
+(* ----- Validation ----- *)
+
+let test_validate_catches_unmatched () =
+  (* A 3-element fp16 move matches no vector width. *)
+  let bad =
+    B.move ~threads:thr ~src:(gl "a" 3 Dt.FP16) ~dst:(rf "r" 3 Dt.FP16) ()
+  in
+  let kernel =
+    B.kernel "bad" ~grid:(Tt.grid "g" [ 1 ]) ~cta ~params:[ gl "a" 3 Dt.FP16 ]
+      [ bad ]
+  in
+  check_bool "problem reported" true
+    (Graphene.Validate.check Arch.SM86 kernel <> [])
+
+let test_validate_catches_size_mismatch () =
+  let bad =
+    B.move ~threads:thr ~src:(gl "a" 8 Dt.FP16) ~dst:(rf "r" 4 Dt.FP16) ()
+  in
+  let kernel =
+    B.kernel "bad" ~grid:(Tt.grid "g" [ 1 ]) ~cta ~params:[ gl "a" 8 Dt.FP16 ]
+      [ bad ]
+  in
+  check_bool "problem reported" true
+    (Graphene.Validate.check Arch.SM86 kernel <> [])
+
+let test_validate_catches_duplicate_allocs () =
+  let _, a1 = B.alloc_regs "x" (L.vector 4) Dt.FP32 in
+  let _, a2 = B.alloc_regs "x" (L.vector 8) Dt.FP32 in
+  let kernel =
+    B.kernel "dups" ~grid:(Tt.grid "g" [ 1 ]) ~cta ~params:[] [ a1; a2 ]
+  in
+  check_bool "duplicate reported" true
+    (List.exists
+       (fun p -> String.length p > 0 && String.sub p 0 9 = "duplicate")
+       (Graphene.Validate.check Arch.SM86 kernel))
+
+(* ----- Figure 1 demo on the simulator ----- *)
+
+let test_ldmatrix_demo_mapping () =
+  let kernel = Kernels.Ldmatrix_demo.kernel () in
+  Alcotest.(check (list string)) "well-formed" []
+    (Graphene.Validate.check Arch.SM86 kernel);
+  let input = Reference.Cpu_ref.random_fp16 ~seed:81 256 in
+  let out = Array.make (32 * 8) 0.0 in
+  let _ =
+    Gpu_sim.Interp.run ~arch:Arch.SM86 kernel
+      ~args:[ ("In", input); ("Out", out) ]
+      ()
+  in
+  (* Every thread must have received exactly the values Figure 1b
+     prescribes. *)
+  for lane = 0 to 31 do
+    for reg = 0 to 7 do
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "lane %d reg %d" lane reg)
+        (Kernels.Ldmatrix_demo.expected ~input ~lane ~reg)
+        out.((lane * 8) + reg)
+    done
+  done
+
+(* ----- spec utilities ----- *)
+
+let test_fold_specs_and_allocs () =
+  let v, al = B.alloc_regs "tmp" (L.vector 4) Dt.FP32 in
+  let body =
+    [ al
+    ; B.for_ "i" (E.const 4) (fun _ ->
+          [ B.init ~threads:thr 0.0 ~dst:v ()
+          ; B.if_ B.(B.thread_idx <. E.const 16)
+              [ B.unary ~threads:thr Graphene.Op.Exp ~src:v ~dst:v () ]
+          ])
+    ]
+  in
+  let count = Spec.fold_specs (fun n _ -> n + 1) 0 body in
+  Alcotest.(check int) "two specs" 2 count;
+  Alcotest.(check int) "one alloc" 1 (List.length (Spec.allocs body))
+
+let test_kind_names () =
+  check_str "move" "Move" (Spec.kind_name Spec.Move);
+  check_str "binary" "BinaryPW<add>"
+    (Spec.kind_name (Spec.Binary_pointwise Graphene.Op.Add));
+  check_str "reduction" "Reduction<max,[0]>"
+    (Spec.kind_name (Spec.Reduction { op = Graphene.Op.Max; axes = [ 0 ] }));
+  check_str "generic" "Spec<fused_mlp>" (Spec.kind_name (Spec.Generic "fused_mlp"))
+
+let () =
+  Alcotest.run "core"
+    [ ( "atomic matching"
+      , [ Alcotest.test_case "moves" `Quick test_move_matching
+        ; Alcotest.test_case "ldmatrix variants" `Quick test_ldmatrix_matching
+        ; Alcotest.test_case "mma shapes" `Quick test_mma_matching
+        ; Alcotest.test_case "pointwise and misc" `Quick
+            test_pointwise_and_misc_matching
+        ; Alcotest.test_case "registry lookup" `Quick test_registry_lookup
+        ] )
+    ; ( "validation"
+      , [ Alcotest.test_case "unmatched spec" `Quick
+            test_validate_catches_unmatched
+        ; Alcotest.test_case "size mismatch" `Quick
+            test_validate_catches_size_mismatch
+        ; Alcotest.test_case "duplicate allocs" `Quick
+            test_validate_catches_duplicate_allocs
+        ] )
+    ; ( "figure 1 demo"
+      , [ Alcotest.test_case "prescribed mapping" `Quick
+            test_ldmatrix_demo_mapping
+        ] )
+    ; ( "spec utilities"
+      , [ Alcotest.test_case "fold and allocs" `Quick test_fold_specs_and_allocs
+        ; Alcotest.test_case "kind names" `Quick test_kind_names
+        ] )
+    ]

@@ -1,0 +1,178 @@
+(* Regression tests over the regenerated figures: each of the paper's
+   qualitative claims must keep holding as the models and kernels evolve. *)
+
+module F = Experiments.Figures
+module Arch = Graphene.Arch
+
+let check_bool = Alcotest.(check bool)
+
+let within x ~lo ~hi = x >= lo && x <= hi
+
+(* Figure 9: Graphene == cuBLAS, compute-bound, on both architectures. *)
+let test_fig9 () =
+  List.iter
+    (fun (r : F.fig9_row) ->
+      check_bool
+        (Printf.sprintf "%s speedup ~1" (Arch.name r.F.arch))
+        true
+        (within r.F.speedup ~lo:0.97 ~hi:1.03);
+      check_bool "compute-bound (>70% of TC peak)" true
+        (r.F.graphene_compute_pct > 70.0);
+      check_bool "not memory-bound" true
+        (r.F.graphene_memory_pct < r.F.graphene_compute_pct))
+    (F.fig9 ());
+  (* The paper's Ampere observation: cuBLAS reaches the same time with
+     lower memory throughput. *)
+  let ampere =
+    List.find (fun (r : F.fig9_row) -> r.F.arch = Arch.SM86) (F.fig9 ())
+  in
+  check_bool "cuBLAS lower memory util on Ampere" true
+    (ampere.F.cublas_memory_pct < ampere.F.graphene_memory_pct)
+
+(* Figure 10: all epilogues match cuBLASLt. *)
+let test_fig10 () =
+  List.iter
+    (fun (r : F.fig10_row) ->
+      check_bool
+        (Printf.sprintf "%s %s" (Arch.name r.F.arch) r.F.epilogue)
+        true
+        (within r.F.speedup ~lo:0.97 ~hi:1.05))
+    (F.fig10 ())
+
+(* Figure 11: speedup 1 at one layer, grows monotonically, exceeds 2x. *)
+let test_fig11 () =
+  let rows = F.fig11 () in
+  List.iter
+    (fun arch ->
+      let mine =
+        List.filter (fun (r : F.fig11_row) -> r.F.arch = arch) rows
+      in
+      let speeds = List.map (fun (r : F.fig11_row) -> r.F.speedup) mine in
+      (match speeds with
+      | first :: _ ->
+        check_bool "single layer parity" true (within first ~lo:0.95 ~hi:1.1)
+      | [] -> Alcotest.fail "no rows");
+      let rec monotone = function
+        | a :: (b :: _ as tl) -> a <= b +. 0.05 && monotone tl
+        | _ -> true
+      in
+      check_bool "monotone in depth" true (monotone speeds);
+      check_bool "fusion wins >2x at depth" true
+        (List.exists (fun s -> s > 2.0) speeds))
+    [ Arch.SM70; Arch.SM86 ]
+
+(* Figure 12: fused > cuBLASLt > 5-kernel baseline, factors near the
+   paper's 1.75/1.82. *)
+let test_fig12 () =
+  List.iter
+    (fun arch ->
+      let rows =
+        List.filter (fun (r : F.fig12_row) -> r.F.arch = arch) (F.fig12 ())
+      in
+      match
+        List.map (fun (r : F.fig12_row) -> r.F.speedup_vs_baseline) rows
+      with
+      | [ baseline; lt; fused ] ->
+        check_bool "baseline is 1.0" true (within baseline ~lo:0.99 ~hi:1.01);
+        check_bool "cuBLASLt beats baseline" true (lt > 1.2);
+        check_bool "fused beats cuBLASLt" true (fused > lt);
+        check_bool "fused factor near paper's 1.75-1.82" true
+          (within fused ~lo:1.4 ~hi:2.2)
+      | _ -> Alcotest.fail "expected three rows")
+    [ Arch.SM70; Arch.SM86 ]
+
+(* Figure 13: Graphene == fused == Apex; JIT and Eager strictly slower. *)
+let test_fig13 () =
+  let rows = F.fig13 ~rows:1024 ~hiddens:[ 1024; 4096 ] () in
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun hidden ->
+          let time impl =
+            (List.find
+               (fun (r : F.fig13_row) ->
+                 r.F.arch = arch && r.F.hidden = hidden
+                 && String.equal r.F.impl impl)
+               rows)
+              .F.us
+          in
+          let g = time "Graphene" in
+          check_bool "matches Apex" true
+            (within (g /. time "NVIDIA Apex") ~lo:0.8 ~hi:1.2);
+          check_bool "beats JIT" true (time "PyTorch JIT" > 1.5 *. g);
+          check_bool "beats Eager" true (time "PyTorch Eager" > 3.0 *. g))
+        [ 1024; 4096 ])
+    [ Arch.SM70; Arch.SM86 ]
+
+(* Figure 14: fused > 2x over unfused; Graphene ahead of TensorRT. *)
+let test_fig14 () =
+  match F.fig14 () with
+  | [ unfused; trt; graphene ] ->
+    check_bool "unfused is 1.0" true
+      (within unfused.F.speedup_vs_unfused ~lo:0.99 ~hi:1.01);
+    check_bool "TRT > 2x" true (trt.F.speedup_vs_unfused > 2.0);
+    check_bool "Graphene > 2x" true (graphene.F.speedup_vs_unfused > 2.0);
+    check_bool "Graphene slightly ahead of TRT" true
+      (graphene.F.us < trt.F.us
+      && graphene.F.us > 0.7 *. trt.F.us)
+  | _ -> Alcotest.fail "expected three rows"
+
+(* Figure 15: all networks speed up; speedup correlates with FMHA
+   fraction. *)
+let test_fig15 () =
+  let rows = F.fig15 () in
+  List.iter
+    (fun (r : F.fig15_row) ->
+      check_bool (r.F.network ^ " speeds up") true (r.F.speedup > 1.1);
+      check_bool (r.F.network ^ " below 2x") true (r.F.speedup < 2.0))
+    rows;
+  (* Correlation: sort by fraction, speedups must be non-decreasing. *)
+  let sorted =
+    List.sort
+      (fun (a : F.fig15_row) b -> compare a.F.fmha_fraction b.F.fmha_fraction)
+      rows
+  in
+  let rec monotone = function
+    | (a : F.fig15_row) :: (b :: _ as tl) ->
+      a.F.speedup <= b.F.speedup +. 0.02 && monotone tl
+    | _ -> true
+  in
+  check_bool "speedup monotone in FMHA fraction" true (monotone sorted)
+
+(* Ablations: every variant correct; the optimizations measurably help. *)
+let test_ablations () =
+  let rows = F.ablations () in
+  List.iter
+    (fun (r : F.ablation_row) -> check_bool (r.F.variant ^ " correct") true r.F.correct)
+    rows;
+  let find name variant =
+    List.find
+      (fun (r : F.ablation_row) ->
+        String.equal r.F.name name && String.equal r.F.variant variant)
+      rows
+  in
+  check_bool "ldmatrix saves instructions" true
+    ((find "ldmatrix" "ldmatrix.x4/.x2.trans").F.instructions
+    < (find "ldmatrix" "per-lane ld.shared").F.instructions);
+  Alcotest.(check int)
+    "swizzled layout is conflict-free" 0
+    (find "smem layout" "swizzled").F.shared_conflicts;
+  check_bool "linear layout conflicts" true
+    ((find "smem layout" "linear").F.shared_conflicts > 0);
+  check_bool "cp.async saves instructions" true
+    ((find "staging" "cp.async").F.instructions
+    < (find "staging" "through registers").F.instructions)
+
+let () =
+  Alcotest.run "experiments"
+    [ ( "figures"
+      , [ Alcotest.test_case "fig9 gemm parity" `Quick test_fig9
+        ; Alcotest.test_case "fig10 epilogue parity" `Quick test_fig10
+        ; Alcotest.test_case "fig11 mlp fusion" `Quick test_fig11
+        ; Alcotest.test_case "fig12 lstm fusion" `Quick test_fig12
+        ; Alcotest.test_case "fig13 layernorm" `Quick test_fig13
+        ; Alcotest.test_case "fig14 fmha" `Slow test_fig14
+        ; Alcotest.test_case "fig15 transformers" `Quick test_fig15
+        ; Alcotest.test_case "ablations" `Slow test_ablations
+        ] )
+    ]

@@ -1,0 +1,118 @@
+(* Tests for the reduction-based fused kernels: Layernorm and Softmax. *)
+
+module Arch = Graphene.Arch
+module Validate = Graphene.Validate
+module Ref = Reference.Cpu_ref
+module Interp = Gpu_sim.Interp
+
+let check_bool = Alcotest.(check bool)
+
+let run_layernorm ~rows ~cols ~nthreads ~arch () =
+  let kernel = Kernels.Layernorm.kernel ~rows ~cols ~nthreads () in
+  (match Validate.check arch kernel with
+  | [] -> ()
+  | problems -> Alcotest.fail (String.concat "\n" problems));
+  let x = Ref.random_fp16 ~seed:11 (rows * cols) in
+  let gamma = Ref.random_fp16 ~seed:12 cols in
+  let beta = Ref.random_fp16 ~seed:13 cols in
+  let y = Array.make (rows * cols) 0.0 in
+  let counters =
+    Interp.run ~arch kernel
+      ~args:[ ("X", x); ("gamma", gamma); ("beta", beta); ("Y", y) ]
+      ()
+  in
+  let y_ref = Array.copy x in
+  Ref.layernorm ~rows ~cols ~gamma ~beta y_ref;
+  (y, y_ref, counters)
+
+let test_layernorm_small () =
+  let y, y_ref, _ = run_layernorm ~rows:4 ~cols:256 ~nthreads:64 ~arch:Arch.SM86 () in
+  check_bool "matches reference" true (Ref.allclose ~rtol:3e-2 ~atol:2e-2 y y_ref)
+
+let test_layernorm_multi_warp () =
+  let y, y_ref, _ =
+    run_layernorm ~rows:3 ~cols:1024 ~nthreads:128 ~arch:Arch.SM86 ()
+  in
+  check_bool "matches reference" true (Ref.allclose ~rtol:3e-2 ~atol:2e-2 y y_ref)
+
+let test_layernorm_scalar_path () =
+  (* npt = 4, exercising the non-vectorized loads. *)
+  let y, y_ref, _ = run_layernorm ~rows:2 ~cols:128 ~nthreads:32 ~arch:Arch.SM86 () in
+  check_bool "matches reference" true (Ref.allclose ~rtol:3e-2 ~atol:2e-2 y y_ref)
+
+let test_layernorm_sm70 () =
+  let y, y_ref, _ = run_layernorm ~rows:2 ~cols:512 ~nthreads:64 ~arch:Arch.SM70 () in
+  check_bool "matches reference" true (Ref.allclose ~rtol:3e-2 ~atol:2e-2 y y_ref)
+
+let run_softmax ~rows ~cols ~nthreads () =
+  let kernel = Kernels.Softmax.kernel ~rows ~cols ~nthreads () in
+  (match Validate.check Arch.SM86 kernel with
+  | [] -> ()
+  | problems -> Alcotest.fail (String.concat "\n" problems));
+  let x = Ref.random_fp16 ~seed:21 (rows * cols) in
+  let y = Array.make (rows * cols) 0.0 in
+  let _ = Interp.run ~arch:Arch.SM86 kernel ~args:[ ("X", x); ("Y", y) ] () in
+  let y_ref = Array.copy x in
+  Ref.softmax_rows ~rows ~cols y_ref;
+  (y, y_ref)
+
+let test_softmax_small () =
+  let y, y_ref = run_softmax ~rows:4 ~cols:256 ~nthreads:64 () in
+  check_bool "matches reference" true (Ref.allclose ~rtol:3e-2 ~atol:5e-3 y y_ref)
+
+let test_softmax_multi_warp () =
+  let y, y_ref = run_softmax ~rows:2 ~cols:768 ~nthreads:96 () in
+  check_bool "matches reference" true (Ref.allclose ~rtol:3e-2 ~atol:5e-3 y y_ref)
+
+let test_softmax_rows_sum_to_one () =
+  let y, _ = run_softmax ~rows:4 ~cols:256 ~nthreads:64 () in
+  for r = 0 to 3 do
+    let s = ref 0.0 in
+    for c = 0 to 255 do
+      s := !s +. y.((r * 256) + c)
+    done;
+    Alcotest.(check (float 0.02)) "row sums to 1" 1.0 !s
+  done
+
+let prop_layernorm_rows_normalized =
+  QCheck.Test.make ~count:5 ~name:"layernorm output rows have ~zero mean"
+    QCheck.(int_range 1 4)
+    (fun seed ->
+      let rows = 2 and cols = 256 and nthreads = 64 in
+      let kernel = Kernels.Layernorm.kernel ~rows ~cols ~nthreads () in
+      let x = Ref.random_fp16 ~seed (rows * cols) in
+      let gamma = Array.make cols 1.0 in
+      let beta = Array.make cols 0.0 in
+      let y = Array.make (rows * cols) 0.0 in
+      let _ =
+        Interp.run ~arch:Arch.SM86 kernel
+          ~args:[ ("X", x); ("gamma", gamma); ("beta", beta); ("Y", y) ]
+          ()
+      in
+      let ok = ref true in
+      for r = 0 to rows - 1 do
+        let s = ref 0.0 in
+        for c = 0 to cols - 1 do
+          s := !s +. y.((r * cols) + c)
+        done;
+        if Float.abs (!s /. float_of_int cols) > 0.02 then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "reductions"
+    [ ( "layernorm"
+      , [ Alcotest.test_case "single warp" `Quick test_layernorm_small
+        ; Alcotest.test_case "multi warp" `Quick test_layernorm_multi_warp
+        ; Alcotest.test_case "scalar loads" `Quick test_layernorm_scalar_path
+        ; Alcotest.test_case "sm70" `Quick test_layernorm_sm70
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_layernorm_rows_normalized ] )
+    ; ( "softmax"
+      , [ Alcotest.test_case "single warp" `Quick test_softmax_small
+        ; Alcotest.test_case "multi warp" `Quick test_softmax_multi_warp
+        ; Alcotest.test_case "rows sum to one" `Quick
+            test_softmax_rows_sum_to_one
+        ] )
+    ]

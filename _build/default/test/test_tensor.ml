@@ -1,0 +1,229 @@
+(* Tests for data tensors and logical thread groups (paper Sections 3-4). *)
+
+module E = Shape.Int_expr
+module T = Shape.Int_tuple
+module L = Shape.Layout
+module Dt = Gpu_tensor.Dtype
+module Ts = Gpu_tensor.Tensor
+module Tt = Gpu_tensor.Thread_tensor
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_ints = Alcotest.(check (list int))
+
+let no_env v = failwith ("unexpected free var " ^ v)
+
+(* ----- Dtype ----- *)
+
+let test_dtype_sizes () =
+  check_int "fp16" 2 (Dt.size_bytes Dt.FP16);
+  check_int "fp32" 4 (Dt.size_bytes Dt.FP32);
+  check_str "cuda" "half" (Dt.to_cuda_string Dt.FP16);
+  check_str "ir" "fp16" (Dt.to_ir_string Dt.FP16)
+
+let test_fp16_rounding () =
+  let r = Dt.round Dt.FP16 in
+  Alcotest.(check (float 0.)) "exact small ints" 5.0 (r 5.0);
+  Alcotest.(check (float 0.)) "1.0" 1.0 (r 1.0);
+  Alcotest.(check (float 1e-6)) "0.1 to fp16" 0.0999755859375 (r 0.1);
+  check_bool "overflow to inf" true (Float.is_integer (r 65504.0));
+  check_bool "inf" true (r 131072.0 = Float.infinity);
+  check_bool "neg inf" true (r (-131072.0) = Float.neg_infinity);
+  check_bool "tiny underflows" true (r 1e-9 = 0.0);
+  check_bool "nan" true (Float.is_nan (r Float.nan));
+  (* Idempotence. *)
+  let vals = [ 0.1; 3.14159; -2.7; 1234.5; 0.00061; -0.333 ] in
+  List.iter
+    (fun v -> Alcotest.(check (float 0.)) "idempotent" (r v) (r (r v)))
+    vals
+
+let prop_fp16_error_bound =
+  QCheck.Test.make ~count:500 ~name:"fp16 relative error < 2^-10"
+    QCheck.(float_range (-60000.) 60000.)
+    (fun x ->
+      let y = Dt.round Dt.FP16 x in
+      if Float.abs x < 1e-4 then true (* subnormal territory *)
+      else Float.abs (y -. x) /. Float.abs x < 1. /. 1024.)
+
+let test_bf16_rounding () =
+  let r = Dt.round Dt.BF16 in
+  Alcotest.(check (float 0.)) "1.0" 1.0 (r 1.0);
+  (* bf16 has ~3 significant decimal digits. *)
+  check_bool "coarse" true (Float.abs (r 3.14159 -. 3.14159) < 0.01);
+  Alcotest.(check (float 0.)) "idempotent" (r 0.2) (r (r 0.2))
+
+(* ----- Data tensors ----- *)
+
+let test_tensor_pp () =
+  let a = Ts.create_rm "A" [ 16; 16 ] Dt.FP16 Gpu_tensor.Memspace.Shared in
+  check_str "untiled" "%A:[(16,16):(16,1)].fp16.SH" (Ts.to_string a);
+  let tiled = Ts.tile a [ L.tile_spec 8; L.tile_spec 8 ] in
+  check_str "tiled" "%A:[(2,2):(128,8)].[(8,8):(16,1)].fp16.SH"
+    (Ts.to_string tiled)
+
+let test_tensor_levels () =
+  let a = Ts.create_rm "A" [ 16; 16 ] Dt.FP16 Gpu_tensor.Memspace.Global in
+  check_int "depth 1" 1 (Ts.depth a);
+  check_int "scalars" 256 (Ts.num_scalars_int a);
+  let t = Ts.tile a [ L.tile_spec 8; L.tile_spec 8 ] in
+  check_int "depth 2" 2 (Ts.depth t);
+  check_int "scalars preserved" 256 (Ts.num_scalars_int t);
+  check_int "rank" 2 (Ts.rank t)
+
+let test_tensor_select_tile () =
+  let a = Ts.create_rm "A" [ 16; 16 ] Dt.FP16 Gpu_tensor.Memspace.Shared in
+  let t = Ts.tile a [ L.tile_spec 8; L.tile_spec 8 ] in
+  let tile10 = Ts.select_ints t [ 1; 0 ] in
+  check_int "tile (1,0) offset" 128 (E.to_int_exn tile10.Ts.offset);
+  check_int "tile depth" 1 (Ts.depth tile10);
+  (* Scalar select inside the tile. *)
+  let s = Ts.select_ints tile10 [ 2; 3 ] in
+  check_int "scalar offset" (128 + (2 * 16) + 3)
+    (Ts.scalar_offset ~env:no_env s)
+
+let test_tensor_scalar_offsets () =
+  let a = Ts.create_rm "A" [ 4; 4 ] Dt.FP32 Gpu_tensor.Memspace.Global in
+  (* Offsets of the full tensor enumerate 0..15 in layout order. *)
+  let offs = Ts.scalar_offsets ~env:no_env a in
+  check_int "count" 16 (Array.length offs);
+  let sorted = Array.copy offs in
+  Array.sort Stdlib.compare sorted;
+  check_ints "cover" (List.init 16 Fun.id) (Array.to_list sorted)
+
+let test_tensor_parametric () =
+  let layout = L.row_major_e [ E.var "M"; E.var "N" ] in
+  let a = Ts.create "A" layout Dt.FP16 Gpu_tensor.Memspace.Global in
+  Alcotest.(check (list string)) "free vars" [ "M"; "N" ] (Ts.free_vars a);
+  check_bool "not const" false (Ts.is_const a);
+  let inst = Ts.subst [ ("M", E.const 4); ("N", E.const 8) ] a in
+  check_bool "const after subst" true (Ts.is_const inst);
+  check_int "scalars" 32 (Ts.num_scalars_int inst);
+  (* env-based enumeration also works directly on the parametric view. *)
+  let env v = match v with "M" -> 4 | "N" -> 8 | _ -> raise Not_found in
+  check_int "offsets" 32 (Array.length (Ts.scalar_offsets ~env a))
+
+let test_tensor_swizzle () =
+  let sw = Shape.Swizzle.make ~bits:1 ~base:0 ~shift:2 in
+  let a =
+    Ts.create ~swizzle:sw "S" (L.row_major [ 2; 4 ]) Dt.FP32
+      Gpu_tensor.Memspace.Shared
+  in
+  (* Index 4 has bit 2 set -> bit 0 flips: physical 5. *)
+  let s = Ts.select_ints a [ 1; 0 ] in
+  check_int "swizzled" 5 (Ts.scalar_offset ~env:no_env s)
+
+let test_tensor_untiled_dim_select () =
+  (* Figure 8, line 17: %7.tile([_, 128]) then select [0, bid_n]. *)
+  let b = Ts.create_rm "B" [ 1024; 1024 ] Dt.FP16 Gpu_tensor.Memspace.Global in
+  let t = Ts.tile b [ None; L.tile_spec 128 ] in
+  let v = Ts.select t [ E.zero; E.var "bid_n" ] in
+  check_str "offset" "bid_n * 128" (E.to_string v.Ts.offset);
+  check_int "tile rows" 1024
+    (match L.dims v.Ts.layout with
+    | T.Node [ d; _ ] -> Shape.Int_tuple.to_int_exn d
+    | _ -> -1)
+
+(* ----- Thread tensors ----- *)
+
+let test_warp_tile_reshape () =
+  (* Paper Figure 5: warp -> 4 groups of 8 -> 2x2 arrangement. *)
+  let warp = Tt.linear "warp" 32 Tt.Thread in
+  check_int "warp size" 32 (Tt.size warp);
+  let grouped = Tt.tile warp [ L.tile_spec 8 ] in
+  check_int "groups" 4 (L.size_int grouped.Tt.layout);
+  check_int "group size" 8 (Tt.group_size grouped);
+  let arranged = Tt.reshape grouped (T.of_ints [ 2; 2 ]) in
+  check_str "pp" "#warp:[(2,2):(8,16)].[8:1].thread" (Tt.to_string arranged);
+  (* Group (0,1) holds threads 16..23. *)
+  check_ints "group (0,1)"
+    [ 16; 17; 18; 19; 20; 21; 22; 23 ]
+    (Array.to_list (Tt.group_member_ids arranged [ 0; 1 ]));
+  (* All members cover the warp exactly. *)
+  check_ints "cover" (List.init 32 Fun.id)
+    (Array.to_list (Tt.member_ids arranged))
+
+let test_quad_pairs () =
+  (* Paper Figure 6: quad-pairs tile the warp by [(4,2):(1,16)]. *)
+  let warp = Tt.linear "warp" 32 Tt.Thread in
+  let qp_spec =
+    L.make (T.node [ T.of_int 4; T.of_int 2 ]) (T.node [ T.of_int 1; T.of_int 16 ])
+  in
+  let qps = Tt.tile warp [ Some qp_spec ] in
+  check_int "4 quad-pairs" 4 (L.size_int qps.Tt.layout);
+  check_int "8 threads each" 8 (Tt.group_size qps);
+  check_ints "qp0" [ 0; 1; 2; 3; 16; 17; 18; 19 ]
+    (Array.to_list (Tt.group_member_ids qps [ 0 ]));
+  check_ints "qp1" [ 4; 5; 6; 7; 20; 21; 22; 23 ]
+    (Array.to_list (Tt.group_member_ids qps [ 1 ]));
+  check_ints "qp3" [ 12; 13; 14; 15; 28; 29; 30; 31 ]
+    (Array.to_list (Tt.group_member_ids qps [ 3 ]))
+
+let test_coord_exprs () =
+  (* CTA of 16x16 threads: tid_m = tid % 16, tid_n = (tid / 16) % 16 as in
+     the paper's Figure 8 generated code. *)
+  let cta = Tt.cta "cta" [ 16; 16 ] in
+  let tid = E.var "threadIdx.x" in
+  (match Tt.coord_exprs cta tid with
+  | [ m; n ] ->
+    check_str "tid_m" "threadIdx.x % 16" (E.to_string m);
+    check_str "tid_n" "threadIdx.x / 16 % 16" (E.to_string n)
+  | _ -> Alcotest.fail "expected two coords");
+  (* Reshaped ldmatrix groups: m = (tid/8)%2, n = (tid/16)%2. *)
+  let warp = Tt.linear "warp" 32 Tt.Thread in
+  let arranged =
+    Tt.reshape (Tt.tile warp [ L.tile_spec 8 ]) (T.of_ints [ 2; 2 ])
+  in
+  match Tt.coord_exprs arranged tid with
+  | [ m; n ] ->
+    check_str "grp_m" "threadIdx.x / 8 % 2" (E.to_string m);
+    check_str "grp_n" "threadIdx.x / 16 % 2" (E.to_string n)
+  | _ -> Alcotest.fail "expected two coords"
+
+let test_grid () =
+  let g = Tt.grid "grid" [ 8; 8 ] in
+  check_int "blocks" 64 (Tt.size g);
+  check_str "pp" "#grid:[(8,8):(1,8)].block" (Tt.to_string g)
+
+let prop_member_ids_partition =
+  QCheck.Test.make ~count:100 ~name:"tiled warp groups partition the warp"
+    QCheck.(oneofl [ 1; 2; 4; 8; 16; 32 ])
+    (fun g ->
+      let warp = Tt.linear "warp" 32 Tt.Thread in
+      let tiled = Tt.tile warp [ L.tile_spec g ] in
+      let n_groups = 32 / g in
+      let all =
+        List.concat_map
+          (fun i -> Array.to_list (Tt.group_member_ids tiled [ i ]))
+          (List.init n_groups Fun.id)
+      in
+      List.sort_uniq Stdlib.compare all = List.init 32 Fun.id)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "tensor"
+    [ ( "dtype"
+      , [ Alcotest.test_case "sizes and names" `Quick test_dtype_sizes
+        ; Alcotest.test_case "fp16 rounding" `Quick test_fp16_rounding
+        ; Alcotest.test_case "bf16 rounding" `Quick test_bf16_rounding
+        ]
+        @ qsuite [ prop_fp16_error_bound ] )
+    ; ( "tensor"
+      , [ Alcotest.test_case "paper notation" `Quick test_tensor_pp
+        ; Alcotest.test_case "levels and scalars" `Quick test_tensor_levels
+        ; Alcotest.test_case "tile selection" `Quick test_tensor_select_tile
+        ; Alcotest.test_case "scalar offsets" `Quick test_tensor_scalar_offsets
+        ; Alcotest.test_case "parametric views" `Quick test_tensor_parametric
+        ; Alcotest.test_case "swizzled views" `Quick test_tensor_swizzle
+        ; Alcotest.test_case "untiled dim select" `Quick
+            test_tensor_untiled_dim_select
+        ] )
+    ; ( "thread_tensor"
+      , [ Alcotest.test_case "fig5 warp tiling" `Quick test_warp_tile_reshape
+        ; Alcotest.test_case "fig6 quad pairs" `Quick test_quad_pairs
+        ; Alcotest.test_case "coordinate expressions" `Quick test_coord_exprs
+        ; Alcotest.test_case "grid" `Quick test_grid
+        ]
+        @ qsuite [ prop_member_ids_partition ] )
+    ]

@@ -1,0 +1,95 @@
+(* Tests for the model-driven autotuner. *)
+
+module Arch = Graphene.Arch
+module Gemm = Kernels.Gemm
+module PM = Gpu_sim.Perf_model
+
+let check_bool = Alcotest.(check bool)
+
+let test_candidates_valid () =
+  let cands = Tuner.Autotune.candidates Arch.SM86 ~m:512 ~n:512 ~k:512 in
+  check_bool "several candidates" true (List.length cands > 5);
+  (* Every candidate must construct a validating kernel. *)
+  List.iter
+    (fun cfg ->
+      let kernel =
+        Gemm.tensor_core Arch.SM86 cfg ~epilogue:Kernels.Epilogue.none ~m:512
+          ~n:512 ~k:512 ()
+      in
+      Alcotest.(check (list string)) "well-formed" []
+        (Graphene.Validate.check Arch.SM86 kernel))
+    cands
+
+let test_best_is_fastest () =
+  let machine = Gpu_sim.Machine.a6000 in
+  let results =
+    Tuner.Autotune.tune machine ~epilogue:Kernels.Epilogue.none ~m:1024
+      ~n:1024 ~k:512 ()
+  in
+  match results with
+  | best :: rest ->
+    List.iter
+      (fun (r : Tuner.Autotune.result) ->
+        check_bool "sorted" true
+          (best.Tuner.Autotune.estimate.PM.time_s
+          <= r.Tuner.Autotune.estimate.PM.time_s))
+      rest
+  | [] -> Alcotest.fail "no results"
+
+let test_best_adapts_to_shape () =
+  (* A skinny problem should not pick the same giant tiles as a square
+     one: the tuner must at least match the library-default config. *)
+  let machine = Gpu_sim.Machine.a6000 in
+  let default = Gemm.default_config Arch.SM86 in
+  let score cfg ~m ~n ~k =
+    (PM.of_kernel machine
+       (Gemm.tensor_core Arch.SM86 cfg ~epilogue:Kernels.Epilogue.none ~m ~n
+          ~k ())
+       ())
+      .PM.time_s
+  in
+  List.iter
+    (fun (m, n, k) ->
+      let best =
+        Tuner.Autotune.best machine ~epilogue:Kernels.Epilogue.none ~m ~n ~k ()
+      in
+      check_bool
+        (Printf.sprintf "beats default at %dx%dx%d" m n k)
+        true
+        (best.Tuner.Autotune.estimate.PM.time_s
+        <= score default ~m ~n ~k +. 1e-9))
+    [ (5376, 5376, 2048); (256, 4096, 512); (4096, 256, 512) ]
+
+let test_tuner_correctness_of_winner () =
+  (* The winning configuration must also compute correct results. *)
+  let machine = Gpu_sim.Machine.a6000 in
+  let m = 128 and n = 128 and k = 64 in
+  let best =
+    Tuner.Autotune.best machine ~epilogue:Kernels.Epilogue.none ~m ~n ~k ()
+  in
+  let kernel =
+    Gemm.tensor_core Arch.SM86 best.Tuner.Autotune.config
+      ~epilogue:Kernels.Epilogue.none ~m ~n ~k ()
+  in
+  let a = Reference.Cpu_ref.random_fp16 ~seed:1 (m * k) in
+  let b = Reference.Cpu_ref.random_fp16 ~seed:2 (k * n) in
+  let c = Array.make (m * n) 0.0 in
+  let _ =
+    Gpu_sim.Interp.run ~arch:Arch.SM86 kernel
+      ~args:[ ("A", a); ("B", b); ("C", c) ]
+      ()
+  in
+  let c_ref = Array.make (m * n) 0.0 in
+  Reference.Cpu_ref.gemm ~m ~n ~k a b c_ref;
+  check_bool "winner is correct" true (Reference.Cpu_ref.allclose c c_ref)
+
+let () =
+  Alcotest.run "tuner"
+    [ ( "autotune"
+      , [ Alcotest.test_case "candidates validate" `Slow test_candidates_valid
+        ; Alcotest.test_case "ranking sorted" `Quick test_best_is_fastest
+        ; Alcotest.test_case "adapts to shape" `Quick test_best_adapts_to_shape
+        ; Alcotest.test_case "winner computes correctly" `Quick
+            test_tuner_correctness_of_winner
+        ] )
+    ]

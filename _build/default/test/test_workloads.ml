@@ -1,0 +1,155 @@
+(* Tests for the baselines and workloads layers: library-call cost models
+   and the transformer op-graph expansion. *)
+
+module LM = Baselines.Lib_model
+module PM = Gpu_sim.Perf_model
+module SA = Gpu_sim.Static_analysis
+module T = Workloads.Transformer
+
+let check_bool = Alcotest.(check bool)
+let machine = Gpu_sim.Machine.a6000
+
+(* ----- lib_model ----- *)
+
+let test_gemm_totals_flops () =
+  let t = LM.gemm_totals ~m:1024 ~n:1024 ~k:1024 () in
+  Alcotest.(check (float 1.0)) "2mnk" (2.0 *. (1024.0 ** 3.0)) t.SA.tc_flops;
+  check_bool "has traffic" true (t.SA.global_bytes > 0.0);
+  check_bool "param floor" true
+    (t.SA.param_bytes >= float_of_int (3 * 1024 * 1024 * 2))
+
+let test_gemm_totals_padding () =
+  (* Non-divisible sizes pad up to the library's tiles. *)
+  let exact = LM.gemm_totals ~m:1024 ~n:1024 ~k:1024 () in
+  let ragged = LM.gemm_totals ~m:1000 ~n:1000 ~k:1000 () in
+  check_bool "padded flops >= useful flops" true
+    (ragged.SA.tc_flops >= 2.0 *. (1000.0 ** 3.0));
+  check_bool "padded == next tile multiple" true
+    (ragged.SA.tc_flops <= exact.SA.tc_flops)
+
+let test_gemm_batched_scales () =
+  let one = LM.gemm_totals ~m:256 ~n:256 ~k:64 () in
+  let eight = LM.gemm_totals ~batch:8 ~m:256 ~n:256 ~k:64 () in
+  Alcotest.(check (float 1.0)) "8x flops" (8.0 *. one.SA.tc_flops)
+    eight.SA.tc_flops;
+  Alcotest.(check int) "8x blocks" (8 * one.SA.blocks) eight.SA.blocks
+
+let test_pointwise_totals () =
+  let t = LM.pointwise_totals ~reads:1000 ~writes:500 ~flops_per_elem:2 () in
+  Alcotest.(check (float 0.0)) "bytes" 3000.0 t.SA.global_bytes;
+  Alcotest.(check (float 0.0)) "flops" 1000.0 t.SA.fma_flops
+
+(* ----- baseline orderings ----- *)
+
+let test_layernorm_impl_ordering () =
+  let time impl =
+    (Baselines.Pytorch.layernorm machine ~impl ~rows:4096 ~cols:2048).PM.time_s
+  in
+  check_bool "eager slowest" true
+    (time Baselines.Pytorch.Eager > time Baselines.Pytorch.Jit);
+  check_bool "jit above fused" true
+    (time Baselines.Pytorch.Jit > time Baselines.Pytorch.Fused);
+  Alcotest.(check (float 1e-9)) "apex == fused"
+    (time Baselines.Pytorch.Fused)
+    (time Baselines.Pytorch.Apex)
+
+let test_attention_baselines () =
+  let unfused =
+    Baselines.Pytorch.unfused_attention machine ~batch:8 ~heads:12 ~seq:128
+      ~dh:64
+  in
+  let eager =
+    Baselines.Pytorch.eager_attention machine ~batch:8 ~heads:12 ~seq:128
+      ~dh:64
+  in
+  check_bool "eager adds transpose/mask overhead" true
+    (eager.PM.time_s > unfused.PM.time_s)
+
+let test_cublas_matches_graphene_on_default_tiles () =
+  (* The paper's methodology: same tiles => same kernel. *)
+  let g =
+    PM.of_kernel machine
+      (Kernels.Gemm.tensor_core Graphene.Arch.SM86
+         (Kernels.Gemm.default_config Graphene.Arch.SM86)
+         ~epilogue:Kernels.Epilogue.none ~m:1024 ~n:1024 ~k:1024 ())
+      ()
+  in
+  let c = Baselines.Cublas.gemm machine ~m:1024 ~n:1024 ~k:1024 () in
+  Alcotest.(check (float 1e-12)) "identical" g.PM.time_s c.PM.time_s
+
+(* ----- transformer workloads ----- *)
+
+let test_transformer_configs () =
+  List.iter
+    (fun (c : T.config) ->
+      Alcotest.(check int) (c.T.name ^ " head dim") 64 (T.head_dim c))
+    T.all;
+  check_bool "bert-large is deeper" true
+    (T.bert_large.T.layers > T.bert_base.T.layers)
+
+let test_transformer_breakdown () =
+  List.iter
+    (fun (c : T.config) ->
+      let base = T.baseline_time machine c in
+      let inj = T.fmha_injected_time machine c in
+      check_bool (c.T.name ^ " fraction in (0,1)") true
+        (base.T.attention_fraction > 0.0 && base.T.attention_fraction < 1.0);
+      check_bool (c.T.name ^ " injection helps") true
+        (inj.T.total_s < base.T.total_s);
+      check_bool (c.T.name ^ " bounded by attention share") true
+        (T.speedup machine c < 1.0 /. (1.0 -. base.T.attention_fraction) +. 0.01))
+    T.all
+
+let test_deeper_network_scales_linearly () =
+  let t6 = (T.baseline_time machine T.distilbert).T.total_s in
+  let t12 = (T.baseline_time machine T.bert_base).T.total_s in
+  (* DistilBERT is BERT-base at half depth. *)
+  Alcotest.(check (float 1e-9)) "half the layers, half the time" (2.0 *. t6) t12
+
+(* ----- divergent barrier detection ----- *)
+
+let test_divergent_barrier_rejected () =
+  let module B = Graphene.Builder in
+  let module Tt = Gpu_tensor.Thread_tensor in
+  let grid = Tt.grid "g" [ 1 ] in
+  let cta = Tt.cta "cta" [ 32 ] in
+  let kernel =
+    B.kernel "bad_sync" ~grid ~cta ~params:[]
+      [ B.if_
+          B.(B.thread_idx <. Shape.Int_expr.const 16)
+          [ B.sync ]
+      ]
+  in
+  check_bool "rejected" true
+    (try
+       ignore (Gpu_sim.Interp.run ~arch:Graphene.Arch.SM86 kernel ~args:[] ());
+       false
+     with Gpu_sim.Interp.Exec_error _ -> true)
+
+let () =
+  Alcotest.run "workloads"
+    [ ( "lib_model"
+      , [ Alcotest.test_case "gemm flops" `Quick test_gemm_totals_flops
+        ; Alcotest.test_case "gemm padding" `Quick test_gemm_totals_padding
+        ; Alcotest.test_case "batched scaling" `Quick test_gemm_batched_scales
+        ; Alcotest.test_case "pointwise totals" `Quick test_pointwise_totals
+        ] )
+    ; ( "baselines"
+      , [ Alcotest.test_case "layernorm ordering" `Quick
+            test_layernorm_impl_ordering
+        ; Alcotest.test_case "attention baselines" `Quick
+            test_attention_baselines
+        ; Alcotest.test_case "cublas == graphene on same tiles" `Quick
+            test_cublas_matches_graphene_on_default_tiles
+        ] )
+    ; ( "transformers"
+      , [ Alcotest.test_case "configs" `Quick test_transformer_configs
+        ; Alcotest.test_case "breakdowns" `Quick test_transformer_breakdown
+        ; Alcotest.test_case "depth scaling" `Quick
+            test_deeper_network_scales_linearly
+        ] )
+    ; ( "interpreter safety"
+      , [ Alcotest.test_case "divergent barrier rejected" `Quick
+            test_divergent_barrier_rejected
+        ] )
+    ]

@@ -1,0 +1,28 @@
+# Convenience wrappers around dune. `make ci` is what CI runs.
+
+.PHONY: build test profile-smoke bench golden ci clean
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Run the profiler CLI end-to-end (simulate + verify + JSON/trace export)
+# on one kernel per supported architecture; fails on non-zero exit.
+profile-smoke:
+	dune build @profile-smoke
+
+bench:
+	dune exec bench/main.exe
+
+# Regenerate golden files (CUDA listings, profiler report) after an
+# intentional output change.
+golden:
+	dune exec bin/gen_golden.exe
+
+ci:
+	dune build @ci
+
+clean:
+	dune clean

@@ -63,7 +63,61 @@ let run_bechamel () =
     (fun (name, est) ->
       Format.printf "%-40s %14.1f ns/run@." name est)
     rows;
-  Format.printf "@."
+  Format.printf "@.";
+  rows
+
+(* Simulated per-spec profiles of the tensor-core GEMM on both
+   architectures (zero-filled inputs: traffic is data-independent). *)
+let profile_reports () =
+  List.map
+    (fun arch ->
+      let cfg = Kernels.Gemm.test_config arch in
+      let m, n = if arch = Graphene.Arch.SM70 then (32, 32) else (64, 64) in
+      let k = 32 in
+      let kernel =
+        Kernels.Gemm.tensor_core arch cfg ~epilogue:Kernels.Epilogue.none ~m
+          ~n ~k ()
+      in
+      let args =
+        List.map
+          (fun (p : Gpu_tensor.Tensor.t) ->
+            ( p.Gpu_tensor.Tensor.name
+            , Array.make (Shape.Layout.cosize p.Gpu_tensor.Tensor.layout) 0.0
+            ))
+          kernel.Graphene.Spec.params
+      in
+      let profiler = Gpu_sim.Profiler.create () in
+      let counters = Gpu_sim.Interp.run ~arch ~profiler kernel ~args () in
+      Gpu_sim.Profiler.report profiler ~kernel ~arch ~counters
+        ~machine:(Gpu_sim.Machine.of_arch arch) ())
+    [ Graphene.Arch.SM70; Graphene.Arch.SM86 ]
+
+(* Machine-readable companion to the printed tables: per-spec profiles of
+   the GEMM kernels plus the bechamel timing rows. *)
+let emit_bench_profile rows =
+  let reports = profile_reports () in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\"schema\":\"graphene.bench.v1\",\n\"profiles\":[\n";
+  List.iteri
+    (fun i rep ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (Gpu_sim.Profiler.report_to_json rep))
+    reports;
+  Buffer.add_string buf "\n],\n\"timings_ns_per_run\":{";
+  List.iteri
+    (fun i (name, est) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n%s:%s"
+           (Gpu_sim.Trace.json_string name)
+           (if Float.is_nan est then "null" else Printf.sprintf "%.6g" est)))
+    rows;
+  Buffer.add_string buf "\n}}\n";
+  let oc = open_out "BENCH_profile.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "wrote BENCH_profile.json (%d kernel profiles, %d timings)@."
+    (List.length reports) (List.length rows)
 
 let () =
   Format.printf
@@ -71,7 +125,13 @@ let () =
      evaluation@.(ASPLOS 2023: Graphene: An IR for Optimized Tensor \
      Computations on GPUs)@.@.";
   Experiments.Figures.print_all Format.std_formatter;
-  (try run_bechamel ()
-   with exn ->
-     Format.printf "bechamel micro-benchmark skipped: %s@."
-       (Printexc.to_string exn))
+  let rows =
+    try run_bechamel ()
+    with exn ->
+      Format.printf "bechamel micro-benchmark skipped: %s@."
+        (Printexc.to_string exn);
+      []
+  in
+  try emit_bench_profile rows
+  with exn ->
+    Format.printf "BENCH_profile.json skipped: %s@." (Printexc.to_string exn)

@@ -14,4 +14,28 @@ let () =
   in
   let oc = open_out "test/golden/gemm_tc_sm86.cu" in
   output_string oc (Codegen.Emit.cuda Graphene.Arch.SM86 tc);
+  close_out oc;
+  (* Golden profiler report — must mirror profile_gemm in
+     test/test_profiler.ml: same kernel, zero-filled inputs. *)
+  let arch = Graphene.Arch.SM86 in
+  let kernel =
+    Kernels.Gemm.tensor_core arch
+      (Kernels.Gemm.test_config arch)
+      ~epilogue:Kernels.Epilogue.none ~m:64 ~n:64 ~k:32 ()
+  in
+  let args =
+    List.map
+      (fun (p : Gpu_tensor.Tensor.t) ->
+        ( p.Gpu_tensor.Tensor.name
+        , Array.make (Shape.Layout.cosize p.Gpu_tensor.Tensor.layout) 0.0 ))
+      kernel.Graphene.Spec.params
+  in
+  let profiler = Gpu_sim.Profiler.create () in
+  let counters = Gpu_sim.Interp.run ~arch ~profiler kernel ~args () in
+  let report =
+    Gpu_sim.Profiler.report profiler ~kernel ~arch ~counters
+      ~machine:(Gpu_sim.Machine.of_arch arch) ()
+  in
+  let oc = open_out "test/golden/profile_gemm_tc_sm86.json" in
+  output_string oc (Gpu_sim.Profiler.report_to_json report);
   close_out oc

@@ -3,6 +3,9 @@
      graphene ir <kernel>         print the Graphene IR listing
      graphene codegen <kernel>    print the generated CUDA C++
      graphene simulate <kernel>   execute on the simulated GPU and verify
+     graphene profile <kernel>    simulate with per-spec profiling: prints the
+                                  report, writes JSON + Chrome-trace files
+     graphene tune [M N K]        rank GEMM tile configurations
      graphene tables              regenerate the paper's tables and figures
      graphene table2              print the atomic-spec registry (Table 2) *)
 
@@ -224,6 +227,67 @@ let simulate_cmd =
        ~doc:"Execute a kernel on the simulated GPU and verify the result.")
     Term.(const run $ arch_arg $ kernel_arg)
 
+let write_file path contents =
+  try
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  with Sys_error msg ->
+    Format.eprintf "error: cannot write output file: %s@." msg;
+    exit 1
+
+let profile_cmd =
+  let out_dir =
+    Arg.(
+      value & opt string "."
+      & info [ "o"; "output-dir" ] ~docv:"DIR"
+          ~doc:"Directory for the JSON report and Chrome-trace files.")
+  in
+  let detail =
+    Arg.(
+      value & flag
+      & info [ "detail" ]
+          ~doc:
+            "Also record one trace event per executed instruction instance \
+             (larger trace files).")
+  in
+  let run arch name out_dir detail =
+    let kernel, args, verify = build arch name in
+    let trace = Gpu_sim.Trace.create () in
+    let profiler = Gpu_sim.Profiler.create ~trace ~detail () in
+    let counters = Gpu_sim.Interp.run ~arch ~profiler kernel ~args () in
+    let machine = Gpu_sim.Machine.of_arch arch in
+    let report =
+      Gpu_sim.Profiler.report profiler ~kernel ~arch ~counters ~machine ()
+    in
+    Format.printf "%a@." Gpu_sim.Profiler.pp_report report;
+    let slug = String.map (fun c -> if c = '-' then '_' else c) name in
+    let base =
+      Printf.sprintf "%s/profile_%s_%s" out_dir slug (Arch.name arch)
+    in
+    let json_path = base ^ ".json" in
+    let trace_path = base ^ ".trace.json" in
+    write_file json_path (Gpu_sim.Profiler.report_to_json report);
+    write_file trace_path (Gpu_sim.Trace.to_chrome_string trace);
+    Format.printf "report: %s@.trace:  %s (%d events; load in \
+                   chrome://tracing or ui.perfetto.dev)@."
+      json_path trace_path
+      (Gpu_sim.Trace.num_events trace);
+    if verify () then Format.printf "result: matches CPU reference@."
+    else begin
+      Format.printf "result: MISMATCH against CPU reference@.";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Execute a kernel on the simulated GPU with per-spec profiling:   \
+          print the attribution report (instruction mix, bytes, coalescing, \
+          bank conflicts, roofline placement) and write a JSON report plus \
+          a Chrome-trace timeline. See docs/PROFILING.md.")
+    Term.(const run $ arch_arg $ kernel_arg $ out_dir $ detail)
+
 let tune_cmd =
   let mnk =
     Arg.(
@@ -234,7 +298,16 @@ let tune_cmd =
   let kernel_pos =
     Arg.(value & pos 0 string "gemm" & info [] ~docv:"KERNEL")
   in
-  let run arch _kernel sizes =
+  let profile_top =
+    Arg.(
+      value & opt int 0
+      & info [ "profile" ] ~docv:"N"
+          ~doc:
+            "Simulate the top $(docv) candidates at a proxy size and attach \
+             a measured per-spec profile (coalescing, bank conflicts) to \
+             each line.")
+  in
+  let run arch _kernel sizes profile_top =
     let m, n, k =
       match sizes with
       | [ m; n; k ] -> (m, n, k)
@@ -243,7 +316,8 @@ let tune_cmd =
     in
     let machine = Gpu_sim.Machine.of_arch arch in
     let results =
-      Tuner.Autotune.tune machine ~epilogue:Kernels.Epilogue.none ~m ~n ~k ()
+      Tuner.Autotune.tune ~profile_top machine ~epilogue:Kernels.Epilogue.none
+        ~m ~n ~k ()
     in
     Format.printf "top configurations for %dx%dx%d on %s:@." m n k
       (Arch.display_name arch);
@@ -257,7 +331,7 @@ let tune_cmd =
     (Cmd.info "tune"
        ~doc:
          "Rank GEMM tile configurations for a problem size using the           performance model over each candidate's IR.")
-    Term.(const run $ arch_arg $ kernel_pos $ mnk)
+    Term.(const run $ arch_arg $ kernel_pos $ mnk $ profile_top)
 
 let tables_cmd =
   let run () = Experiments.Figures.print_all Format.std_formatter in
@@ -281,4 +355,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-       [ ir_cmd; codegen_cmd; simulate_cmd; tables_cmd; table2_cmd; tune_cmd ]))
+       [ ir_cmd; codegen_cmd; simulate_cmd; profile_cmd; tables_cmd
+       ; table2_cmd; tune_cmd
+       ]))

@@ -100,6 +100,8 @@ let kind_name = function
   | Init v -> Printf.sprintf "Init<%g>" v
   | Generic name -> Printf.sprintf "Spec<%s>" name
 
+let leaf_name s = if String.length s.label > 0 then s.label else kind_name s.kind
+
 let rel_string = function
   | Lt -> "<"
   | Le -> "<="

@@ -41,11 +41,8 @@ let add_instr t name =
   Hashtbl.replace t.instr_mix name
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.instr_mix name))
 
-let record_global_batch t ~store ~bytes addresses =
-  let total = bytes * List.length addresses in
-  if store then t.global_store_bytes <- t.global_store_bytes + total
-  else t.global_load_bytes <- t.global_load_bytes + total;
-  (* Distinct 32-byte sectors across the batch, modelling coalescing. *)
+(* Distinct 32-byte sectors across a batch, modelling coalescing. *)
+let sectors_of_batch ~bytes addresses =
   let sectors = Hashtbl.create 16 in
   List.iter
     (fun a ->
@@ -54,7 +51,14 @@ let record_global_batch t ~store ~bytes addresses =
         Hashtbl.replace sectors s ()
       done)
     addresses;
-  t.global_transactions <- t.global_transactions + Hashtbl.length sectors
+  Hashtbl.length sectors
+
+let record_global_batch t ~store ~bytes addresses =
+  let total = bytes * List.length addresses in
+  if store then t.global_store_bytes <- t.global_store_bytes + total
+  else t.global_load_bytes <- t.global_load_bytes + total;
+  t.global_transactions <-
+    t.global_transactions + sectors_of_batch ~bytes addresses
 
 let rec chunks n = function
   | [] -> []
@@ -67,17 +71,14 @@ let rec chunks n = function
     let hd, tl = take n [] l in
     hd :: chunks n tl
 
-let record_shared_batch t ~store ~bytes addresses =
-  let total = bytes * List.length addresses in
-  if store then t.shared_store_bytes <- t.shared_store_bytes + total
-  else t.shared_load_bytes <- t.shared_load_bytes + total;
-  (* The hardware serves at most 128 bytes (32 banks x 4 bytes) per phase;
-     wide per-thread accesses split into phases of 128/bytes threads. Bank
-     conflicts are extra cycles within a phase: the maximum number of
-     distinct 4-byte words mapping to one bank. *)
+(* The hardware serves at most 128 bytes (32 banks x 4 bytes) per phase;
+   wide per-thread accesses split into phases of 128/bytes threads. Bank
+   conflicts are extra cycles within a phase: the maximum number of
+   distinct 4-byte words mapping to one bank. *)
+let conflicts_of_batch ~bytes addresses =
   let per_phase = max 1 (128 / max 1 bytes) in
-  List.iter
-    (fun phase ->
+  List.fold_left
+    (fun acc phase ->
       let words_per_bank = Array.make 32 [] in
       List.iter
         (fun a ->
@@ -93,8 +94,15 @@ let record_shared_batch t ~store ~bytes addresses =
           (fun acc ws -> max acc (List.length ws))
           1 words_per_bank
       in
-      t.shared_bank_conflicts <- t.shared_bank_conflicts + (degree - 1))
-    (chunks per_phase addresses)
+      acc + (degree - 1))
+    0 (chunks per_phase addresses)
+
+let record_shared_batch t ~store ~bytes addresses =
+  let total = bytes * List.length addresses in
+  if store then t.shared_store_bytes <- t.shared_store_bytes + total
+  else t.shared_load_bytes <- t.shared_load_bytes + total;
+  t.shared_bank_conflicts <-
+    t.shared_bank_conflicts + conflicts_of_batch ~bytes addresses
 
 let merge dst src =
   dst.global_load_bytes <- dst.global_load_bytes + src.global_load_bytes;
@@ -112,6 +120,10 @@ let merge dst src =
       Hashtbl.replace dst.instr_mix k
         (v + Option.value ~default:0 (Hashtbl.find_opt dst.instr_mix k)))
     src.instr_mix
+
+let instr_mix_alist t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.instr_mix []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let pp fmt t =
   Format.fprintf fmt

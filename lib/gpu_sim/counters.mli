@@ -17,8 +17,20 @@ type t =
   }
 
 val create : unit -> t
+
+(** Zero every counter, including the instruction mix. *)
 val reset : t -> unit
+
 val add_instr : t -> string -> unit
+
+(** Distinct 32-byte DRAM sectors touched by one warp-synchronous batch —
+    the pure computation behind {!record_global_batch}, exposed so the
+    profiler can attach sector counts to trace events. *)
+val sectors_of_batch : bytes:int -> int list -> int
+
+(** Extra serialized shared-memory cycles of one warp-synchronous batch —
+    the pure computation behind {!record_shared_batch}. *)
+val conflicts_of_batch : bytes:int -> int list -> int
 
 (** [record_global_batch t ~store ~bytes addresses] — one warp-synchronous
     global access: byte addresses of every participating thread. Counts the
@@ -32,5 +44,12 @@ val record_global_batch : t -> store:bool -> bytes:int -> int list -> unit
     free); degree-1 accesses add nothing. *)
 val record_shared_batch : t -> store:bool -> bytes:int -> int list -> unit
 
+(** [merge dst src] adds every counter of [src] into [dst], including the
+    per-instruction mix. *)
 val merge : t -> t -> unit
+
+(** The instruction mix as an association list, sorted by instruction name
+    (deterministic, for reports). *)
+val instr_mix_alist : t -> (string * int) list
+
 val pp : Format.formatter -> t -> unit

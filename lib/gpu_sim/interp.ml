@@ -16,7 +16,11 @@ type ctx =
   ; mem : Memory.t
   ; counters : Counters.t
   ; cta_size : int
+  ; prof : Profiler.t option
   }
+
+let sem_trace ctx =
+  match ctx.prof with Some p -> Profiler.detail_trace p | None -> None
 
 let with_tid env tid v = if String.equal v "threadIdx.x" then tid else env v
 
@@ -60,10 +64,21 @@ let record_view_batch ctx env tids ~store (v : Ts.t) =
     let addrs =
       List.filter_map (fun tid -> first_byte_address ctx env tid v) tids
     in
-    if addrs <> [] then
-      if Ms.equal v.Ts.mem Ms.Global then
-        Counters.record_global_batch ctx.counters ~store ~bytes addrs
-      else Counters.record_shared_batch ctx.counters ~store ~bytes addrs
+    if addrs <> [] then begin
+      let warp = match tids with t :: _ -> t / 32 | [] -> 0 in
+      if Ms.equal v.Ts.mem Ms.Global then begin
+        Counters.record_global_batch ctx.counters ~store ~bytes addrs;
+        Option.iter
+          (fun p -> Profiler.on_global_batch p ~store ~bytes ~warp addrs)
+          ctx.prof
+      end
+      else begin
+        Counters.record_shared_batch ctx.counters ~store ~bytes addrs;
+        Option.iter
+          (fun p -> Profiler.on_shared_batch p ~store ~bytes ~warp addrs)
+          ctx.prof
+      end
+    end
 
 let account_cost ctx (instr : Atomic.instr) (s : Spec.t) ~instances =
   let c = instr.Atomic.cost s in
@@ -83,7 +98,12 @@ let account_cost ctx (instr : Atomic.instr) (s : Spec.t) ~instances =
     - instances;
   for _ = 1 to instances do
     Counters.add_instr ctx.counters instr.Atomic.name
-  done
+  done;
+  Option.iter
+    (fun p ->
+      Profiler.on_cost p ~instr:instr.Atomic.name ~tc:is_tc ~flops:c.Atomic.flops
+        ~instructions:c.Atomic.instructions ~instances)
+    ctx.prof
 
 (* Execute a per-thread atomic spec for all active threads, warp by warp, so
    that address batches model warp-synchronous coalescing. *)
@@ -97,16 +117,21 @@ let exec_per_thread ctx (instr : Atomic.instr) (s : Spec.t) env active =
     active;
   let warps = Hashtbl.fold (fun w tids acc -> (w, List.rev tids) :: acc) by_warp [] in
   let warps = List.sort Stdlib.compare warps in
+  let dur = max 1 (instr.Atomic.cost s).Atomic.instructions in
   List.iter
-    (fun (_, tids) ->
+    (fun (w, tids) ->
       (* Address accounting happens before data movement so that loads
          observe pre-instruction state (irrelevant for addresses). *)
       List.iter (record_view_batch ctx env tids ~store:false) s.Spec.ins;
       List.iter (record_view_batch ctx env tids ~store:true) s.Spec.outs;
       List.iter
         (fun tid ->
-          Semantics.exec ctx.mem ~instr ~spec:s ~env ~members:[| tid |])
-        tids)
+          Semantics.exec ?trace:(sem_trace ctx) ctx.mem ~instr ~spec:s ~env
+            ~members:[| tid |])
+        tids;
+      Option.iter
+        (fun p -> Profiler.exec_event p ~warp:w ~lanes:(List.length tids) ~dur)
+        ctx.prof)
     warps;
   account_cost ctx instr s ~instances:(List.length active)
 
@@ -137,7 +162,12 @@ let record_ldmatrix ctx ~trans x (s : Spec.t) env members =
     in
     for j = 0 to x - 1 do
       let addrs = List.init 8 (fun r -> row_addr j r) in
-      Counters.record_shared_batch ctx.counters ~store:false ~bytes:16 addrs
+      Counters.record_shared_batch ctx.counters ~store:false ~bytes:16 addrs;
+      Option.iter
+        (fun p ->
+          Profiler.on_shared_batch p ~store:false ~bytes:16
+            ~warp:(members.(0) / 32) addrs)
+        ctx.prof
     done
   | _ -> ()
 
@@ -162,6 +192,7 @@ let exec_collective ctx (instr : Atomic.instr) (s : Spec.t) env active =
       end)
     active;
   let groups = List.rev !groups in
+  let dur = max 1 (instr.Atomic.cost s).Atomic.instructions in
   List.iter
     (fun members ->
       let name = instr.Atomic.name in
@@ -174,7 +205,12 @@ let exec_collective ctx (instr : Atomic.instr) (s : Spec.t) env active =
         in
         record_ldmatrix ctx ~trans x s env members
       end;
-      Semantics.exec ctx.mem ~instr ~spec:s ~env ~members)
+      Semantics.exec ?trace:(sem_trace ctx) ctx.mem ~instr ~spec:s ~env ~members;
+      Option.iter
+        (fun p ->
+          Profiler.exec_event p ~warp:(members.(0) / 32)
+            ~lanes:(Array.length members) ~dur)
+        ctx.prof)
     groups;
   account_cost ctx instr s ~instances:(List.length groups)
 
@@ -185,18 +221,21 @@ let rec exec_stmt ctx env active stmt =
     (* A barrier under divergent control flow deadlocks real hardware. *)
     if List.length active <> ctx.cta_size then
       error "__syncthreads() inside divergent control flow (%d of %d threads)"
-        (List.length active) ctx.cta_size
+        (List.length active) ctx.cta_size;
+    Option.iter Profiler.on_barrier ctx.prof
   | Spec.For { var; lo; hi; step; body; _ } ->
     if mentions_tid lo || mentions_tid hi || mentions_tid step then
       error "loop %s has thread-dependent bounds" var;
     let lo = E.eval ~env lo and hi = E.eval ~env hi and step = E.eval ~env step in
     if step <= 0 then error "loop %s has non-positive step" var;
+    Option.iter (fun p -> Profiler.enter_frame p var) ctx.prof;
     let v = ref lo in
     while !v < hi do
       let env' x = if String.equal x var then !v else env x in
       List.iter (exec_stmt ctx env' active) body;
       v := !v + step
-    done
+    done;
+    Option.iter Profiler.exit_frame ctx.prof
   | Spec.If { cond; then_; else_ } ->
     if pred_mentions_tid cond then begin
       let taken, not_taken =
@@ -210,13 +249,23 @@ let rec exec_stmt ctx env active stmt =
     else List.iter (exec_stmt ctx env active) else_
   | Spec.Spec_stmt s -> (
     match s.Spec.decomp with
-    | Some body -> List.iter (exec_stmt ctx env active) body
+    | Some body ->
+      let framed = String.length s.Spec.label > 0 in
+      if framed then
+        Option.iter (fun p -> Profiler.enter_frame p s.Spec.label) ctx.prof;
+      List.iter (exec_stmt ctx env active) body;
+      if framed then Option.iter Profiler.exit_frame ctx.prof
     | None -> (
       match Atomic.find ctx.arch s with
       | None ->
         error "no atomic spec matches %s"
           (Format.asprintf "%a" Spec.pp { s with Spec.decomp = None })
       | Some instr ->
+        Option.iter
+          (fun p ->
+            Profiler.begin_atomic p ~label:s.Spec.label
+              ~kind:(Spec.kind_name s.Spec.kind) ~instr:instr.Atomic.name)
+          ctx.prof;
         if instr.Atomic.threads = 1 then exec_per_thread ctx instr s env active
         else exec_collective ctx instr s env active))
 
@@ -225,7 +274,7 @@ let shared_alloc_size (t : Ts.t) =
   let w = Shape.Swizzle.window t.Ts.swizzle in
   (cosize + w - 1) / w * w
 
-let run ~arch (k : Spec.kernel) ~args ?(scalars = []) () =
+let run ~arch ?profiler (k : Spec.kernel) ~args ?(scalars = []) () =
   let mem = Memory.create () in
   let counters = Counters.create () in
   List.iter (fun (name, data) -> Memory.bind_global mem name data) args;
@@ -238,7 +287,7 @@ let run ~arch (k : Spec.kernel) ~args ?(scalars = []) () =
     (Spec.allocs k.Spec.body);
   let cta_size = Tt.size k.Spec.cta in
   let grid_size = Tt.size k.Spec.grid in
-  let ctx = { arch; mem; counters; cta_size } in
+  let ctx = { arch; mem; counters; cta_size; prof = profiler } in
   let base_env v =
     match List.assoc_opt v scalars with
     | Some n -> n
@@ -247,6 +296,7 @@ let run ~arch (k : Spec.kernel) ~args ?(scalars = []) () =
   let all_threads = List.init cta_size Fun.id in
   for bid = 0 to grid_size - 1 do
     Memory.reset_block mem;
+    Option.iter (fun p -> Profiler.set_block p bid) ctx.prof;
     let env v = if String.equal v "blockIdx.x" then bid else base_env v in
     List.iter (exec_stmt ctx env all_threads) k.Spec.body
   done;

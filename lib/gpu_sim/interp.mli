@@ -15,11 +15,16 @@ exception Exec_error of string
     (mutated in place); [scalars] binds the kernel's symbolic size
     parameters. Returns the accumulated event counters.
 
+    [profiler], when given, additionally receives every event attributed
+    to the spec (label / loop nest) that issued it — build one with
+    {!Profiler.create} and render with {!Profiler.report} afterwards.
+
     Raises {!Exec_error} (or {!Memory.Fault}) on malformed kernels:
     unmatched atomic specs, thread-dependent loop bounds, divergent
     collective instructions, out-of-bounds accesses. *)
 val run :
   arch:Graphene.Arch.t ->
+  ?profiler:Profiler.t ->
   Graphene.Spec.kernel ->
   args:(string * float array) list ->
   ?scalars:(string * int) list ->

@@ -254,8 +254,19 @@ let exec_shfl mem kind (s : Spec.t) env members =
 
 (* ----- dispatch ----- *)
 
-let exec mem ~instr ~spec ~env ~members =
+let exec ?trace mem ~instr ~spec ~env ~members =
   let name = instr.Atomic.name in
+  (* Fine-grained (per-instance) instruction event, for detailed traces. *)
+  Option.iter
+    (fun tr ->
+      Trace.instant tr ~name:("sem:" ^ name) ~cat:"sem"
+        ~tid:(members.(0) / 32)
+        ~args:
+          [ ("lane0", Trace.Int members.(0))
+          ; ("lanes", Trace.Int (Array.length members))
+          ]
+        ())
+    trace;
   if starts_with "ldmatrix.x4" name then exec_ldmatrix mem 4 spec env members
   else if starts_with "ldmatrix.x2" name then exec_ldmatrix mem 2 spec env members
   else if starts_with "ldmatrix.x1" name then exec_ldmatrix mem 1 spec env members

@@ -12,8 +12,10 @@
     in ascending order (their position is the lane index); [env] binds
     block/loop variables (not [threadIdx.x], which is bound per member).
     Only data movement/compute happens here; event counting is the
-    interpreter's job. *)
+    interpreter's job. [trace], when given (the profiler's detail mode),
+    receives one instruction-level event per executed instance. *)
 val exec :
+  ?trace:Trace.t ->
   Memory.t ->
   instr:Graphene.Atomic.instr ->
   spec:Graphene.Spec.t ->

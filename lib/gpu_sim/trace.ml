@@ -1,0 +1,133 @@
+type arg =
+  | Int of int
+  | Str of string
+
+type event =
+  { name : string
+  ; cat : string
+  ; ph : char  (* 'X' complete, 'i' instant *)
+  ; ts : int
+  ; dur : int  (* meaningful for 'X' only *)
+  ; pid : int
+  ; tid : int
+  ; args : (string * arg) list
+  }
+
+type t =
+  { mutable clock : int
+  ; mutable events : event list  (* newest first *)
+  ; mutable count : int
+  ; mutable cur_pid : int
+  }
+
+let create () = { clock = 0; events = []; count = 0; cur_pid = 0 }
+let now t = t.clock
+let num_events t = t.count
+let set_pid t pid = t.cur_pid <- pid
+
+let push t e =
+  t.events <- e :: t.events;
+  t.count <- t.count + 1
+
+let complete t ~name ~cat ?pid ~tid ~dur ?(args = []) () =
+  let pid = Option.value ~default:t.cur_pid pid in
+  push t { name; cat; ph = 'X'; ts = t.clock; dur; pid; tid; args };
+  t.clock <- t.clock + dur
+
+let instant t ~name ~cat ?pid ~tid ?(args = []) () =
+  let pid = Option.value ~default:t.cur_pid pid in
+  push t { name; cat; ph = 'i'; ts = t.clock; dur = 0; pid; tid; args }
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let emit_args b args =
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (json_string k);
+      Buffer.add_char b ':';
+      match v with
+      | Int n -> Buffer.add_string b (string_of_int n)
+      | Str s -> Buffer.add_string b (json_string s))
+    args;
+  Buffer.add_string b "}"
+
+let emit_event b e =
+  Buffer.add_string b "{\"name\":";
+  Buffer.add_string b (json_string e.name);
+  Buffer.add_string b ",\"cat\":";
+  Buffer.add_string b (json_string e.cat);
+  Buffer.add_string b (Printf.sprintf ",\"ph\":\"%c\",\"ts\":%d" e.ph e.ts);
+  if e.ph = 'X' then Buffer.add_string b (Printf.sprintf ",\"dur\":%d" e.dur);
+  if e.ph = 'i' then Buffer.add_string b ",\"s\":\"t\"";
+  Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":%d" e.pid e.tid);
+  if e.args <> [] then begin
+    Buffer.add_string b ",\"args\":";
+    emit_args b e.args
+  end;
+  Buffer.add_string b "}"
+
+(* Metadata records naming each block (process) and warp lane (thread),
+   so the trace UI shows "block 0 / warp 1" instead of bare ids. *)
+let metadata_events events =
+  let pids = Hashtbl.create 8 and lanes = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace pids e.pid ();
+      Hashtbl.replace lanes (e.pid, e.tid) ())
+    events;
+  let sorted_pids = List.sort compare (Hashtbl.fold (fun k () a -> k :: a) pids []) in
+  let sorted_lanes = List.sort compare (Hashtbl.fold (fun k () a -> k :: a) lanes []) in
+  List.map
+    (fun pid ->
+      { name = "process_name"
+      ; cat = "__metadata"
+      ; ph = 'M'
+      ; ts = 0
+      ; dur = 0
+      ; pid
+      ; tid = 0
+      ; args = [ ("name", Str (Printf.sprintf "block %d" pid)) ]
+      })
+    sorted_pids
+  @ List.map
+      (fun (pid, tid) ->
+        { name = "thread_name"
+        ; cat = "__metadata"
+        ; ph = 'M'
+        ; ts = 0
+        ; dur = 0
+        ; pid
+        ; tid
+        ; args = [ ("name", Str (Printf.sprintf "warp %d" tid)) ]
+        })
+      sorted_lanes
+
+let to_chrome_string t =
+  let events = List.rev t.events in
+  let b = Buffer.create (256 * (t.count + 1)) in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string b ",\n";
+      emit_event b e)
+    (metadata_events events @ events);
+  Buffer.add_string b "]}";
+  Buffer.contents b

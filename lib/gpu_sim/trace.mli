@@ -1,0 +1,62 @@
+(** Execution-trace event sink for the simulated GPU.
+
+    The simulator has no wall clock, so the trace runs on a {e virtual}
+    clock: every completed event advances time by its duration (a cycle
+    estimate from the atomic-spec cost model). Events carry a process id
+    (the thread block) and a thread id (the warp), so the exported trace
+    renders as one lane per warp under one group per block.
+
+    The export format is the Chrome/Perfetto [trace_events] JSON
+    (load via [chrome://tracing] or https://ui.perfetto.dev). *)
+
+type t
+
+(** Argument values attached to an event (shown in the trace UI). *)
+type arg =
+  | Int of int
+  | Str of string
+
+val create : unit -> t
+
+(** Current virtual time, in simulated cycles. *)
+val now : t -> int
+
+val num_events : t -> int
+
+(** [set_pid t pid] — subsequent events default to this process id
+    (the interpreter sets it to the executing block). *)
+val set_pid : t -> int -> unit
+
+(** [complete t ~name ~cat ~tid ~dur ()] — a duration event ([ph:"X"])
+    starting at the current virtual time; advances the clock by [dur]. *)
+val complete :
+  t ->
+  name:string ->
+  cat:string ->
+  ?pid:int ->
+  tid:int ->
+  dur:int ->
+  ?args:(string * arg) list ->
+  unit ->
+  unit
+
+(** [instant t ~name ~cat ~tid ()] — a zero-duration event ([ph:"i"]);
+    does not advance the clock. *)
+val instant :
+  t ->
+  name:string ->
+  cat:string ->
+  ?pid:int ->
+  tid:int ->
+  ?args:(string * arg) list ->
+  unit ->
+  unit
+
+(** The full trace as Chrome [trace_events] JSON:
+    [{"displayTimeUnit":"ns","traceEvents":[...]}], including process/thread
+    name metadata records. Deterministic: events in emission order. *)
+val to_chrome_string : t -> string
+
+(** [json_string s] — [s] as a quoted, escaped JSON string literal
+    (shared with the profiler's report writer). *)
+val json_string : string -> string

@@ -56,8 +56,10 @@ let copy t ~src ~src_row0 ~src_col0 ~dst =
     if t.use_cp_async then
       [ B.move ~label:"cp.async" ~threads:t.thr ~src:src_view ~dst:dst_view () ]
     else
-      [ B.move ~threads:t.thr ~src:src_view ~dst:t.stage_rf ()
-      ; B.move ~threads:t.thr ~src:t.stage_rf ~dst:dst_view ()
+      [ B.move ~label:"stage GL->RF" ~threads:t.thr ~src:src_view
+          ~dst:t.stage_rf ()
+      ; B.move ~label:"commit RF->SH" ~threads:t.thr ~src:t.stage_rf
+          ~dst:dst_view ()
       ]
   in
   if total_vecs < t.nthreads then

@@ -255,7 +255,7 @@ let accumulate_sm86 t ~a ~b ~kc =
         else
           List.map
             (fun (i, dr, dc) ->
-              B.move ~threads:t.thr
+              B.move ~label:"load A frag (lane)" ~threads:t.thr
                 ~src:
                   (a_scalar_view a'
                      ~row:(E.add g (E.const dr))
@@ -295,7 +295,7 @@ let accumulate_sm86 t ~a ~b ~kc =
                        (E.mul (E.add row0 g) (E.const ld))
                        (E.add col0 koff))
               in
-              B.move ~threads:t.thr ~src
+              B.move ~label:"load B frag (lane)" ~threads:t.thr ~src
                 ~dst:(rf_window t.b_frag 1 (E.add (E.mul nt (E.const 4)) (E.const i)))
                 ())
             [ (0, 0); (1, 1); (2, 8); (3, 9) ])
@@ -332,7 +332,7 @@ let accumulate_sm70 t ~a ~b ~kc =
     in
     let a' = a_shift a ~drow ~dcol:(E.mul ks (E.const 4)) in
     B.for_ ~unroll:true "i" (E.const 4) (fun i ->
-        [ B.move ~threads:t.thr
+        [ B.move ~label:"load A frag (lane)" ~threads:t.thr
             ~src:
               (a_scalar_view a'
                  ~row:(E.add (E.mul t.q_hi (E.const 4)) i)
@@ -350,7 +350,7 @@ let accumulate_sm70 t ~a ~b ~kc =
     let k_off = E.add (E.mul ks (E.const 4)) t.q_lo in
     match b with
     | B_k_major { t = bt; row0; col0; ld } ->
-      [ B.move ~threads:t.thr
+      [ B.move ~label:"load B frag" ~threads:t.thr
           ~src:
             (Ts.reinterpret bt ~layout:(L.vector 4)
                ~elem:(Ts.Scalar (Ts.dtype bt))
@@ -363,7 +363,7 @@ let accumulate_sm70 t ~a ~b ~kc =
       ]
     | B_n_major { t = bt; row0; col0; ld } ->
       List.init 4 (fun j ->
-          B.move ~threads:t.thr
+          B.move ~label:"load B frag (lane)" ~threads:t.thr
             ~src:
               (scalar_view bt
                  (E.add

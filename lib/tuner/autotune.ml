@@ -1,10 +1,12 @@
 module Arch = Graphene.Arch
 module Gemm = Kernels.Gemm
 module PM = Gpu_sim.Perf_model
+module Profiler = Gpu_sim.Profiler
 
 type result =
   { config : Gemm.config
   ; estimate : PM.estimate
+  ; profile : Profiler.report option
   }
 
 let candidates arch ~m ~n ~k =
@@ -51,7 +53,33 @@ let candidates arch ~m ~n ~k =
         tiles)
     tiles
 
-let tune machine ~epilogue ~m ~n ~k () =
+(* Simulate a candidate on a proxy problem (at most 2x2x2 block tiles, so
+   the interpreter stays fast) and attribute the measured traffic per spec.
+   Traffic patterns — coalescing, bank conflicts, instruction mix — depend
+   on the decomposition, not on the data, so zero-filled inputs suffice. *)
+let profile_candidate machine ~epilogue (config : Gemm.config) ~m ~n ~k =
+  let arch = machine.Gpu_sim.Machine.arch in
+  let pm = config.Gemm.bm * min 2 (m / config.Gemm.bm) in
+  let pn = config.Gemm.bn * min 2 (n / config.Gemm.bn) in
+  let pk = config.Gemm.bk * min 2 (k / config.Gemm.bk) in
+  match Gemm.tensor_core arch config ~epilogue ~m:pm ~n:pn ~k:pk () with
+  | exception _ -> None
+  | kernel ->
+    let args =
+      List.map
+        (fun (p : Gpu_tensor.Tensor.t) ->
+          ( p.Gpu_tensor.Tensor.name
+          , Array.make (Shape.Layout.cosize p.Gpu_tensor.Tensor.layout) 0.0 ))
+        kernel.Graphene.Spec.params
+    in
+    let profiler = Profiler.create () in
+    (match Gpu_sim.Interp.run ~arch ~profiler kernel ~args () with
+    | exception _ -> None
+    | counters ->
+      Some
+        (Profiler.report profiler ~kernel ~arch ~counters ~machine ()))
+
+let tune ?(profile_top = 0) machine ~epilogue ~m ~n ~k () =
   let arch = machine.Gpu_sim.Machine.arch in
   let scored =
     List.filter_map
@@ -59,13 +87,24 @@ let tune machine ~epilogue ~m ~n ~k () =
         match Gemm.tensor_core arch config ~epilogue ~m ~n ~k () with
         | kernel ->
           let estimate = PM.of_kernel machine kernel () in
-          Some { config; estimate }
+          Some { config; estimate; profile = None }
         | exception Invalid_argument _ -> None)
       (candidates arch ~m ~n ~k)
   in
-  List.sort
-    (fun a b -> Float.compare a.estimate.PM.time_s b.estimate.PM.time_s)
-    scored
+  let ranked =
+    List.sort
+      (fun a b -> Float.compare a.estimate.PM.time_s b.estimate.PM.time_s)
+      scored
+  in
+  (* Simulated per-spec profiles for the head of the ranking, so results
+     can explain *why* a configuration wins (bank conflicts, coalescing,
+     instruction mix) — not just how fast the model thinks it is. *)
+  List.mapi
+    (fun i r ->
+      if i < profile_top then
+        { r with profile = profile_candidate machine ~epilogue r.config ~m ~n ~k }
+      else r)
+    ranked
 
 let best machine ~epilogue ~m ~n ~k () =
   match tune machine ~epilogue ~m ~n ~k () with
@@ -75,4 +114,14 @@ let best machine ~epilogue ~m ~n ~k () =
 let pp_result fmt r =
   Format.fprintf fmt "%3dx%3dx%2d tiles, warp %2dx%2d -> %a" r.config.Gemm.bm
     r.config.Gemm.bn r.config.Gemm.bk r.config.Gemm.wm r.config.Gemm.wn PM.pp
-    r.estimate
+    r.estimate;
+  match r.profile with
+  | None -> ()
+  | Some rep ->
+    Format.fprintf fmt
+      " | profiled (proxy): %s-bound, %.0f%% coalesced, %d bank-conflict \
+       cycles/block"
+      rep.Profiler.bound
+      (100.0 *. rep.Profiler.totals.Profiler.coalescing)
+      (rep.Profiler.totals.Profiler.shared_bank_conflicts
+      / max 1 rep.Profiler.grid_blocks)

@@ -12,6 +12,9 @@
 type result =
   { config : Kernels.Gemm.config
   ; estimate : Gpu_sim.Perf_model.estimate
+  ; profile : Gpu_sim.Profiler.report option
+        (** measured per-spec profile from a proxy-size simulated run —
+            present for the top [profile_top] candidates of {!tune} *)
   }
 
 (** All tile configurations valid for the given problem (divisibility,
@@ -20,8 +23,13 @@ val candidates :
   Graphene.Arch.t -> m:int -> n:int -> k:int -> Kernels.Gemm.config list
 
 (** [tune machine ~epilogue ~m ~n ~k ()] — candidates ranked fastest
-    first. *)
+    first. [profile_top] (default 0) simulates that many of the top
+    candidates at a proxy size (≤ 2x2x2 block tiles) with the {!Gpu_sim.Profiler}
+    and attaches the per-spec report, so a ranking can explain what
+    distinguishes the winner (coalescing, bank conflicts, instruction
+    mix) rather than just the modeled time. *)
 val tune :
+  ?profile_top:int ->
   Gpu_sim.Machine.t ->
   epilogue:Kernels.Epilogue.t ->
   m:int ->

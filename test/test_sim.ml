@@ -90,6 +90,85 @@ let test_bank_conflicts () =
     (List.init 32 (fun _ -> 64));
   check_int "broadcast free" 0 c.Counters.shared_bank_conflicts
 
+let test_global_sector_edges () =
+  (* A misaligned 4-byte access straddling a 32-byte boundary touches two
+     sectors. *)
+  check_int "straddles boundary" 2 (Counters.sectors_of_batch ~bytes:4 [ 30 ]);
+  (* A full-warp broadcast of one address coalesces into one sector. *)
+  check_int "duplicates coalesce" 1
+    (Counters.sectors_of_batch ~bytes:4 (List.init 32 (fun _ -> 0)));
+  (* 16-byte vector loads, fully coalesced: 32 x 16 B = 16 sectors. *)
+  check_int "wide coalesced" 16
+    (Counters.sectors_of_batch ~bytes:16 (List.init 32 (fun i -> i * 16)));
+  check_int "empty batch" 0 (Counters.sectors_of_batch ~bytes:4 []);
+  (* record_global_batch books the bytes on the store side only. *)
+  let c = Counters.create () in
+  Counters.record_global_batch c ~store:true ~bytes:4
+    (List.init 32 (fun i -> i * 4));
+  check_int "store bytes" 128 c.Counters.global_store_bytes;
+  check_int "no load bytes" 0 c.Counters.global_load_bytes;
+  check_int "store sectors" 4 c.Counters.global_transactions
+
+let test_shared_broadcast_edges () =
+  (* A broadcast word alongside one distinct word in the same bank: only
+     the distinct words count, so degree 2 -> 1 extra cycle. *)
+  check_int "broadcast + 1 distinct" 1
+    (Counters.conflicts_of_batch ~bytes:4 (128 :: List.init 31 (fun _ -> 0)));
+  (* Two broadcast groups hitting two different banks are free. *)
+  check_int "two broadcasts, two banks" 0
+    (Counters.conflicts_of_batch ~bytes:4
+       (List.init 32 (fun i -> if i < 16 then 0 else 4)));
+  (* All 32 lanes broadcasting one 16-byte vector: every phase reads the
+     same four words -> free. *)
+  check_int "wide broadcast free" 0
+    (Counters.conflicts_of_batch ~bytes:16 (List.init 32 (fun _ -> 0)));
+  (* 8-byte accesses split into phases of 16 lanes; consecutive vectors
+     are conflict-free within each phase. *)
+  check_int "8-byte phases conflict-free" 0
+    (Counters.conflicts_of_batch ~bytes:8 (List.init 32 (fun i -> i * 8)));
+  (* 8-byte accesses where each 16-lane phase hits banks 0-15 twice with
+     distinct words: 1 extra cycle per phase, 2 phases. *)
+  check_int "8-byte 2-way per phase" 2
+    (Counters.conflicts_of_batch ~bytes:8
+       (List.init 32 (fun i -> ((i mod 8) * 8) + (i / 8 * 128))));
+  (* record_shared_batch books the bytes on the store side only. *)
+  let c = Counters.create () in
+  Counters.record_shared_batch c ~store:true ~bytes:4
+    (List.init 32 (fun i -> i * 128));
+  check_int "store bytes" 128 c.Counters.shared_store_bytes;
+  check_int "no load bytes" 0 c.Counters.shared_load_bytes;
+  check_int "store conflicts" 31 c.Counters.shared_bank_conflicts
+
+let test_merge_reset_instr_mix () =
+  let a = Counters.create () and b = Counters.create () in
+  Counters.add_instr a "mma.m16n8k16";
+  Counters.add_instr a "mma.m16n8k16";
+  Counters.add_instr a "cp.async.f16x8";
+  Counters.add_instr b "mma.m16n8k16";
+  Counters.add_instr b "ldmatrix.x4";
+  Counters.merge a b;
+  Alcotest.(check (list (pair string int)))
+    "merged mix sums per-instruction counts"
+    [ ("cp.async.f16x8", 1); ("ldmatrix.x4", 1); ("mma.m16n8k16", 3) ]
+    (Counters.instr_mix_alist a);
+  check_int "merged instruction total" 5 a.Counters.instructions;
+  (* merge must leave the source untouched *)
+  Alcotest.(check (list (pair string int)))
+    "source mix intact"
+    [ ("ldmatrix.x4", 1); ("mma.m16n8k16", 1) ]
+    (Counters.instr_mix_alist b);
+  check_int "source instruction total" 2 b.Counters.instructions;
+  Counters.reset a;
+  check_int "reset zeroes instructions" 0 a.Counters.instructions;
+  Alcotest.(check (list (pair string int)))
+    "reset clears the mix" []
+    (Counters.instr_mix_alist a);
+  (* and a reset counter accumulates from scratch, not from stale entries *)
+  Counters.add_instr a "init";
+  Alcotest.(check (list (pair string int)))
+    "fresh after reset" [ ("init", 1) ]
+    (Counters.instr_mix_alist a)
+
 (* ----- memory faults ----- *)
 
 let test_memory_faults () =
@@ -451,6 +530,12 @@ let () =
     ; ( "counters"
       , [ Alcotest.test_case "coalescing" `Quick test_coalescing
         ; Alcotest.test_case "bank conflicts" `Quick test_bank_conflicts
+        ; Alcotest.test_case "sector edge cases" `Quick
+            test_global_sector_edges
+        ; Alcotest.test_case "broadcast edge cases" `Quick
+            test_shared_broadcast_edges
+        ; Alcotest.test_case "merge/reset instr mix" `Quick
+            test_merge_reset_instr_mix
         ] )
     ; ( "memory"
       , [ Alcotest.test_case "faults" `Quick test_memory_faults ] )

@@ -119,19 +119,146 @@ let emit_bench_profile rows =
   Format.printf "wrote BENCH_profile.json (%d kernel profiles, %d timings)@."
     (List.length reports) (List.length rows)
 
-let () =
-  Format.printf
-    "Graphene reproduction benchmark harness — regenerating the paper's \
-     evaluation@.(ASPLOS 2023: Graphene: An IR for Optimized Tensor \
-     Computations on GPUs)@.@.";
-  Experiments.Figures.print_all Format.std_formatter;
-  let rows =
-    try run_bechamel ()
-    with exn ->
-      Format.printf "bechamel micro-benchmark skipped: %s@."
-        (Printexc.to_string exn);
-      []
+(* ----- lower-once / execute-many simulation benchmark -----
+
+   Times the tree-walking reference interpreter against the compiled
+   execution plan on fixed kernel shapes, verifies the two paths produce
+   bit-identical event counters, and writes BENCH_sim.json. *)
+
+module C = Gpu_sim.Counters
+
+let counters_equal (a : C.t) (b : C.t) =
+  a.C.global_load_bytes = b.C.global_load_bytes
+  && a.C.global_store_bytes = b.C.global_store_bytes
+  && a.C.global_transactions = b.C.global_transactions
+  && a.C.shared_load_bytes = b.C.shared_load_bytes
+  && a.C.shared_store_bytes = b.C.shared_store_bytes
+  && a.C.shared_bank_conflicts = b.C.shared_bank_conflicts
+  && a.C.flops = b.C.flops
+  && a.C.tensor_core_flops = b.C.tensor_core_flops
+  && a.C.instructions = b.C.instructions
+  && C.instr_mix_alist a = C.instr_mix_alist b
+
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+(* One simulated cell = one fused multiply-add of the workload's
+   definition (m*n*k for GEMM; the paper's FMHA flop count / 2). *)
+let sim_cases () =
+  let gemm arch ~m ~n ~k =
+    ( Printf.sprintf "gemm_tc_%dx%dx%d" m n k
+    , arch
+    , Kernels.Gemm.tensor_core arch
+        (Kernels.Gemm.test_config arch)
+        ~epilogue:Kernels.Epilogue.none ~m ~n ~k ()
+    , m * n * k )
   in
-  try emit_bench_profile rows
-  with exn ->
-    Format.printf "BENCH_profile.json skipped: %s@." (Printexc.to_string exn)
+  let fmha arch ~seq ~dh ~chunk ~swizzle_smem =
+    let batch = 1 and heads = 1 in
+    ( Printf.sprintf "fmha_b%dh%ds%dd%d" batch heads seq dh
+    , arch
+    , Kernels.Fmha.kernel ~swizzle_smem arch ~batch ~heads ~seq ~dh ~chunk
+        ~nthreads:64 ()
+    , Kernels.Fmha.flop_count ~batch ~heads ~seq ~dh / 2 )
+  in
+  [ (* the acceptance row: compiled plans must be >= 2x the tree path *)
+    (fun () -> gemm Graphene.Arch.SM86 ~m:256 ~n:256 ~k:256)
+  ; (fun () -> gemm Graphene.Arch.SM70 ~m:128 ~n:128 ~k:128)
+  ; (fun () ->
+      fmha Graphene.Arch.SM86 ~seq:64 ~dh:32 ~chunk:16 ~swizzle_smem:true)
+  ; (fun () ->
+      (* Volta: per-lane fragment staging, quad-pair mma, no swizzle. *)
+      fmha Graphene.Arch.SM70 ~seq:32 ~dh:32 ~chunk:32 ~swizzle_smem:false)
+  ]
+
+let sim_bench_row case =
+  match case () with
+  | exception exn ->
+    Printf.sprintf "{\"name\":\"?\",\"error\":%s}"
+      (Gpu_sim.Trace.json_string (Printexc.to_string exn))
+  | name, arch, kernel, cells -> (
+    let args () =
+      List.map
+        (fun (p : Gpu_tensor.Tensor.t) ->
+          ( p.Gpu_tensor.Tensor.name
+          , Array.make (Shape.Layout.cosize p.Gpu_tensor.Tensor.layout) 0.0 ))
+        kernel.Graphene.Spec.params
+    in
+    match
+      let tree_counters, tree_s =
+        time (fun () -> Gpu_sim.Interp.run_tree ~arch kernel ~args:(args ()) ())
+      in
+      let plan, lower_s =
+        time (fun () -> Lower.Pipeline.lower arch kernel)
+      in
+      (* Execute the plan twice (the lower-once/execute-many shape);
+         report the best run. *)
+      let plan_counters, plan_s1 =
+        time (fun () -> Gpu_sim.Interp.run_plan plan ~args:(args ()) ())
+      in
+      let _, plan_s2 =
+        time (fun () -> Gpu_sim.Interp.run_plan plan ~args:(args ()) ())
+      in
+      let plan_s = Float.min plan_s1 plan_s2 in
+      (tree_counters, tree_s, lower_s, plan_counters, plan_s)
+    with
+    | exception exn ->
+      Printf.sprintf "{\"name\":%s,\"arch\":%s,\"error\":%s}"
+        (Gpu_sim.Trace.json_string name)
+        (Gpu_sim.Trace.json_string (Graphene.Arch.name arch))
+        (Gpu_sim.Trace.json_string (Printexc.to_string exn))
+    | tree_counters, tree_s, lower_s, plan_counters, plan_s ->
+      let identical = counters_equal tree_counters plan_counters in
+      let cps s = if s > 0.0 then float_of_int cells /. s else Float.nan in
+      Format.printf
+        "%-24s %-4s tree %7.3fs  lower %6.4fs  plan %7.3fs  speedup %5.2fx  \
+         counters %s@."
+        name (Graphene.Arch.name arch) tree_s lower_s plan_s
+        (tree_s /. plan_s)
+        (if identical then "bit-identical" else "MISMATCH");
+      Printf.sprintf
+        "{\"name\":%s,\"arch\":%s,\"cells\":%d,\"tree_s\":%.6f,\
+         \"lower_s\":%.6f,\"plan_s\":%.6f,\"speedup\":%.3f,\
+         \"cells_per_sec_tree\":%.6g,\"cells_per_sec_plan\":%.6g,\
+         \"counters_bit_identical\":%b}"
+        (Gpu_sim.Trace.json_string name)
+        (Gpu_sim.Trace.json_string (Graphene.Arch.name arch))
+        cells tree_s lower_s plan_s (tree_s /. plan_s) (cps tree_s)
+        (cps plan_s) identical)
+
+let emit_sim_bench () =
+  Format.printf
+    "== Simulation: tree-walking interpreter vs compiled execution plan ==@.";
+  let rows = List.map sim_bench_row (sim_cases ()) in
+  let oc = open_out "BENCH_sim.json" in
+  output_string oc "{\"schema\":\"graphene.sim_bench.v1\",\n\"rows\":[\n";
+  output_string oc (String.concat ",\n" rows);
+  output_string oc "\n]}\n";
+  close_out oc;
+  Format.printf "wrote BENCH_sim.json (%d rows)@.@." (List.length rows)
+
+let () =
+  if Array.mem "--sim-only" Sys.argv then emit_sim_bench ()
+  else begin
+    Format.printf
+      "Graphene reproduction benchmark harness — regenerating the paper's \
+       evaluation@.(ASPLOS 2023: Graphene: An IR for Optimized Tensor \
+       Computations on GPUs)@.@.";
+    Experiments.Figures.print_all Format.std_formatter;
+    let rows =
+      try run_bechamel ()
+      with exn ->
+        Format.printf "bechamel micro-benchmark skipped: %s@."
+          (Printexc.to_string exn);
+        []
+    in
+    (try emit_bench_profile rows
+     with exn ->
+       Format.printf "BENCH_profile.json skipped: %s@."
+         (Printexc.to_string exn));
+    try emit_sim_bench ()
+    with exn ->
+      Format.printf "BENCH_sim.json skipped: %s@." (Printexc.to_string exn)
+  end

@@ -2,6 +2,8 @@
 
      graphene ir <kernel>         print the Graphene IR listing
      graphene codegen <kernel>    print the generated CUDA C++
+     graphene lower <kernel>      run the lowering pipeline and print the IR
+                                  after every pass plus the execution plan
      graphene simulate <kernel>   execute on the simulated GPU and verify
      graphene profile <kernel>    simulate with per-spec profiling: prints the
                                   report, writes JSON + Chrome-trace files
@@ -211,6 +213,39 @@ let codegen_cmd =
   Cmd.v (Cmd.info "codegen" ~doc:"Print the generated CUDA C++ of a kernel.")
     Term.(const run $ arch_arg $ kernel_arg)
 
+let lower_cmd =
+  let plan_only =
+    Arg.(
+      value & flag
+      & info [ "plan-only" ]
+          ~doc:"Print only the final execution plan, not the per-pass IR.")
+  in
+  let run arch name plan_only =
+    let kernel, _, _ = build arch name in
+    let log ~pass ~doc rendered =
+      if not plan_only then begin
+        Format.printf "==== %s: %s ====@.%s@.@." pass doc rendered
+      end
+    in
+    let plan = Lower.Pipeline.lower ~log arch kernel in
+    if plan_only then print_endline (Lower.Plan.to_string plan);
+    Format.printf
+      "lowered %s for %s: %d op(s), %d atomic(s), %d env slot(s), %d \
+       alloc(s)@."
+      kernel.Graphene.Spec.name (Arch.name arch)
+      (Lower.Plan.count_ops plan.Lower.Plan.body)
+      (Lower.Plan.count_atomics plan.Lower.Plan.body)
+      plan.Lower.Plan.nslots
+      (List.length plan.Lower.Plan.allocs)
+  in
+  Cmd.v
+    (Cmd.info "lower"
+       ~doc:
+         "Run the lowering pipeline (validate, flatten, resolve, compile) \
+          on a kernel, printing the IR after every pass and the compiled \
+          execution plan. See docs/LOWERING.md.")
+    Term.(const run $ arch_arg $ kernel_arg $ plan_only)
+
 let simulate_cmd =
   let run arch name =
     let kernel, args, verify = build arch name in
@@ -355,6 +390,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-       [ ir_cmd; codegen_cmd; simulate_cmd; profile_cmd; tables_cmd
-       ; table2_cmd; tune_cmd
+       [ ir_cmd; codegen_cmd; lower_cmd; simulate_cmd; profile_cmd
+       ; tables_cmd; table2_cmd; tune_cmd
        ]))

@@ -565,7 +565,10 @@ let registry =
   ; init_rf
   ]
 
+let find_calls = ref 0
+
 let find arch spec =
+  incr find_calls;
   List.find_opt
     (fun i -> List.exists (Arch.equal arch) i.archs && i.matches spec)
     registry
@@ -579,6 +582,25 @@ let find_exn arch spec =
          Spec.pp spec)
 
 let lookup name = List.find_opt (fun i -> String.equal i.name name) registry
+
+let parse_ldmatrix name =
+  let prefix = "ldmatrix.x" in
+  let pl = String.length prefix in
+  let nl = String.length name in
+  if nl <= pl || not (String.equal (String.sub name 0 pl) prefix) then None
+  else begin
+    let i = ref pl in
+    while !i < nl && name.[!i] >= '0' && name.[!i] <= '9' do
+      incr i
+    done;
+    match int_of_string_opt (String.sub name pl (!i - pl)) with
+    | None -> None
+    | Some x ->
+      let suffix = String.sub name !i (nl - !i) in
+      if String.equal suffix "" then Some (x, false)
+      else if String.equal suffix ".trans" then Some (x, true)
+      else None
+  end
 
 let pp_table fmt arch =
   let rows =

@@ -30,6 +30,12 @@ type instr =
     instructions first). *)
 val registry : instr list
 
+(** Number of {!find} invocations since program start. The lowering
+    pipeline promises to resolve each leaf spec at most once per kernel
+    (not once per block or loop iteration); tests pin that down by
+    sampling this counter around a lowering. *)
+val find_calls : int ref
+
 (** [find arch spec] — the first available instruction matching an
     undecomposed spec. *)
 val find : Arch.t -> Spec.t -> instr option
@@ -39,6 +45,12 @@ val find_exn : Arch.t -> Spec.t -> instr
 
 (** [lookup name] — registry entry by name (for simulator semantics). *)
 val lookup : string -> instr option
+
+(** [parse_ldmatrix name] decodes an ldmatrix instruction name:
+    ["ldmatrix.x4"] is [Some (4, false)], ["ldmatrix.x2.trans"] is
+    [Some (2, true)]; any name outside the ["ldmatrix.x<n>[.trans]"]
+    family is [None]. Total — never raises. *)
+val parse_ldmatrix : string -> (int * bool) option
 
 (** {1 Matching helpers (exposed for tests)} *)
 

@@ -41,6 +41,13 @@ let add_instr t name =
   Hashtbl.replace t.instr_mix name
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.instr_mix name))
 
+let add_instr_n t name n =
+  if n > 0 then begin
+    t.instructions <- t.instructions + n;
+    Hashtbl.replace t.instr_mix name
+      (n + Option.value ~default:0 (Hashtbl.find_opt t.instr_mix name))
+  end
+
 (* Distinct 32-byte sectors across a batch, modelling coalescing. *)
 let sectors_of_batch ~bytes addresses =
   let sectors = Hashtbl.create 16 in

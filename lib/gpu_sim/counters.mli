@@ -23,6 +23,10 @@ val reset : t -> unit
 
 val add_instr : t -> string -> unit
 
+(** [add_instr_n t name n] — count [n] issues of [name] in O(1), exactly
+    equivalent to calling {!add_instr} [n] times. [n <= 0] is a no-op. *)
+val add_instr_n : t -> string -> int -> unit
+
 (** Distinct 32-byte DRAM sectors touched by one warp-synchronous batch —
     the pure computation behind {!record_global_batch}, exposed so the
     profiler can attach sector counts to trace events. *)

@@ -6,6 +6,8 @@ module Ms = Gpu_tensor.Memspace
 module Dt = Gpu_tensor.Dtype
 module Spec = Graphene.Spec
 module Atomic = Graphene.Atomic
+module P = Lower.Plan
+module Slots = Lower.Slots
 
 exception Exec_error of string
 
@@ -44,6 +46,26 @@ let rec eval_pred env = function
   | Spec.And (a, b) -> eval_pred env a && eval_pred env b
   | Spec.Or (a, b) -> eval_pred env a || eval_pred env b
   | Spec.Not p -> not (eval_pred env p)
+
+(* Group active threads by warp (ascending), modeling warp-synchronous
+   issue for address batching. *)
+let warps_of active =
+  let by_warp = Hashtbl.create 8 in
+  List.iter
+    (fun tid ->
+      let w = tid / 32 in
+      Hashtbl.replace by_warp w
+        (tid :: Option.value ~default:[] (Hashtbl.find_opt by_warp w)))
+    active;
+  let warps = Hashtbl.fold (fun w tids acc -> (w, List.rev tids) :: acc) by_warp [] in
+  List.sort Stdlib.compare warps
+
+(* ===== the tree-walking reference interpreter =====
+
+   [run_tree] is the original direct interpreter: it re-resolves atomic
+   specs and re-evaluates all symbolic index arithmetic at every step.
+   It is kept as the executable reference the compiled-plan path
+   ([run_plan], below) is tested bit-identical against. *)
 
 (* First-scalar byte address of a view for one thread, or None for register
    views (registers have no shared address space to model). *)
@@ -96,9 +118,7 @@ let account_cost ctx (instr : Atomic.instr) (s : Spec.t) ~instances =
     ctx.counters.Counters.instructions
     + (c.Atomic.instructions * instances)
     - instances;
-  for _ = 1 to instances do
-    Counters.add_instr ctx.counters instr.Atomic.name
-  done;
+  Counters.add_instr_n ctx.counters instr.Atomic.name instances;
   Option.iter
     (fun p ->
       Profiler.on_cost p ~instr:instr.Atomic.name ~tc:is_tc ~flops:c.Atomic.flops
@@ -108,15 +128,7 @@ let account_cost ctx (instr : Atomic.instr) (s : Spec.t) ~instances =
 (* Execute a per-thread atomic spec for all active threads, warp by warp, so
    that address batches model warp-synchronous coalescing. *)
 let exec_per_thread ctx (instr : Atomic.instr) (s : Spec.t) env active =
-  let by_warp = Hashtbl.create 8 in
-  List.iter
-    (fun tid ->
-      let w = tid / 32 in
-      Hashtbl.replace by_warp w
-        (tid :: Option.value ~default:[] (Hashtbl.find_opt by_warp w)))
-    active;
-  let warps = Hashtbl.fold (fun w tids acc -> (w, List.rev tids) :: acc) by_warp [] in
-  let warps = List.sort Stdlib.compare warps in
+  let warps = warps_of active in
   let dur = max 1 (instr.Atomic.cost s).Atomic.instructions in
   List.iter
     (fun (w, tids) ->
@@ -195,16 +207,9 @@ let exec_collective ctx (instr : Atomic.instr) (s : Spec.t) env active =
   let dur = max 1 (instr.Atomic.cost s).Atomic.instructions in
   List.iter
     (fun members ->
-      let name = instr.Atomic.name in
-      if String.length name >= 8 && String.equal (String.sub name 0 8) "ldmatrix"
-      then begin
-        let x = int_of_string (String.sub name 10 1) in
-        let trans =
-          String.length name > 11
-          && String.equal (String.sub name 11 6) ".trans"
-        in
-        record_ldmatrix ctx ~trans x s env members
-      end;
+      (match Atomic.parse_ldmatrix instr.Atomic.name with
+      | Some (x, trans) -> record_ldmatrix ctx ~trans x s env members
+      | None -> ());
       Semantics.exec ?trace:(sem_trace ctx) ctx.mem ~instr ~spec:s ~env ~members;
       Option.iter
         (fun p ->
@@ -274,7 +279,7 @@ let shared_alloc_size (t : Ts.t) =
   let w = Shape.Swizzle.window t.Ts.swizzle in
   (cosize + w - 1) / w * w
 
-let run ~arch ?profiler (k : Spec.kernel) ~args ?(scalars = []) () =
+let run_tree ~arch ?profiler (k : Spec.kernel) ~args ?(scalars = []) () =
   let mem = Memory.create () in
   let counters = Counters.create () in
   List.iter (fun (name, data) -> Memory.bind_global mem name data) args;
@@ -301,3 +306,256 @@ let run ~arch ?profiler (k : Spec.kernel) ~args ?(scalars = []) () =
     List.iter (exec_stmt ctx env all_threads) k.Spec.body
   done;
   counters
+
+(* ===== the compiled-plan executor =====
+
+   Runs a [Lower.Plan.t]: atomic resolution already happened (once, at
+   lowering), loop bounds / predicates / view offsets are closures over
+   one dense slot array, and all profiler attribution strings and costs
+   are precomputed. Event and profiler output is bit-identical to
+   [run_tree] — test/test_lower.ml pins that down per kernel. *)
+
+(* Name lookup for the residual symbolic paths (a shfl.idx source-lane
+   expression, a derived ldmatrix row view). *)
+let plan_env_fun (a : P.atomic) (env : int array) name =
+  match a.P.a_lookup name with
+  | Some slot ->
+    let x = env.(slot) in
+    if x = Slots.unbound then
+      error "unbound variable %s (missing scalar argument?)" name
+    else x
+  | None -> error "unbound variable %s (missing scalar argument?)" name
+
+let find_pview (a : P.atomic) (v : Ts.t) =
+  let rec go = function
+    | [] -> None
+    | (pv : P.view) :: tl -> if pv.P.v_ts == v then Some pv else go tl
+  in
+  match go a.P.a_ins with Some pv -> Some pv | None -> go a.P.a_outs
+
+(* The offsets oracle handed to [Semantics.exec]: compiled closure for the
+   atomic's own views, symbolic fallback for any derived view. *)
+let plan_offsets (a : P.atomic) (env : int array) v tid =
+  env.(Slots.tid_slot) <- tid;
+  match find_pview a v with
+  | Some pv -> pv.P.v_offsets env
+  | None -> Ts.scalar_offsets ~env:(with_tid (plan_env_fun a env) tid) v
+
+let record_plan_batch ctx (env : int array) tids ~store (pv : P.view) =
+  match pv.P.v_mem with
+  | Ms.Register -> ()
+  | Ms.Global | Ms.Shared ->
+    let bytes = pv.P.v_batch_bytes in
+    let addrs =
+      List.filter_map
+        (fun tid ->
+          env.(Slots.tid_slot) <- tid;
+          let offs = pv.P.v_offsets env in
+          if Array.length offs = 0 then None
+          else Some (offs.(0) * pv.P.v_elt_bytes))
+        tids
+    in
+    if addrs <> [] then begin
+      let warp = match tids with t :: _ -> t / 32 | [] -> 0 in
+      if Ms.equal pv.P.v_mem Ms.Global then begin
+        Counters.record_global_batch ctx.counters ~store ~bytes addrs;
+        Option.iter
+          (fun p -> Profiler.on_global_batch p ~store ~bytes ~warp addrs)
+          ctx.prof
+      end
+      else begin
+        Counters.record_shared_batch ctx.counters ~store ~bytes addrs;
+        Option.iter
+          (fun p -> Profiler.on_shared_batch p ~store ~bytes ~warp addrs)
+          ctx.prof
+      end
+    end
+
+let account_cost_plan ctx (a : P.atomic) ~instances =
+  let c = a.P.a_cost in
+  if a.P.a_is_tc then
+    ctx.counters.Counters.tensor_core_flops <-
+      ctx.counters.Counters.tensor_core_flops + (c.Atomic.flops * instances)
+  else
+    ctx.counters.Counters.flops <-
+      ctx.counters.Counters.flops + (c.Atomic.flops * instances);
+  ctx.counters.Counters.instructions <-
+    ctx.counters.Counters.instructions
+    + (c.Atomic.instructions * instances)
+    - instances;
+  Counters.add_instr_n ctx.counters a.P.a_instr.Atomic.name instances;
+  Option.iter
+    (fun p ->
+      Profiler.on_cost p ~instr:a.P.a_instr.Atomic.name ~tc:a.P.a_is_tc
+        ~flops:c.Atomic.flops ~instructions:c.Atomic.instructions ~instances)
+    ctx.prof
+
+let exec_plan_per_thread ctx (a : P.atomic) env active =
+  let warps = warps_of active in
+  let offs = plan_offsets a env in
+  let env_fun = plan_env_fun a env in
+  List.iter
+    (fun (w, tids) ->
+      List.iter (record_plan_batch ctx env tids ~store:false) a.P.a_ins;
+      List.iter (record_plan_batch ctx env tids ~store:true) a.P.a_outs;
+      List.iter
+        (fun tid ->
+          Semantics.exec ?trace:(sem_trace ctx) ~offsets:offs ctx.mem
+            ~instr:a.P.a_instr ~spec:a.P.a_spec ~env:env_fun
+            ~members:[| tid |])
+        tids;
+      Option.iter
+        (fun p ->
+          Profiler.exec_event p ~warp:w ~lanes:(List.length tids)
+            ~dur:a.P.a_dur)
+        ctx.prof)
+    warps;
+  account_cost_plan ctx a ~instances:(List.length active)
+
+let record_plan_ldmatrix ctx (a : P.atomic) env ~trans x members =
+  match a.P.a_ld_rows with
+  | Some (rows, elt_bytes) ->
+    env.(Slots.tid_slot) <- members.(0);
+    for j = 0 to x - 1 do
+      let addrs = List.init 8 (fun r -> (rows.(j).(r) env).(0) * elt_bytes) in
+      Counters.record_shared_batch ctx.counters ~store:false ~bytes:16 addrs;
+      Option.iter
+        (fun p ->
+          Profiler.on_shared_batch p ~store:false ~bytes:16
+            ~warp:(members.(0) / 32) addrs)
+        ctx.prof
+    done
+  | None ->
+    (* Symbolic fallback (e.g. an outer extent the compiler couldn't make
+       concrete) — identical traffic, derived the tree path's way. *)
+    record_ldmatrix ctx ~trans x a.P.a_spec (plan_env_fun a env) members
+
+let exec_plan_collective ctx (a : P.atomic) env active =
+  let members_of =
+    match a.P.a_members with
+    | Some f -> f
+    | None -> fun _ _ -> [||] (* unreachable: collectives always compile one *)
+  in
+  let seen = Hashtbl.create 8 in
+  let active_set = Hashtbl.create 64 in
+  List.iter (fun t -> Hashtbl.replace active_set t ()) active;
+  let groups = ref [] in
+  List.iter
+    (fun tid ->
+      let members = members_of env tid in
+      let key = Array.to_list members in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        if not (Array.for_all (Hashtbl.mem active_set) members) then
+          error "collective %s executed with divergent threads"
+            a.P.a_instr.Atomic.name;
+        groups := members :: !groups
+      end)
+    active;
+  let groups = List.rev !groups in
+  let offs = plan_offsets a env in
+  let env_fun = plan_env_fun a env in
+  List.iter
+    (fun members ->
+      (match a.P.a_ldmatrix with
+      | Some (x, trans) -> record_plan_ldmatrix ctx a env ~trans x members
+      | None -> ());
+      Semantics.exec ?trace:(sem_trace ctx) ~offsets:offs ctx.mem
+        ~instr:a.P.a_instr ~spec:a.P.a_spec ~env:env_fun ~members;
+      Option.iter
+        (fun p ->
+          Profiler.exec_event p ~warp:(members.(0) / 32)
+            ~lanes:(Array.length members) ~dur:a.P.a_dur)
+        ctx.prof)
+    groups;
+  account_cost_plan ctx a ~instances:(List.length groups)
+
+let rec exec_plan_op ctx (env : int array) active op =
+  match op with
+  | P.Atomic_exec a ->
+    Option.iter
+      (fun p ->
+        Profiler.begin_atomic p ~label:a.P.a_label ~kind:a.P.a_kind
+          ~instr:a.P.a_instr.Atomic.name)
+      ctx.prof;
+    if a.P.a_per_thread then exec_plan_per_thread ctx a env active
+    else exec_plan_collective ctx a env active
+  | P.Loop { l_var; l_slot; l_lo; l_hi; l_step; l_body } ->
+    let lo = l_lo env and hi = l_hi env and step = l_step env in
+    if step <= 0 then error "loop %s has non-positive step" l_var;
+    Option.iter (fun p -> Profiler.enter_frame p l_var) ctx.prof;
+    let v = ref lo in
+    while !v < hi do
+      env.(l_slot) <- !v;
+      List.iter (exec_plan_op ctx env active) l_body;
+      v := !v + step
+    done;
+    Option.iter Profiler.exit_frame ctx.prof
+  | P.Branch { b_tid_dep; b_cond; b_then; b_else } ->
+    if b_tid_dep then begin
+      let taken, not_taken =
+        List.partition
+          (fun tid ->
+            env.(Slots.tid_slot) <- tid;
+            b_cond env)
+          active
+      in
+      if taken <> [] then List.iter (exec_plan_op ctx env taken) b_then;
+      if not_taken <> [] && b_else <> [] then
+        List.iter (exec_plan_op ctx env not_taken) b_else
+    end
+    else if b_cond env then List.iter (exec_plan_op ctx env active) b_then
+    else List.iter (exec_plan_op ctx env active) b_else
+  | P.Barrier ->
+    if List.length active <> ctx.cta_size then
+      error "__syncthreads() inside divergent control flow (%d of %d threads)"
+        (List.length active) ctx.cta_size;
+    Option.iter Profiler.on_barrier ctx.prof
+  | P.Frame { f_label; f_body } ->
+    Option.iter (fun p -> Profiler.enter_frame p f_label) ctx.prof;
+    List.iter (exec_plan_op ctx env active) f_body;
+    Option.iter Profiler.exit_frame ctx.prof
+  | P.Fail msg -> error "%s" msg
+
+let run_plan ?profiler (plan : P.t) ~args ?(scalars = []) () =
+  let mem = Memory.create () in
+  let counters = Counters.create () in
+  List.iter (fun (name, data) -> Memory.bind_global mem name data) args;
+  List.iter
+    (fun (al : P.alloc) ->
+      match al.P.al_mem with
+      | Ms.Shared -> Memory.declare_shared mem al.P.al_buffer al.P.al_size
+      | Ms.Register -> Memory.declare_regs mem al.P.al_buffer al.P.al_size
+      | Ms.Global -> error "Alloc of a global tensor %s" al.P.al_buffer)
+    plan.P.allocs;
+  let ctx =
+    { arch = plan.P.arch
+    ; mem
+    ; counters
+    ; cta_size = plan.P.cta_size
+    ; prof = profiler
+    }
+  in
+  let env = Array.make plan.P.nslots Slots.unbound in
+  List.iter
+    (fun (name, v) ->
+      match List.assoc_opt name plan.P.scalar_slots with
+      | Some slot -> env.(slot) <- v
+      | None -> () (* extra scalar args are ignored, as in run_tree *))
+    scalars;
+  let all_threads = List.init plan.P.cta_size Fun.id in
+  (try
+     for bid = 0 to plan.P.grid_size - 1 do
+       Memory.reset_block mem;
+       Option.iter (fun p -> Profiler.set_block p bid) ctx.prof;
+       env.(Slots.bid_slot) <- bid;
+       List.iter (exec_plan_op ctx env all_threads) plan.P.body
+     done
+   with Slots.Unbound_var v ->
+     error "unbound variable %s (missing scalar argument?)" v);
+  counters
+
+(* Lower once, execute. Callers running the same kernel repeatedly should
+   lower once themselves and call [run_plan] per execution. *)
+let run ~arch ?profiler (k : Spec.kernel) ~args ?scalars () =
+  run_plan ?profiler (Lower.Pipeline.lower arch k) ~args ?scalars ()

@@ -1,7 +1,17 @@
 (** SIMT interpreter: executes Graphene IR kernels on the simulated GPU.
 
-    The interpreter walks a kernel's decomposition block by block. All
-    threads of a block advance in lock step; thread-dependent [If]
+    Two execution paths produce bit-identical event counters and profiler
+    reports:
+
+    - {!run_tree} walks the kernel's decomposition directly, re-resolving
+      atomic specs and re-evaluating symbolic index arithmetic at every
+      step. It is the executable reference semantics.
+    - {!run_plan} executes a compiled {!Lower.Plan.t}: atomic resolution,
+      cost lookup, and index arithmetic all happened once, at lowering.
+      This is the fast path; {!run} is the lower-then-execute
+      convenience wrapper.
+
+    All threads of a block advance in lock step; thread-dependent [If]
     conditions split the active mask (divergence); undecomposed specs
     dispatch to the matched atomic instruction's {!Semantics}. Event
     counters model coalescing (32-byte sectors) and shared-memory bank
@@ -9,7 +19,8 @@
 
 exception Exec_error of string
 
-(** [run ~arch kernel ~args ~scalars] executes the kernel.
+(** [run_tree ~arch kernel ~args ~scalars] executes the kernel by walking
+    its decomposition tree (the reference path).
 
     [args] binds every global parameter name to a caller-owned array
     (mutated in place); [scalars] binds the kernel's symbolic size
@@ -22,6 +33,31 @@ exception Exec_error of string
     Raises {!Exec_error} (or {!Memory.Fault}) on malformed kernels:
     unmatched atomic specs, thread-dependent loop bounds, divergent
     collective instructions, out-of-bounds accesses. *)
+val run_tree :
+  arch:Graphene.Arch.t ->
+  ?profiler:Profiler.t ->
+  Graphene.Spec.kernel ->
+  args:(string * float array) list ->
+  ?scalars:(string * int) list ->
+  unit ->
+  Counters.t
+
+(** [run_plan plan ~args ~scalars] executes a compiled plan (see
+    {!Lower.Pipeline.lower}). Same contract and error behavior as
+    {!run_tree}; lowering-time diagnoses ([Lower.Plan.Fail] ops) raise
+    {!Exec_error} only if control flow reaches them. Lower once, then
+    call this for every execution (autotuning, repeated benchmark
+    runs). *)
+val run_plan :
+  ?profiler:Profiler.t ->
+  Lower.Plan.t ->
+  args:(string * float array) list ->
+  ?scalars:(string * int) list ->
+  unit ->
+  Counters.t
+
+(** [run ~arch kernel ~args ~scalars] lowers the kernel and executes the
+    plan once — the convenience entry point for single executions. *)
 val run :
   arch:Graphene.Arch.t ->
   ?profiler:Profiler.t ->

@@ -68,17 +68,21 @@ let checked buf (v : Ts.t) off =
     fault "view %%%s: offset %d outside buffer %s of size %d" v.Ts.name off
       v.Ts.buffer (Array.length buf)
 
-let read t ~env ~tid v =
+(* The [*_offs] variants take precomputed element offsets (from a compiled
+   execution plan); the [env]-taking accessors below derive them
+   symbolically and defer to these, so both paths share the bounds checks
+   and fault messages. *)
+
+let read_offs t ~tid v offs =
   let buf = buffer t ~tid v in
   Array.map
     (fun off ->
       checked buf v off;
       buf.(off))
-    (Ts.scalar_offsets ~env v)
+    offs
 
-let write t ~env ~tid v data =
+let write_offs t ~tid v offs data =
   let buf = buffer t ~tid v in
-  let offs = Ts.scalar_offsets ~env v in
   if Array.length offs <> Array.length data then
     fault "view %%%s: writing %d values into %d slots" v.Ts.name
       (Array.length data) (Array.length offs);
@@ -89,18 +93,26 @@ let write t ~env ~tid v data =
       buf.(off) <- Dt.round dt data.(i))
     offs
 
-let read_k t ~env ~tid v k =
+let read_k_offs t ~tid v offs k =
   let buf = buffer t ~tid v in
-  let offs = Ts.scalar_offsets ~env v in
   if k >= Array.length offs then
     fault "view %%%s: scalar index %d out of %d" v.Ts.name k (Array.length offs);
   checked buf v offs.(k);
   buf.(offs.(k))
 
-let write_k t ~env ~tid v k x =
+let write_k_offs t ~tid v offs k x =
   let buf = buffer t ~tid v in
-  let offs = Ts.scalar_offsets ~env v in
   if k >= Array.length offs then
     fault "view %%%s: scalar index %d out of %d" v.Ts.name k (Array.length offs);
   checked buf v offs.(k);
   buf.(offs.(k)) <- Dt.round (Ts.dtype v) x
+
+let read t ~env ~tid v = read_offs t ~tid v (Ts.scalar_offsets ~env v)
+
+let write t ~env ~tid v data =
+  write_offs t ~tid v (Ts.scalar_offsets ~env v) data
+
+let read_k t ~env ~tid v k = read_k_offs t ~tid v (Ts.scalar_offsets ~env v) k
+
+let write_k t ~env ~tid v k x =
+  write_k_offs t ~tid v (Ts.scalar_offsets ~env v) k x

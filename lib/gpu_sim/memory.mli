@@ -46,3 +46,21 @@ val read_k : t -> env:(string -> int) -> tid:int -> Gpu_tensor.Tensor.t -> int -
 
 val write_k :
   t -> env:(string -> int) -> tid:int -> Gpu_tensor.Tensor.t -> int -> float -> unit
+
+(** {1 Precomputed-offset access}
+
+    Variants taking the view's element offsets directly (as produced by a
+    compiled execution plan's offset closures) instead of deriving them
+    from [env]. Bounds checks and fault messages are identical to the
+    symbolic accessors above, which are now thin wrappers over these. *)
+
+val read_offs : t -> tid:int -> Gpu_tensor.Tensor.t -> int array -> float array
+
+val write_offs :
+  t -> tid:int -> Gpu_tensor.Tensor.t -> int array -> float array -> unit
+
+val read_k_offs :
+  t -> tid:int -> Gpu_tensor.Tensor.t -> int array -> int -> float
+
+val write_k_offs :
+  t -> tid:int -> Gpu_tensor.Tensor.t -> int array -> int -> float -> unit

@@ -79,9 +79,7 @@ let on_cost p ~instr ~tc ~flops ~instructions ~instances =
     else r.c.Counters.flops <- r.c.Counters.flops + (flops * instances);
     r.c.Counters.instructions <-
       r.c.Counters.instructions + (instructions * instances) - instances;
-    for _ = 1 to instances do
-      Counters.add_instr r.c instr
-    done
+    Counters.add_instr_n r.c instr instances
 
 let on_global_batch p ~store ~bytes ~warp addresses =
   (match p.current with

@@ -55,68 +55,59 @@ let single_io (s : Spec.t) =
   | [ i ], [ o ] -> (i, o)
   | _ -> invalid_arg "Semantics: arity"
 
-(* Read a rank-2 concrete view as a dense row-major float matrix. The view's
-   enumeration order is leftmost-fastest; reindex by coordinates instead. *)
-let read_matrix mem ~env ~tid v rows cols =
-  let data = Memory.read mem ~env:(fun x -> with_tid env tid x) ~tid v in
-  let m = Array.make_matrix rows cols 0.0 in
-  (* leftmost fastest: linear = r + rows * c *)
-  for c = 0 to cols - 1 do
-    for r = 0 to rows - 1 do
-      m.(r).(c) <- data.((c * rows) + r)
-    done
-  done;
-  m
+(* Every executor addresses views through [offs : Ts.t -> int -> int array],
+   the per-thread element offsets of a view. The default (below, in [exec])
+   derives them symbolically from [env]; a compiled execution plan passes
+   its precomputed offset closures instead. *)
 
 (* ----- per-thread instructions ----- *)
 
-let exec_thread_move mem (s : Spec.t) env tid =
+let exec_thread_move mem (s : Spec.t) offs tid =
   let src, dst = single_io s in
-  let env' = with_tid env tid in
-  let data = Memory.read mem ~env:env' ~tid src in
-  Memory.write mem ~env:env' ~tid dst data
+  let data = Memory.read_offs mem ~tid src (offs src tid) in
+  Memory.write_offs mem ~tid dst (offs dst tid) data
 
-let exec_thread_fma mem (s : Spec.t) env tid =
+let exec_thread_fma mem (s : Spec.t) offs tid =
   match (s.Spec.ins, s.Spec.outs) with
   | [ a; b ], [ c ] ->
-    let env' = with_tid env tid in
-    let va = Memory.read mem ~env:env' ~tid a in
-    let vb = Memory.read mem ~env:env' ~tid b in
-    let vc = Memory.read mem ~env:env' ~tid c in
+    let va = Memory.read_offs mem ~tid a (offs a tid) in
+    let vb = Memory.read_offs mem ~tid b (offs b tid) in
+    let c_offs = offs c tid in
+    let vc = Memory.read_offs mem ~tid c c_offs in
     let vd = Array.mapi (fun i x -> (va.(i) *. vb.(i)) +. x) vc in
-    Memory.write mem ~env:env' ~tid c vd
+    Memory.write_offs mem ~tid c c_offs vd
   | _ -> invalid_arg "fma arity"
 
-let exec_thread_unary mem op (s : Spec.t) env tid =
+let exec_thread_unary mem op (s : Spec.t) offs tid =
   let src, dst = single_io s in
-  let env' = with_tid env tid in
-  let data = Memory.read mem ~env:env' ~tid src in
-  let n = Array.length (Memory.offsets mem ~env:env' dst) in
+  let data = Memory.read_offs mem ~tid src (offs src tid) in
+  let d_offs = offs dst tid in
+  let n = Array.length d_offs in
   let get i = if Array.length data = 1 then data.(0) else data.(i) in
-  Memory.write mem ~env:env' ~tid dst (Array.init n (fun i -> Op.eval_unary op (get i)))
+  Memory.write_offs mem ~tid dst d_offs
+    (Array.init n (fun i -> Op.eval_unary op (get i)))
 
-let exec_thread_binary mem op (s : Spec.t) env tid =
+let exec_thread_binary mem op (s : Spec.t) offs tid =
   match (s.Spec.ins, s.Spec.outs) with
   | [ a; b ], [ c ] ->
-    let env' = with_tid env tid in
-    let va = Memory.read mem ~env:env' ~tid a in
-    let vb = Memory.read mem ~env:env' ~tid b in
+    let va = Memory.read_offs mem ~tid a (offs a tid) in
+    let vb = Memory.read_offs mem ~tid b (offs b tid) in
     (* Size-1 operands broadcast. *)
     let n = max (Array.length va) (Array.length vb) in
     let get v i = if Array.length v = 1 then v.(0) else v.(i) in
-    Memory.write mem ~env:env' ~tid c
+    Memory.write_offs mem ~tid c (offs c tid)
       (Array.init n (fun i -> Op.eval_binary op (get va i) (get vb i)))
   | _ -> invalid_arg "binary arity"
 
-let exec_thread_reduction mem op axes (s : Spec.t) env tid =
+let exec_thread_reduction mem op axes (s : Spec.t) offs tid =
   let src, dst = single_io s in
-  let env' = with_tid env tid in
-  let data = Memory.read mem ~env:env' ~tid src in
-  let out0 = Memory.read mem ~env:env' ~tid dst in
+  let data = Memory.read_offs mem ~tid src (offs src tid) in
+  let d_offs = offs dst tid in
+  let out0 = Memory.read_offs mem ~tid dst d_offs in
   if Array.length out0 = 1 then begin
     (* Full reduction, accumulating into the destination. *)
     let acc = Array.fold_left (Op.eval_binary op) out0.(0) data in
-    Memory.write mem ~env:env' ~tid dst [| acc |]
+    Memory.write_offs mem ~tid dst d_offs [| acc |]
   end
   else begin
     (* Partial reduction of a rank-2 view along one axis. The view
@@ -140,15 +131,15 @@ let exec_thread_reduction mem op axes (s : Spec.t) env tid =
           out.(i) <- Op.eval_binary op out.(i) data.((j * no) + i)
         done
       done);
-    Memory.write mem ~env:env' ~tid dst out
+    Memory.write_offs mem ~tid dst d_offs out
   end
 
-let exec_thread_init mem v (s : Spec.t) env tid =
+let exec_thread_init mem v (s : Spec.t) offs tid =
   match s.Spec.outs with
   | [ dst ] ->
-    let env' = with_tid env tid in
-    let n = Array.length (Memory.offsets mem ~env:env' dst) in
-    Memory.write mem ~env:env' ~tid dst (Array.make n v)
+    let d_offs = offs dst tid in
+    Memory.write_offs mem ~tid dst d_offs
+      (Array.make (Array.length d_offs) v)
   | _ -> invalid_arg "init arity"
 
 (* ----- collective instructions ----- *)
@@ -164,47 +155,56 @@ let tile_coords outer_dims j =
   in
   List.rev coords
 
-let exec_ldmatrix mem x (s : Spec.t) env members =
+let exec_ldmatrix mem x (s : Spec.t) offs members =
   let src, dst = single_io s in
-  (* Load each 8x8 matrix and distribute fragments per the PTX mapping. *)
+  let lane0 = members.(0) in
+  (* The source enumerates its outer tiles slowest and leftmost-fastest —
+     the same order as [tile_coords] — so the j-th 8x8 matrix is a
+     contiguous slice of the full offset enumeration. *)
+  let src_offs = offs src lane0 in
+  let tiles =
+    if Ts.depth src > 1 then Shape.Layout.size_int src.Ts.layout else 1
+  in
+  let per_tile = Array.length src_offs / tiles in
+  let dst_offs = Array.map (fun tid -> offs dst tid) members in
   for j = 0 to x - 1 do
-    let tile =
-      if Gpu_tensor.Tensor.depth src > 1 then
-        let outer_dims =
-          List.map
-            (fun m -> E.to_int_exn (Shape.Int_tuple.size m))
-            (Shape.Int_tuple.modes (Shape.Layout.dims src.Ts.layout))
-        in
-        Ts.select_ints src (tile_coords outer_dims j)
-      else src
+    let t0 = if tiles > 1 then j * per_tile else 0 in
+    let data =
+      Memory.read_offs mem ~tid:lane0 src (Array.sub src_offs t0 per_tile)
     in
-    let m = read_matrix mem ~env ~tid:members.(0) tile 8 8 in
+    (* 8x8, leftmost (row) fastest: linear = r + 8 * c. *)
+    let m = Array.make_matrix 8 8 0.0 in
+    for c = 0 to 7 do
+      for r = 0 to 7 do
+        m.(r).(c) <- data.((c * 8) + r)
+      done
+    done;
+    (* Distribute fragments per the PTX mapping. *)
     Array.iteri
       (fun lane tid ->
         let coords = ldmatrix_frag_coords lane in
         Array.iteri
           (fun c (r, col) ->
-            Memory.write_k mem
-              ~env:(with_tid env tid)
-              ~tid dst ((2 * j) + c) m.(r).(col))
+            Memory.write_k_offs mem ~tid dst dst_offs.(lane) ((2 * j) + c)
+              m.(r).(col))
           coords)
       members
   done
 
-let exec_mma mem ~m ~n ~k ~a_coords ~b_coords ~c_coords (s : Spec.t) env
+let exec_mma mem ~m ~n ~k ~a_coords ~b_coords ~c_coords (s : Spec.t) offs
     members =
   match (s.Spec.ins, s.Spec.outs) with
   | [ a; b ], [ c ] ->
     let ma = Array.make_matrix m k 0.0 in
     let mb = Array.make_matrix k n 0.0 in
     let mc = Array.make_matrix m n 0.0 in
+    let c_offs = Array.map (fun tid -> offs c tid) members in
     (* Gather fragments. *)
     Array.iteri
       (fun lane tid ->
-        let env' = with_tid env tid in
-        let va = Memory.read mem ~env:env' ~tid a in
-        let vb = Memory.read mem ~env:env' ~tid b in
-        let vc = Memory.read mem ~env:env' ~tid c in
+        let va = Memory.read_offs mem ~tid a (offs a tid) in
+        let vb = Memory.read_offs mem ~tid b (offs b tid) in
+        let vc = Memory.read_offs mem ~tid c c_offs.(lane) in
         Array.iteri (fun i (r, col) -> ma.(r).(col) <- va.(i)) (a_coords lane);
         Array.iteri (fun i (r, col) -> mb.(r).(col) <- vb.(i)) (b_coords lane);
         Array.iteri (fun i (r, col) -> mc.(r).(col) <- vc.(i)) (c_coords lane))
@@ -223,20 +223,19 @@ let exec_mma mem ~m ~n ~k ~a_coords ~b_coords ~c_coords (s : Spec.t) env
     (* Scatter the accumulator fragments. *)
     Array.iteri
       (fun lane tid ->
-        let env' = with_tid env tid in
         let frag =
           Array.map (fun (r, col) -> md.(r).(col)) (c_coords lane)
         in
-        Memory.write mem ~env:env' ~tid c frag)
+        Memory.write_offs mem ~tid c c_offs.(lane) frag)
       members
   | _ -> invalid_arg "mma arity"
 
-let exec_shfl mem kind (s : Spec.t) env members =
+let exec_shfl mem kind (s : Spec.t) env offs members =
   let src, dst = single_io s in
   let nlanes = Array.length members in
   let values =
     Array.map
-      (fun tid -> Memory.read mem ~env:(with_tid env tid) ~tid src)
+      (fun tid -> Memory.read_offs mem ~tid src (offs src tid))
       members
   in
   Array.iteri
@@ -249,13 +248,18 @@ let exec_shfl mem kind (s : Spec.t) env members =
         | Spec.Idx e -> E.eval ~env:(with_tid env tid) e mod nlanes
       in
       let p = if partner >= 0 && partner < nlanes then partner else lane in
-      Memory.write mem ~env:(with_tid env tid) ~tid dst values.(p))
+      Memory.write_offs mem ~tid dst (offs dst tid) values.(p))
     members
 
 (* ----- dispatch ----- *)
 
-let exec ?trace mem ~instr ~spec ~env ~members =
+let exec ?trace ?offsets mem ~instr ~spec ~env ~members =
   let name = instr.Atomic.name in
+  let offs =
+    match offsets with
+    | Some f -> f
+    | None -> fun v tid -> Ts.scalar_offsets ~env:(with_tid env tid) v
+  in
   (* Fine-grained (per-instance) instruction event, for detailed traces. *)
   Option.iter
     (fun tr ->
@@ -267,31 +271,34 @@ let exec ?trace mem ~instr ~spec ~env ~members =
           ]
         ())
     trace;
-  if starts_with "ldmatrix.x4" name then exec_ldmatrix mem 4 spec env members
-  else if starts_with "ldmatrix.x2" name then exec_ldmatrix mem 2 spec env members
-  else if starts_with "ldmatrix.x1" name then exec_ldmatrix mem 1 spec env members
-  else if starts_with "mma.m16n8k16" name then
-    exec_mma mem ~m:16 ~n:8 ~k:16 ~a_coords:mma_m16n8k16_a_coords
-      ~b_coords:mma_m16n8k16_b_coords ~c_coords:mma_m16n8k16_c_coords spec env
-      members
-  else if String.equal "mma.m8n8k4" name then
-    exec_mma mem ~m:8 ~n:8 ~k:4 ~a_coords:mma_m8n8k4_a_coords
-      ~b_coords:mma_m8n8k4_b_coords ~c_coords:mma_m8n8k4_c_coords spec env
-      members
-  else
-    match (spec.Spec.kind, members) with
-    | Spec.Shfl kind, _ -> exec_shfl mem kind spec env members
-    | Spec.Move, [| tid |] -> exec_thread_move mem spec env tid
-    | Spec.Mat_mul, [| tid |] -> exec_thread_fma mem spec env tid
-    | Spec.Unary_pointwise op, [| tid |] -> exec_thread_unary mem op spec env tid
-    | Spec.Binary_pointwise op, [| tid |] ->
-      exec_thread_binary mem op spec env tid
-    | Spec.Reduction { op; axes }, [| tid |] ->
-      exec_thread_reduction mem op axes spec env tid
-    | Spec.Init v, [| tid |] -> exec_thread_init mem v spec env tid
-    | (Spec.Move | Spec.Mat_mul | Spec.Unary_pointwise _
-      | Spec.Binary_pointwise _ | Spec.Reduction _ | Spec.Init _
-      | Spec.Generic _), _ ->
-      invalid_arg
-        (Printf.sprintf "Semantics.exec: unhandled instruction %s (%d members)"
-           name (Array.length members))
+  match Atomic.parse_ldmatrix name with
+  | Some (x, _) -> exec_ldmatrix mem x spec offs members
+  | None ->
+    if starts_with "mma.m16n8k16" name then
+      exec_mma mem ~m:16 ~n:8 ~k:16 ~a_coords:mma_m16n8k16_a_coords
+        ~b_coords:mma_m16n8k16_b_coords ~c_coords:mma_m16n8k16_c_coords spec
+        offs members
+    else if String.equal "mma.m8n8k4" name then
+      exec_mma mem ~m:8 ~n:8 ~k:4 ~a_coords:mma_m8n8k4_a_coords
+        ~b_coords:mma_m8n8k4_b_coords ~c_coords:mma_m8n8k4_c_coords spec offs
+        members
+    else (
+      match (spec.Spec.kind, members) with
+      | Spec.Shfl kind, _ -> exec_shfl mem kind spec env offs members
+      | Spec.Move, [| tid |] -> exec_thread_move mem spec offs tid
+      | Spec.Mat_mul, [| tid |] -> exec_thread_fma mem spec offs tid
+      | Spec.Unary_pointwise op, [| tid |] ->
+        exec_thread_unary mem op spec offs tid
+      | Spec.Binary_pointwise op, [| tid |] ->
+        exec_thread_binary mem op spec offs tid
+      | Spec.Reduction { op; axes }, [| tid |] ->
+        exec_thread_reduction mem op axes spec offs tid
+      | Spec.Init v, [| tid |] -> exec_thread_init mem v spec offs tid
+      | ( ( Spec.Move | Spec.Mat_mul | Spec.Unary_pointwise _
+          | Spec.Binary_pointwise _ | Spec.Reduction _ | Spec.Init _
+          | Spec.Generic _ ),
+          _ ) ->
+        invalid_arg
+          (Printf.sprintf
+             "Semantics.exec: unhandled instruction %s (%d members)" name
+             (Array.length members)))

@@ -13,9 +13,15 @@
     block/loop variables (not [threadIdx.x], which is bound per member).
     Only data movement/compute happens here; event counting is the
     interpreter's job. [trace], when given (the profiler's detail mode),
-    receives one instruction-level event per executed instance. *)
+    receives one instruction-level event per executed instance.
+
+    [offsets v tid], when given, supplies the element offsets of view [v]
+    for thread [tid] (a compiled execution plan passes its precomputed
+    offset closures); the default derives them symbolically from [env]
+    via [Tensor.scalar_offsets]. *)
 val exec :
   ?trace:Trace.t ->
+  ?offsets:(Gpu_tensor.Tensor.t -> int -> int array) ->
   Memory.t ->
   instr:Graphene.Atomic.instr ->
   spec:Graphene.Spec.t ->

@@ -1,0 +1,194 @@
+(* Compilation of symbolic index arithmetic to OCaml closures over a dense
+   [int array] environment.
+
+   The tree-walking interpreter re-evaluates `Shape.Int_expr` terms — and,
+   far more expensively, re-runs `Tensor.scalar_offsets` (substitute,
+   simplify, enumerate layout indices, swizzle) — for every thread of
+   every loop iteration. Here each expression is compiled once: constants
+   fold away, layout levels whose dims/strides are literal get their index
+   tables precomputed, and only genuinely variable terms (a loop-dependent
+   view offset, say) survive as arithmetic on the slot array. *)
+
+module E = Shape.Int_expr
+module L = Shape.Layout
+module T = Shape.Int_tuple
+module Ts = Gpu_tensor.Tensor
+module Tt = Gpu_tensor.Thread_tensor
+module Spec = Graphene.Spec
+
+type cexpr = int array -> int
+type cview = int array -> int array
+
+(* Evaluate a closed expression now; [None] if it mentions a variable or
+   faults (e.g. division by zero) — those stay dynamic so the fault fires
+   at execution time, exactly when the tree interpreter would raise it. *)
+let const_value e =
+  match E.eval ~env:(fun _ -> raise Exit) e with
+  | n -> Some n
+  | exception _ -> None
+
+let rec compile st scope (e : E.t) : cexpr =
+  match const_value e with
+  | Some n -> fun _ -> n
+  | None -> (
+    match e with
+    | E.Const n -> fun _ -> n
+    | E.Var v -> (
+      match List.assoc_opt v scope with
+      | Some slot -> fun env -> Array.unsafe_get env slot
+      | None ->
+        let slot = Slots.scalar_slot st v in
+        fun env ->
+          let x = Array.unsafe_get env slot in
+          if x = Slots.unbound then raise (Slots.Unbound_var v);
+          x)
+    | E.Add (a, b) ->
+      let ca = compile st scope a and cb = compile st scope b in
+      fun env -> ca env + cb env
+    | E.Sub (a, b) ->
+      let ca = compile st scope a and cb = compile st scope b in
+      fun env -> ca env - cb env
+    | E.Mul (a, b) ->
+      let ca = compile st scope a and cb = compile st scope b in
+      fun env -> ca env * cb env
+    | E.Div (a, b) ->
+      let ca = compile st scope a and cb = compile st scope b in
+      fun env -> ca env / cb env
+    | E.Mod (a, b) ->
+      let ca = compile st scope a and cb = compile st scope b in
+      fun env -> ca env mod cb env
+    | E.Min (a, b) ->
+      let ca = compile st scope a and cb = compile st scope b in
+      fun env -> min (ca env) (cb env)
+    | E.Max (a, b) ->
+      let ca = compile st scope a and cb = compile st scope b in
+      fun env -> max (ca env) (cb env))
+
+let rec compile_pred st scope (p : Spec.pred) : int array -> bool =
+  match p with
+  | Spec.Cmp (r, a, b) -> (
+    let ca = compile st scope a and cb = compile st scope b in
+    match r with
+    | Spec.Lt -> fun env -> ca env < cb env
+    | Spec.Le -> fun env -> ca env <= cb env
+    | Spec.Eq -> fun env -> ca env = cb env
+    | Spec.Ne -> fun env -> ca env <> cb env
+    | Spec.Gt -> fun env -> ca env > cb env
+    | Spec.Ge -> fun env -> ca env >= cb env)
+  | Spec.And (a, b) ->
+    let pa = compile_pred st scope a and pb = compile_pred st scope b in
+    fun env -> pa env && pb env
+  | Spec.Or (a, b) ->
+    let pa = compile_pred st scope a and pb = compile_pred st scope b in
+    fun env -> pa env || pb env
+  | Spec.Not p ->
+    let pp = compile_pred st scope p in
+    fun env -> not (pp env)
+
+(* ----- layout levels ----- *)
+
+(* Physical indices of one layout whose leaf (dim, stride) pairs are given
+   as integers — the same leftmost-fastest enumeration as
+   [Layout.all_indices]. *)
+let cartesian_indices ds ss =
+  let size = Array.fold_left ( * ) 1 ds in
+  let k = Array.length ds in
+  Array.init size (fun x ->
+      let acc = ref 0 and x = ref x in
+      for i = 0 to k - 1 do
+        acc := !acc + (!x mod Array.unsafe_get ds i * Array.unsafe_get ss i);
+        x := !x / Array.unsafe_get ds i
+      done;
+      !acc)
+
+type clevel = Static of int array | Dyn of cexpr array * cexpr array
+
+let compile_level st scope (l : L.t) =
+  let ds = T.flatten (L.dims l) and ss = T.flatten (L.strides l) in
+  let is_const = List.for_all (function E.Const _ -> true | _ -> false) in
+  if is_const ds && is_const ss then Static (L.all_indices l)
+  else
+    Dyn
+      ( Array.of_list (List.map (compile st scope) ds)
+      , Array.of_list (List.map (compile st scope) ss) )
+
+(* Cartesian sum of per-level index tables, first level outermost and the
+   innermost level fastest — [Tensor.scalar_offsets]' enumeration order. *)
+let combine_levels levels =
+  List.fold_left
+    (fun acc level ->
+      let la = Array.length acc and lb = Array.length level in
+      let out = Array.make (la * lb) 0 in
+      for i = 0 to la - 1 do
+        let a = Array.unsafe_get acc i in
+        for j = 0 to lb - 1 do
+          Array.unsafe_set out ((i * lb) + j) (a + Array.unsafe_get level j)
+        done
+      done;
+      out)
+    [| 0 |] levels
+
+let eval_level env = function
+  | Static a -> a
+  | Dyn (ds, ss) ->
+    cartesian_indices
+      (Array.map (fun c -> c env) ds)
+      (Array.map (fun c -> c env) ss)
+
+let compile_view st scope (v : Ts.t) : cview =
+  if Ts.free_vars v = [] then begin
+    (* Fully concrete: one symbolic evaluation at lowering time. *)
+    let offs = Ts.scalar_offsets ~env:(fun _ -> 0) v in
+    fun _ -> offs
+  end
+  else begin
+    let offset_c = compile st scope v.Ts.offset in
+    let levels = List.map (compile_level st scope) (Ts.levels v) in
+    let sw = v.Ts.swizzle in
+    if List.for_all (function Static _ -> true | Dyn _ -> false) levels then begin
+      (* Constant layouts under a variable base offset — the common case
+         (a tile view selected by loop counters / thread index). *)
+      let rel =
+        combine_levels
+          (List.map (function Static a -> a | Dyn _ -> assert false) levels)
+      in
+      let n = Array.length rel in
+      fun env ->
+        let base = offset_c env in
+        Array.init n (fun i ->
+            Shape.Swizzle.apply sw (base + Array.unsafe_get rel i))
+    end
+    else
+      fun env ->
+        let base = offset_c env in
+        let combined = combine_levels (List.map (eval_level env) levels) in
+        Array.map (fun r -> Shape.Swizzle.apply sw (base + r)) combined
+  end
+
+(* Member ids of a thread arrangement, compiled: the [Thread_tensor]
+   cartesian enumeration plus the final sort. The closure binds
+   [threadIdx.x] itself (slot 0) from the probing thread id. *)
+let compile_members st scope (t : Tt.t) : int array -> int -> int array =
+  let offset_const = const_value t.Tt.offset in
+  let levels = List.map (compile_level st scope) (Tt.levels t) in
+  let all_static =
+    List.for_all (function Static _ -> true | Dyn _ -> false) levels
+  in
+  match (offset_const, all_static) with
+  | Some base, true ->
+    let out =
+      combine_levels
+        (List.map (function Static a -> a | Dyn _ -> assert false) levels)
+    in
+    let out = Array.map (fun r -> base + r) out in
+    Array.sort Stdlib.compare out;
+    fun _ _ -> out
+  | _ ->
+    let offset_c = compile st scope t.Tt.offset in
+    fun env tid ->
+      env.(Slots.tid_slot) <- tid;
+      let base = offset_c env in
+      let combined = combine_levels (List.map (eval_level env) levels) in
+      let out = Array.map (fun r -> base + r) combined in
+      Array.sort Stdlib.compare out;
+      out

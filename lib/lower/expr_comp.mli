@@ -1,0 +1,41 @@
+(** Compilation of symbolic index arithmetic ([Shape.Int_expr] terms,
+    predicates, tensor-view offset enumerations, thread arrangements) to
+    OCaml closures over a dense [int array] environment indexed by
+    {!Slots}.
+
+    Compiled closures are observationally equivalent to the interpreter's
+    symbolic evaluation: same values, same flooring division, and the same
+    lazy faults (an unbound scalar raises {!Slots.Unbound_var} only when
+    the closure actually runs). *)
+
+type cexpr = int array -> int
+type cview = int array -> int array
+
+(** [compile slots scope e] — [scope] maps loop variables (and the
+    builtin thread/block indices) to their slots; any other variable is
+    treated as a scalar parameter and allocated a slot on first use. *)
+val compile : Slots.t -> (string * int) list -> Shape.Int_expr.t -> cexpr
+
+val compile_pred :
+  Slots.t -> (string * int) list -> Graphene.Spec.pred -> int array -> bool
+
+(** Compiled [Tensor.scalar_offsets]: physical element offsets of every
+    scalar of the view, innermost level fastest, swizzle applied. Fully
+    concrete views are enumerated once at compile time; constant layouts
+    under a variable base offset reduce to one addition per scalar. *)
+val compile_view : Slots.t -> (string * int) list -> Gpu_tensor.Tensor.t -> cview
+
+(** Compiled [Thread_tensor.member_ids]: [f env tid] binds the probing
+    thread's id to the threadIdx slot and returns the sorted member ids
+    of its collective instance. *)
+val compile_members :
+  Slots.t ->
+  (string * int) list ->
+  Gpu_tensor.Thread_tensor.t ->
+  int array ->
+  int ->
+  int array
+
+(** {1 Internals exposed for tests} *)
+
+val cartesian_indices : int array -> int array -> int array

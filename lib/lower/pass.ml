@@ -1,0 +1,22 @@
+(* A minimal named-pass framework. Each pass carries a renderer for its
+   result so a driver (the `graphene lower` CLI, tests) can print the IR
+   after every stage; chaining passes gives the before/after story for
+   free, since each pass's input is the previous pass's rendered output. *)
+
+type ('a, 'b) t =
+  { name : string
+  ; doc : string
+  ; run : 'a -> 'b
+  ; render : 'b -> string
+  }
+
+type log = pass:string -> doc:string -> string -> unit
+
+let make ~name ~doc ~render run = { name; doc; run; render }
+
+let apply ?log p x =
+  let y = p.run x in
+  (match log with
+  | Some f -> f ~pass:p.name ~doc:p.doc (p.render y)
+  | None -> ());
+  y

@@ -1,0 +1,17 @@
+(** Named lowering passes with pretty-printing hooks.
+
+    A pass is a pure ['a -> 'b] with a name, a one-line description, and a
+    renderer for its result. {!apply} runs the pass and, when a [log]
+    callback is given, hands it the rendered after-IR — the caller sees
+    the IR after every stage of a chain (each stage's input being the
+    previous stage's output). *)
+
+type ('a, 'b) t
+
+(** [log ~pass ~doc rendered] receives each pass's rendered result. *)
+type log = pass:string -> doc:string -> string -> unit
+
+val make :
+  name:string -> doc:string -> render:('b -> string) -> ('a -> 'b) -> ('a, 'b) t
+
+val apply : ?log:log -> ('a, 'b) t -> 'a -> 'b

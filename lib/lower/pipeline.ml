@@ -1,0 +1,359 @@
+(* The lowering pipeline: Spec.kernel -> Plan.t, in four named passes.
+
+     validate   advisory structural diagnostics (shapes, allocations)
+     flatten    decomposition tree -> flat statement list (allocs and
+                comments dropped, labeled decompositions become frames,
+                thread-dependent loop bounds become lazy failures)
+     resolve    each leaf spec paired with its atomic instruction —
+                Atomic.find runs exactly once per leaf, never at
+                execution time; unmatched leaves become lazy failures
+                listing near-miss candidates
+     compile    expressions, predicates, view offsets and thread
+                arrangements compiled to closures over the slot array
+
+   Atomic matching (Validate.check_atomics) is deliberately NOT part of
+   the validate pass: the resolve pass subsumes it, and running it would
+   double the Atomic.find calls the pipeline promises to make only once
+   per leaf. *)
+
+module E = Shape.Int_expr
+module L = Shape.Layout
+module T = Shape.Int_tuple
+module Ts = Gpu_tensor.Tensor
+module Tt = Gpu_tensor.Thread_tensor
+module Ms = Gpu_tensor.Memspace
+module Dt = Gpu_tensor.Dtype
+module Arch = Graphene.Arch
+module Spec = Graphene.Spec
+module Atomic = Graphene.Atomic
+module Validate = Graphene.Validate
+
+let mentions_tid e = List.mem "threadIdx.x" (E.free_vars e)
+
+let rec pred_mentions_tid = function
+  | Spec.Cmp (_, a, b) -> mentions_tid a || mentions_tid b
+  | Spec.And (a, b) | Spec.Or (a, b) ->
+    pred_mentions_tid a || pred_mentions_tid b
+  | Spec.Not p -> pred_mentions_tid p
+
+(* ----- the flattened intermediate form ----- *)
+
+type 'leaf fstmt =
+  | F_leaf of 'leaf
+  | F_loop of
+      { var : string; lo : E.t; hi : E.t; step : E.t; body : 'leaf fstmt list }
+  | F_branch of Spec.pred * 'leaf fstmt list * 'leaf fstmt list
+  | F_barrier
+  | F_frame of string * 'leaf fstmt list
+  | F_fail of string
+
+let rec pp_fstmt pp_leaf fmt = function
+  | F_leaf l -> pp_leaf fmt l
+  | F_loop { var; lo; hi; step; body } ->
+    Format.fprintf fmt "@[<v 2>for(%s = %a; %s < %a; %s += %a) {@,%a@]@,}" var
+      E.pp lo var E.pp hi var E.pp step (pp_fbody pp_leaf) body
+  | F_branch (p, then_, []) ->
+    Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,}" Spec.pp_pred p
+      (pp_fbody pp_leaf) then_
+  | F_branch (p, then_, else_) ->
+    Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,} else {@,%a@,}" Spec.pp_pred p
+      (pp_fbody pp_leaf) then_ (pp_fbody pp_leaf) else_
+  | F_barrier -> Format.fprintf fmt "__syncthreads()"
+  | F_frame (label, body) ->
+    Format.fprintf fmt "@[<v 2>frame %S {@,%a@]@,}" label (pp_fbody pp_leaf)
+      body
+  | F_fail msg -> (
+    match String.index_opt msg '\n' with
+    | None -> Format.fprintf fmt "fail %S" msg
+    | Some i -> Format.fprintf fmt "fail %S ..." (String.sub msg 0 i))
+
+and pp_fbody pp_leaf fmt stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut (pp_fstmt pp_leaf) fmt
+    stmts
+
+let render_fstmts pp_leaf stmts =
+  Format.asprintf "@[<v>%a@]" (pp_fbody pp_leaf) stmts
+
+let rec map_leaves f = function
+  | F_leaf l -> f l
+  | F_loop r -> F_loop { r with body = List.map (map_leaves f) r.body }
+  | F_branch (p, t, e) ->
+    F_branch (p, List.map (map_leaves f) t, List.map (map_leaves f) e)
+  | F_barrier -> F_barrier
+  | F_frame (lbl, body) -> F_frame (lbl, List.map (map_leaves f) body)
+  | F_fail m -> F_fail m
+
+(* ----- pass 1: validate ----- *)
+
+let validate_pass =
+  Pass.make ~name:"validate"
+    ~doc:"advisory structural diagnostics (shapes, allocations)"
+    ~render:(fun (_, diags) ->
+      if diags = [] then "ok"
+      else String.concat "\n" (List.map (fun d -> "WARN " ^ d) diags))
+    (fun (k : Spec.kernel) ->
+      (k, Validate.check_shapes k @ Validate.check_allocs k))
+
+(* ----- pass 2: flatten ----- *)
+
+let rec flatten_stmts stmts = List.concat_map flatten_stmt stmts
+
+and flatten_stmt (st : Spec.stmt) : Spec.t fstmt list =
+  match st with
+  | Spec.Comment _ | Spec.Alloc _ -> []
+  | Spec.Sync -> [ F_barrier ]
+  | Spec.For { var; lo; hi; step; body; _ } ->
+    if mentions_tid lo || mentions_tid hi || mentions_tid step then
+      [ F_fail (Printf.sprintf "loop %s has thread-dependent bounds" var) ]
+    else [ F_loop { var; lo; hi; step; body = flatten_stmts body } ]
+  | Spec.If { cond; then_; else_ } ->
+    [ F_branch (cond, flatten_stmts then_, flatten_stmts else_) ]
+  | Spec.Spec_stmt s -> (
+    match s.Spec.decomp with
+    | Some body ->
+      let inner = flatten_stmts body in
+      if String.length s.Spec.label > 0 then [ F_frame (s.Spec.label, inner) ]
+      else inner
+    | None -> [ F_leaf s ])
+
+let flatten_pass =
+  Pass.make ~name:"flatten"
+    ~doc:"decomposition tree to flat statements (allocs/comments dropped)"
+    ~render:(render_fstmts Spec.pp)
+    (fun (k : Spec.kernel) -> flatten_stmts k.Spec.body)
+
+(* ----- pass 3: resolve ----- *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let kind_prefixes = function
+  | Spec.Move -> [ "ld."; "st."; "cp."; "mov"; "cvt"; "ldmatrix" ]
+  | Spec.Mat_mul -> [ "mma"; "fma"; "hfma" ]
+  | Spec.Unary_pointwise _ -> [ "pointwise.unary" ]
+  | Spec.Binary_pointwise _ -> [ "pointwise.binary"; "binary" ]
+  | Spec.Reduction _ -> [ "red" ]
+  | Spec.Shfl _ -> [ "shfl" ]
+  | Spec.Init _ -> [ "init"; "mov" ]
+  | Spec.Generic _ -> []
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+(* The tree interpreter's unmatched-spec message, extended with the
+   closest registry candidates of the same family so the user can see
+   which signature constraint (dtype, extent, memory space, thread
+   count) rejected the spec. *)
+let unmatched_message arch (s : Spec.t) =
+  let base =
+    Format.asprintf "no atomic spec matches %a" Spec.pp
+      { s with Spec.decomp = None }
+  in
+  let cands =
+    List.filter
+      (fun (i : Atomic.instr) ->
+        List.exists (Arch.equal arch) i.Atomic.archs
+        && List.exists
+             (fun p -> starts_with p i.Atomic.name)
+             (kind_prefixes s.Spec.kind))
+      Atomic.registry
+  in
+  match take 6 cands with
+  | [] -> base
+  | cands ->
+    base
+    ^ Printf.sprintf "\n  near-miss candidates on %s:" (Arch.name arch)
+    ^ String.concat ""
+        (List.map
+           (fun (i : Atomic.instr) ->
+             Printf.sprintf "\n    %-26s %s (%s) -> (%s)" i.Atomic.name
+               i.Atomic.sig_threads i.Atomic.sig_ins i.Atomic.sig_outs)
+           cands)
+
+let resolve_pass arch =
+  Pass.make ~name:"resolve"
+    ~doc:"pair each leaf spec with its atomic instruction (once)"
+    ~render:
+      (render_fstmts (fun fmt ((s : Spec.t), (i : Atomic.instr)) ->
+           Format.fprintf fmt "%a@,  -> %s" Spec.pp s i.Atomic.name))
+    (fun stmts ->
+      List.map
+        (map_leaves (fun (s : Spec.t) ->
+             match Atomic.find arch s with
+             | Some instr -> F_leaf (s, instr)
+             | None -> F_fail (unmatched_message arch s)))
+        stmts)
+
+(* ----- pass 4: compile ----- *)
+
+(* Coordinates of the j-th tile among an ldmatrix source's outer tiles,
+   leftmost-fastest (mirrors Semantics.tile_coords, which lives above
+   this library in the dependency order). *)
+let tile_coords outer_dims j =
+  let coords, _ =
+    List.fold_left
+      (fun (acc, rest) d -> ((rest mod d) :: acc, rest / d))
+      ([], j) outer_dims
+  in
+  List.rev coords
+
+let compile_ld_rows st scope ~trans x (src : Ts.t) =
+  let outer_dims =
+    if Ts.depth src > 1 then
+      List.map
+        (fun m -> E.to_int_exn (T.size m))
+        (T.modes (L.dims src.Ts.layout))
+    else []
+  in
+  Array.init x (fun j ->
+      let tile =
+        if outer_dims = [] then src
+        else Ts.select_ints src (tile_coords outer_dims j)
+      in
+      Array.init 8 (fun r ->
+          let row =
+            if trans then Ts.select_ints tile [ 0; r ]
+            else Ts.select_ints tile [ r; 0 ]
+          in
+          Expr_comp.compile_view st scope row))
+
+let compile_atomic st scope (s : Spec.t) (instr : Atomic.instr) : Plan.atomic =
+  let cost = instr.Atomic.cost s in
+  let is_tc =
+    String.length instr.Atomic.name >= 3
+    && String.equal (String.sub instr.Atomic.name 0 3) "mma"
+  in
+  let view (v : Ts.t) =
+    let elt = Dt.size_bytes (Ts.dtype v) in
+    let n = try Ts.num_scalars_int v with Invalid_argument _ -> 1 in
+    { Plan.v_ts = v
+    ; v_mem = v.Ts.mem
+    ; v_elt_bytes = elt
+    ; v_batch_bytes = n * elt
+    ; v_offsets = Expr_comp.compile_view st scope v
+    }
+  in
+  let per_thread = instr.Atomic.threads = 1 in
+  let a_members =
+    if per_thread then None
+    else Some (Expr_comp.compile_members st scope s.Spec.threads)
+  in
+  let a_ldmatrix = Atomic.parse_ldmatrix instr.Atomic.name in
+  let a_ld_rows =
+    match (a_ldmatrix, s.Spec.ins) with
+    | Some (x, trans), [ src ] -> (
+      (* A symbolic outer extent makes the row views underivable here;
+         fall back to the interpreter's symbolic path, which raises the
+         same error the tree path would — and only on execution. *)
+      match compile_ld_rows st scope ~trans x src with
+      | rows -> Some (rows, Dt.size_bytes (Ts.dtype src))
+      | exception _ -> None)
+    | _ -> None
+  in
+  let a_lookup name =
+    match List.assoc_opt name scope with
+    | Some slot -> Some slot
+    | None -> Slots.find_scalar st name
+  in
+  { Plan.a_spec = s
+  ; a_instr = instr
+  ; a_cost = cost
+  ; a_is_tc = is_tc
+  ; a_dur = max 1 cost.Atomic.instructions
+  ; a_label = s.Spec.label
+  ; a_kind = Spec.kind_name s.Spec.kind
+  ; a_per_thread = per_thread
+  ; a_ins = List.map view s.Spec.ins
+  ; a_outs = List.map view s.Spec.outs
+  ; a_members
+  ; a_ldmatrix
+  ; a_ld_rows
+  ; a_lookup
+  }
+
+let rec compile_ops st scope stmts = List.map (compile_op st scope) stmts
+
+and compile_op st scope = function
+  | F_leaf (s, instr) -> Plan.Atomic_exec (compile_atomic st scope s instr)
+  | F_loop { var; lo; hi; step; body } ->
+    let l_lo = Expr_comp.compile st scope lo
+    and l_hi = Expr_comp.compile st scope hi
+    and l_step = Expr_comp.compile st scope step in
+    let slot = Slots.fresh_loop st in
+    Plan.Loop
+      { l_var = var
+      ; l_slot = slot
+      ; l_lo
+      ; l_hi
+      ; l_step
+      ; l_body = compile_ops st ((var, slot) :: scope) body
+      }
+  | F_branch (p, then_, else_) ->
+    Plan.Branch
+      { b_tid_dep = pred_mentions_tid p
+      ; b_cond = Expr_comp.compile_pred st scope p
+      ; b_then = compile_ops st scope then_
+      ; b_else = compile_ops st scope else_
+      }
+  | F_barrier -> Plan.Barrier
+  | F_frame (label, body) ->
+    Plan.Frame { f_label = label; f_body = compile_ops st scope body }
+  | F_fail msg -> Plan.Fail msg
+
+(* Shared allocations are rounded up to the swizzle window (mirrors the
+   tree interpreter's allocation sizing). *)
+let shared_alloc_size (t : Ts.t) =
+  let cosize = L.cosize t.Ts.layout in
+  let w = Shape.Swizzle.window t.Ts.swizzle in
+  (cosize + w - 1) / w * w
+
+let compile_pass arch diagnostics =
+  Pass.make ~name:"compile"
+    ~doc:"expressions, predicates and view offsets to closures"
+    ~render:Plan.to_string
+    (fun (k, resolved) ->
+      let st = Slots.create () in
+      (* Pre-register declared scalar parameters so they keep stable
+         slots even when only some views mention them. *)
+      List.iter
+        (fun p -> ignore (Slots.scalar_slot st p))
+        k.Spec.scalar_params;
+      let body = compile_ops st Slots.base_scope resolved in
+      let allocs =
+        List.map
+          (fun (t : Ts.t) ->
+            { Plan.al_buffer = t.Ts.buffer
+            ; al_mem = t.Ts.mem
+            ; al_size =
+                (match t.Ts.mem with
+                | Ms.Shared -> shared_alloc_size t
+                | Ms.Register -> L.cosize t.Ts.layout
+                | Ms.Global -> 0)
+            })
+          (Spec.allocs k.Spec.body)
+      in
+      { Plan.kernel = k
+      ; arch
+      ; nslots = Slots.count st
+      ; scalar_slots = Slots.scalar_alist st
+      ; cta_size = Tt.size k.Spec.cta
+      ; grid_size = Tt.size k.Spec.grid
+      ; allocs
+      ; body
+      ; diagnostics
+      })
+
+(* ----- driver ----- *)
+
+let lower ?log arch (k : Spec.kernel) : Plan.t =
+  (match log with
+  | Some f ->
+    f ~pass:"input" ~doc:"source kernel" (Spec.kernel_to_string k)
+  | None -> ());
+  let k, diagnostics = Pass.apply ?log validate_pass k in
+  let flat = Pass.apply ?log flatten_pass k in
+  let resolved = Pass.apply ?log (resolve_pass arch) flat in
+  Pass.apply ?log (compile_pass arch diagnostics) (k, resolved)

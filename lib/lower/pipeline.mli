@@ -1,0 +1,17 @@
+(** The lowering pipeline: [Spec.kernel] -> {!Plan.t} in four named
+    passes (validate, flatten, resolve, compile). See docs/LOWERING.md.
+
+    The pipeline promises to call [Atomic.find] exactly once per leaf
+    spec: resolution happens at lowering, never during execution. An
+    unmatched leaf (or a loop with thread-dependent bounds) lowers to a
+    {!Plan.Fail} op, so the error fires only if control flow reaches
+    it — the same lazy error semantics as the tree interpreter. *)
+
+(** [lower ?log arch kernel] runs the full pipeline. When [log] is
+    given it receives the rendered IR after every pass (plus the
+    ["input"] kernel listing), in order. *)
+val lower : ?log:Pass.log -> Graphene.Arch.t -> Graphene.Spec.kernel -> Plan.t
+
+(** The unmatched-leaf diagnostic: the tree interpreter's message plus
+    up to six same-family registry candidates (exposed for tests). *)
+val unmatched_message : Graphene.Arch.t -> Graphene.Spec.t -> string

@@ -1,0 +1,174 @@
+(* The execution-plan IR: what a [Spec.kernel] lowers to, once, before the
+   simulator runs it many times.
+
+   A plan is a flat tree of four-plus-two ops — [Loop], [Branch],
+   [Atomic_exec], [Barrier], plus [Frame] (profiler attribution for a
+   labeled decomposition) and [Fail] (a lowering-time diagnosis whose
+   error the interpreter must raise only if control flow reaches it, to
+   keep the tree path's lazy error semantics). Every symbolic quantity is
+   already compiled: loop bounds and predicates are closures, each leaf
+   spec carries its matched instruction, precomputed cost, and compiled
+   per-view offset enumerations. *)
+
+module Ts = Gpu_tensor.Tensor
+module Ms = Gpu_tensor.Memspace
+module Spec = Graphene.Spec
+module Atomic = Graphene.Atomic
+
+type view =
+  { v_ts : Ts.t  (** the source view (for semantics dispatch / fallback) *)
+  ; v_mem : Ms.t
+  ; v_elt_bytes : int
+  ; v_batch_bytes : int  (** bytes per thread per access batch *)
+  ; v_offsets : Expr_comp.cview
+  }
+
+type atomic =
+  { a_spec : Spec.t
+  ; a_instr : Atomic.instr  (** resolved exactly once, at lowering *)
+  ; a_cost : Atomic.cost
+  ; a_is_tc : bool
+  ; a_dur : int
+  ; a_label : string
+  ; a_kind : string
+  ; a_per_thread : bool
+  ; a_ins : view list
+  ; a_outs : view list
+  ; a_members : (int array -> int -> int array) option
+        (** collective instances: probing tid -> sorted member ids *)
+  ; a_ldmatrix : (int * bool) option  (** (x, trans) for ldmatrix traffic *)
+  ; a_ld_rows : (Expr_comp.cview array array * int) option
+        (** compiled per-matrix row views + element size; [None] falls
+            back to the symbolic derivation *)
+  ; a_lookup : string -> int option
+        (** name -> slot, for symbolic fallbacks (derived views, shfl.idx) *)
+  }
+
+type op =
+  | Atomic_exec of atomic
+  | Loop of
+      { l_var : string
+      ; l_slot : int
+      ; l_lo : Expr_comp.cexpr
+      ; l_hi : Expr_comp.cexpr
+      ; l_step : Expr_comp.cexpr
+      ; l_body : op list
+      }
+  | Branch of
+      { b_tid_dep : bool
+      ; b_cond : int array -> bool
+      ; b_then : op list
+      ; b_else : op list
+      }
+  | Barrier
+  | Frame of { f_label : string; f_body : op list }
+  | Fail of string
+
+type alloc = { al_buffer : string; al_mem : Ms.t; al_size : int }
+
+type t =
+  { kernel : Spec.kernel
+  ; arch : Graphene.Arch.t
+  ; nslots : int
+  ; scalar_slots : (string * int) list
+  ; cta_size : int
+  ; grid_size : int
+  ; allocs : alloc list
+  ; body : op list
+  ; diagnostics : string list  (** advisory validation findings *)
+  }
+
+(* ----- statistics ----- *)
+
+let rec count_ops ops =
+  List.fold_left
+    (fun acc op ->
+      acc
+      +
+      match op with
+      | Atomic_exec _ | Barrier | Fail _ -> 1
+      | Loop { l_body; _ } -> 1 + count_ops l_body
+      | Branch { b_then; b_else; _ } -> 1 + count_ops b_then + count_ops b_else
+      | Frame { f_body; _ } -> 1 + count_ops f_body)
+    0 ops
+
+let rec count_atomics ops =
+  List.fold_left
+    (fun acc op ->
+      acc
+      +
+      match op with
+      | Atomic_exec _ -> 1
+      | Barrier | Fail _ -> 0
+      | Loop { l_body; _ } -> count_atomics l_body
+      | Branch { b_then; b_else; _ } ->
+        count_atomics b_then + count_atomics b_else
+      | Frame { f_body; _ } -> count_atomics f_body)
+    0 ops
+
+(* ----- pretty-printing ----- *)
+
+let pp_view fmt (v : view) =
+  Format.fprintf fmt "%%%s[%s,%dB/thread]" v.v_ts.Ts.name
+    (Ms.to_ir_string v.v_mem) v.v_batch_bytes
+
+let pp_atomic fmt (a : atomic) =
+  Format.fprintf fmt "exec %s  // %s, %s, (%a) -> (%a)"
+    a.a_instr.Atomic.name a.a_kind
+    (if a.a_per_thread then "per-thread"
+     else Printf.sprintf "%d-thread collective" a.a_instr.Atomic.threads)
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.fprintf f ", ")
+       pp_view)
+    a.a_ins
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.fprintf f ", ")
+       pp_view)
+    a.a_outs;
+  if String.length a.a_label > 0 then Format.fprintf fmt "  // %s" a.a_label
+
+let rec pp_op fmt = function
+  | Atomic_exec a -> pp_atomic fmt a
+  | Loop { l_var; l_slot; l_body; _ } ->
+    Format.fprintf fmt "@[<v 2>loop %s (slot %d) {@,%a@]@,}" l_var l_slot
+      pp_ops l_body
+  | Branch { b_tid_dep; b_then; b_else = []; _ } ->
+    Format.fprintf fmt "@[<v 2>branch%s {@,%a@]@,}"
+      (if b_tid_dep then " #divergent" else "")
+      pp_ops b_then
+  | Branch { b_tid_dep; b_then; b_else; _ } ->
+    Format.fprintf fmt "@[<v 2>branch%s {@,%a@]@,} else {@,%a@,}"
+      (if b_tid_dep then " #divergent" else "")
+      pp_ops b_then pp_ops b_else
+  | Barrier -> Format.fprintf fmt "barrier"
+  | Frame { f_label; f_body } ->
+    Format.fprintf fmt "@[<v 2>frame %S {@,%a@]@,}" f_label pp_ops f_body
+  | Fail msg -> (
+    match String.index_opt msg '\n' with
+    | None -> Format.fprintf fmt "fail %S" msg
+    | Some i -> Format.fprintf fmt "fail %S ..." (String.sub msg 0 i))
+
+and pp_ops fmt ops =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_op fmt ops
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>// plan %s on %s@," t.kernel.Spec.name
+    (Graphene.Arch.name t.arch);
+  Format.fprintf fmt "// grid %d block(s) x cta %d thread(s), %d env slot(s)@,"
+    t.grid_size t.cta_size t.nslots;
+  if t.scalar_slots <> [] then
+    Format.fprintf fmt "// scalar slots: %s@,"
+      (String.concat ", "
+         (List.map
+            (fun (n, s) -> Printf.sprintf "%s=%d" n s)
+            t.scalar_slots));
+  List.iter
+    (fun al ->
+      Format.fprintf fmt "alloc %s : %s[%d]@," al.al_buffer
+        (Ms.to_ir_string al.al_mem) al.al_size)
+    t.allocs;
+  if t.diagnostics <> [] then
+    List.iter (fun d -> Format.fprintf fmt "// WARN %s@," d) t.diagnostics;
+  Format.fprintf fmt "%a@]" pp_ops t.body
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,77 @@
+(** The execution-plan IR produced by {!Pipeline.lower} and executed by
+    the simulator's [Interp.run_plan].
+
+    A plan is lowered once and executed many times: every leaf spec is
+    already paired with its atomic instruction (resolved exactly once),
+    costs and profiler attribution strings are precomputed, and all
+    symbolic index arithmetic is compiled to closures over one dense
+    [int array] environment (see {!Slots}, {!Expr_comp}). *)
+
+type view =
+  { v_ts : Gpu_tensor.Tensor.t
+  ; v_mem : Gpu_tensor.Memspace.t
+  ; v_elt_bytes : int
+  ; v_batch_bytes : int
+  ; v_offsets : Expr_comp.cview
+  }
+
+type atomic =
+  { a_spec : Graphene.Spec.t
+  ; a_instr : Graphene.Atomic.instr
+  ; a_cost : Graphene.Atomic.cost
+  ; a_is_tc : bool
+  ; a_dur : int
+  ; a_label : string
+  ; a_kind : string
+  ; a_per_thread : bool
+  ; a_ins : view list
+  ; a_outs : view list
+  ; a_members : (int array -> int -> int array) option
+  ; a_ldmatrix : (int * bool) option
+  ; a_ld_rows : (Expr_comp.cview array array * int) option
+  ; a_lookup : string -> int option
+  }
+
+type op =
+  | Atomic_exec of atomic
+  | Loop of
+      { l_var : string
+      ; l_slot : int
+      ; l_lo : Expr_comp.cexpr
+      ; l_hi : Expr_comp.cexpr
+      ; l_step : Expr_comp.cexpr
+      ; l_body : op list
+      }
+  | Branch of
+      { b_tid_dep : bool
+      ; b_cond : int array -> bool
+      ; b_then : op list
+      ; b_else : op list
+      }
+  | Barrier
+  | Frame of { f_label : string; f_body : op list }
+  | Fail of string
+      (** a problem diagnosed at lowering whose error must fire only if
+          control flow reaches it (lazy, like the tree interpreter) *)
+
+type alloc = { al_buffer : string; al_mem : Gpu_tensor.Memspace.t; al_size : int }
+
+type t =
+  { kernel : Graphene.Spec.kernel
+  ; arch : Graphene.Arch.t
+  ; nslots : int
+  ; scalar_slots : (string * int) list
+  ; cta_size : int
+  ; grid_size : int
+  ; allocs : alloc list
+  ; body : op list
+  ; diagnostics : string list
+  }
+
+(** Total op count / atomic-exec count, for summaries. *)
+val count_ops : op list -> int
+
+val count_atomics : op list -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

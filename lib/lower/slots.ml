@@ -1,0 +1,44 @@
+(* Dense integer environments for compiled plans. Every variable a kernel
+   can mention at runtime — threadIdx.x, blockIdx.x, scalar parameters,
+   loop counters — is assigned a fixed slot in one [int array], replacing
+   the string-keyed functional envs of the tree-walking interpreter. *)
+
+type t =
+  { scalars : (string, int) Hashtbl.t
+  ; mutable next : int
+  }
+
+exception Unbound_var of string
+
+let tid_slot = 0
+let bid_slot = 1
+
+(* Scalar slots a caller never bound keep this sentinel; compiled [Var]
+   closures check it so "missing scalar argument" errors stay as lazy as
+   the tree interpreter's (a dead branch never faults). *)
+let unbound = min_int
+
+let base_scope = [ ("threadIdx.x", tid_slot); ("blockIdx.x", bid_slot) ]
+
+let create () = { scalars = Hashtbl.create 16; next = 2 }
+
+let fresh_loop t =
+  let s = t.next in
+  t.next <- t.next + 1;
+  s
+
+let scalar_slot t name =
+  match Hashtbl.find_opt t.scalars name with
+  | Some s -> s
+  | None ->
+    let s = t.next in
+    t.next <- t.next + 1;
+    Hashtbl.replace t.scalars name s;
+    s
+
+let find_scalar t name = Hashtbl.find_opt t.scalars name
+let count t = t.next
+
+let scalar_alist t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.scalars []
+  |> List.sort Stdlib.compare

@@ -1,0 +1,39 @@
+(** Slot assignment for the dense [int array] environments of compiled
+    execution plans.
+
+    Slot 0 is [threadIdx.x] and slot 1 is [blockIdx.x]; scalar parameters
+    and loop counters get fresh slots during expression compilation. Loop
+    variables are scoped (a shadowing inner loop gets its own slot), so a
+    slot, once compiled into a closure, always denotes the same binder. *)
+
+type t
+
+(** Raised by a compiled closure reading a scalar slot that the caller
+    never bound. The interpreter translates it into the tree path's
+    "unbound variable ... (missing scalar argument?)" execution error. *)
+exception Unbound_var of string
+
+val tid_slot : int
+val bid_slot : int
+
+(** Sentinel stored in never-bound scalar slots (checked lazily). *)
+val unbound : int
+
+(** The outermost name-to-slot scope: threadIdx.x and blockIdx.x. *)
+val base_scope : (string * int) list
+
+val create : unit -> t
+
+(** A fresh slot for one loop binder (never reused). *)
+val fresh_loop : t -> int
+
+(** The slot of a scalar parameter, allocated on first use. *)
+val scalar_slot : t -> string -> int
+
+val find_scalar : t -> string -> int option
+
+(** Total number of slots allocated so far (= environment size). *)
+val count : t -> int
+
+(** All scalar slots, sorted by name (deterministic, for plan dumps). *)
+val scalar_alist : t -> (string * int) list

@@ -73,11 +73,18 @@ let profile_candidate machine ~epilogue (config : Gemm.config) ~m ~n ~k =
         kernel.Graphene.Spec.params
     in
     let profiler = Profiler.create () in
-    (match Gpu_sim.Interp.run ~arch ~profiler kernel ~args () with
+    (* Lower once, execute the compiled plan. The proxy is simulated only
+       once per candidate, but hoisting the lowering keeps resolution /
+       expression-compilation work out of the measured simulation — and
+       any candidate whose kernel doesn't lower is rejected before memory
+       is even allocated. *)
+    (match Lower.Pipeline.lower arch kernel with
     | exception _ -> None
-    | counters ->
-      Some
-        (Profiler.report profiler ~kernel ~arch ~counters ~machine ()))
+    | plan -> (
+      match Gpu_sim.Interp.run_plan ~profiler plan ~args () with
+      | exception _ -> None
+      | counters ->
+        Some (Profiler.report profiler ~kernel ~arch ~counters ~machine ())))
 
 let tune ?(profile_top = 0) machine ~epilogue ~m ~n ~k () =
   let arch = machine.Gpu_sim.Machine.arch in

@@ -1,0 +1,372 @@
+(* Tests for the lowering pipeline and the compiled-plan executor:
+
+   - plan/tree equivalence: for every kernel family, [Interp.run_plan]
+     must produce bit-identical counters, instruction mixes, profiler
+     report JSON, and output buffers to [Interp.run_tree];
+   - Atomic.find is called exactly once per leaf spec per lowering and
+     never at execution time;
+   - compiled view offsets match the symbolic enumeration;
+   - lazy error semantics (unmatched leaves, unbound scalars);
+   - the Counters.add_instr_n and Atomic.parse_ldmatrix satellites. *)
+
+module E = Shape.Int_expr
+module L = Shape.Layout
+module Ts = Gpu_tensor.Tensor
+module Tt = Gpu_tensor.Thread_tensor
+module Dt = Gpu_tensor.Dtype
+module Ms = Gpu_tensor.Memspace
+module B = Graphene.Builder
+module Arch = Graphene.Arch
+module Spec = Graphene.Spec
+module Atomic = Graphene.Atomic
+module C = Gpu_sim.Counters
+module Interp = Gpu_sim.Interp
+module Profiler = Gpu_sim.Profiler
+module Pipeline = Lower.Pipeline
+module Plan = Lower.Plan
+module Ref = Reference.Cpu_ref
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ----- plan/tree equivalence ----- *)
+
+let check_counters_equal name (a : C.t) (b : C.t) =
+  check_int (name ^ ": global_load_bytes") a.C.global_load_bytes
+    b.C.global_load_bytes;
+  check_int (name ^ ": global_store_bytes") a.C.global_store_bytes
+    b.C.global_store_bytes;
+  check_int (name ^ ": global_transactions") a.C.global_transactions
+    b.C.global_transactions;
+  check_int (name ^ ": shared_load_bytes") a.C.shared_load_bytes
+    b.C.shared_load_bytes;
+  check_int (name ^ ": shared_store_bytes") a.C.shared_store_bytes
+    b.C.shared_store_bytes;
+  check_int (name ^ ": shared_bank_conflicts") a.C.shared_bank_conflicts
+    b.C.shared_bank_conflicts;
+  check_int (name ^ ": flops") a.C.flops b.C.flops;
+  check_int (name ^ ": tensor_core_flops") a.C.tensor_core_flops
+    b.C.tensor_core_flops;
+  check_int (name ^ ": instructions") a.C.instructions b.C.instructions;
+  Alcotest.(check (list (pair string int)))
+    (name ^ ": instr mix") (C.instr_mix_alist a) (C.instr_mix_alist b)
+
+(* Run the kernel through both paths with identical inputs; demand
+   bit-identical counters, profiler reports, and output buffers. *)
+let check_equiv ?(scalars = []) ?args name arch kernel =
+  let base_args =
+    match args with
+    | Some a -> a
+    | None ->
+      List.mapi
+        (fun i (p : Ts.t) ->
+          (p.Ts.name, Ref.random_fp16 ~seed:(i + 1) (L.cosize p.Ts.layout)))
+        kernel.Spec.params
+  in
+  let machine = Gpu_sim.Machine.of_arch arch in
+  let run_path runner =
+    let args = List.map (fun (n, a) -> (n, Array.copy a)) base_args in
+    let profiler = Profiler.create () in
+    let counters = runner ~profiler ~args in
+    let report = Profiler.report profiler ~kernel ~arch ~counters ~machine () in
+    (args, counters, Profiler.report_to_json report)
+  in
+  let args1, c1, r1 =
+    run_path (fun ~profiler ~args ->
+        Interp.run_tree ~arch ~profiler kernel ~args ~scalars ())
+  in
+  let plan = Pipeline.lower arch kernel in
+  let args2, c2, r2 =
+    run_path (fun ~profiler ~args ->
+        Interp.run_plan ~profiler plan ~args ~scalars ())
+  in
+  check_counters_equal name c1 c2;
+  check_str (name ^ ": profiler report JSON") r1 r2;
+  List.iter2
+    (fun (bn, x) (_, y) ->
+      check_bool (Printf.sprintf "%s: buffer %s bitwise" name bn) true (x = y))
+    args1 args2
+
+let test_equiv_gemm_tc () =
+  List.iter
+    (fun arch ->
+      let cfg = Kernels.Gemm.test_config arch in
+      let m, n = if arch = Arch.SM70 then (32, 32) else (64, 64) in
+      check_equiv
+        (Printf.sprintf "gemm-tc %s" (Arch.name arch))
+        arch
+        (Kernels.Gemm.tensor_core arch cfg ~epilogue:Kernels.Epilogue.none ~m
+           ~n ~k:32 ()))
+    [ Arch.SM86; Arch.SM70 ]
+
+let test_equiv_gemm_naive () =
+  check_equiv "gemm-naive" Arch.SM86
+    (Kernels.Gemm.naive ~m:32 ~n:32 ~k:16 ~bm:16 ~bn:16 ~tm:4 ~tn:4 ())
+
+let test_equiv_gemm_parametric () =
+  (* Scalar parameters exercise the slot-environment path; ragged sizes
+     exercise predicated partial tiles (divergent branches). *)
+  let m = 30 and n = 20 and k = 10 in
+  let kernel =
+    Kernels.Gemm.naive_parametric ~launch_m:m ~launch_n:n ~bm:16 ~bn:16 ~tm:4
+      ~tn:4 ()
+  in
+  let args =
+    [ ("A", Ref.random_fp16 ~seed:14 (m * k))
+    ; ("B", Ref.random_fp16 ~seed:15 (k * n))
+    ; ("C", Array.make (m * n) 0.0)
+    ]
+  in
+  check_equiv "gemm-parametric" Arch.SM86 kernel ~args
+    ~scalars:[ ("M", m); ("N", n); ("K", k) ]
+
+let test_equiv_fmha () =
+  check_equiv "fmha sm86" Arch.SM86
+    (Kernels.Fmha.kernel Arch.SM86 ~batch:1 ~heads:1 ~seq:32 ~dh:16 ~chunk:16
+       ~nthreads:64 ());
+  check_equiv "fmha sm70" Arch.SM70
+    (Kernels.Fmha.kernel ~swizzle_smem:false Arch.SM70 ~batch:1 ~heads:1
+       ~seq:32 ~dh:32 ~chunk:32 ~nthreads:64 ())
+
+let test_equiv_lstm () =
+  check_equiv "lstm" Arch.SM86
+    (Kernels.Lstm.kernel Arch.SM86
+       (Kernels.Gemm.test_config Arch.SM86)
+       ~m:64 ~n:64 ~k:64 ())
+
+let test_equiv_mlp () =
+  check_equiv "mlp" Arch.SM86
+    (Kernels.Mlp.kernel Arch.SM86 ~m:64 ~width:64 ~layers:2 ~bm:64 ~wm:32
+       ~wn:32 ())
+
+let test_equiv_layernorm () =
+  check_equiv "layernorm" Arch.SM86
+    (Kernels.Layernorm.kernel ~rows:2 ~cols:256 ~nthreads:64 ())
+
+let test_equiv_softmax () =
+  check_equiv "softmax" Arch.SM86
+    (Kernels.Softmax.kernel ~rows:2 ~cols:128 ~nthreads:64 ())
+
+let test_equiv_gemm_layernorm () =
+  check_equiv "gemm+layernorm" Arch.SM86
+    (Kernels.Gemm_layernorm.kernel Arch.SM86 ~m:64 ~k:32 ~width:64 ~bm:64
+       ~wm:32 ~wn:32 ())
+
+(* ----- Atomic.find call counting ----- *)
+
+let count_leaves kernel =
+  Spec.fold_specs
+    (fun acc s -> if s.Spec.decomp = None then acc + 1 else acc)
+    0 kernel.Spec.body
+
+let test_find_called_once_per_leaf () =
+  let arch = Arch.SM86 in
+  let kernel =
+    Kernels.Gemm.tensor_core arch
+      (Kernels.Gemm.test_config arch)
+      ~epilogue:Kernels.Epilogue.none ~m:64 ~n:64 ~k:32 ()
+  in
+  let leaves = count_leaves kernel in
+  check_bool "kernel has leaves" true (leaves > 0);
+  let before = !Atomic.find_calls in
+  let plan = Pipeline.lower arch kernel in
+  check_int "one find per leaf during lowering" (before + leaves)
+    !Atomic.find_calls;
+  check_int "every leaf resolved" leaves (Plan.count_atomics plan.Plan.body);
+  let args =
+    List.map
+      (fun (p : Ts.t) ->
+        (p.Ts.name, Array.make (L.cosize p.Ts.layout) 0.0))
+      kernel.Spec.params
+  in
+  let after_lower = !Atomic.find_calls in
+  ignore (Interp.run_plan plan ~args ());
+  ignore (Interp.run_plan plan ~args ());
+  check_int "zero finds during plan execution" after_lower !Atomic.find_calls
+
+(* ----- compiled offsets vs symbolic enumeration ----- *)
+
+let test_compiled_offsets_match () =
+  let arch = Arch.SM86 in
+  let kernel =
+    Kernels.Gemm.tensor_core arch
+      (Kernels.Gemm.test_config arch)
+      ~epilogue:Kernels.Epilogue.none ~m:64 ~n:64 ~k:32 ()
+  in
+  let views =
+    Spec.fold_specs
+      (fun acc s ->
+        if s.Spec.decomp = None then acc @ s.Spec.ins @ s.Spec.outs else acc)
+      [] kernel.Spec.body
+  in
+  check_bool "collected views" true (views <> []);
+  let checked = ref 0 in
+  List.iter
+    (fun v ->
+      (* Give every free variable of this view a slot; bind loop vars to
+         a small non-zero value so strides actually matter. *)
+      let extra =
+        List.filter
+          (fun n -> not (List.mem_assoc n Lower.Slots.base_scope))
+          (Ts.free_vars v)
+      in
+      let scope =
+        Lower.Slots.base_scope @ List.mapi (fun i n -> (n, 2 + i)) extra
+      in
+      let st = Lower.Slots.create () in
+      let cview = Lower.Expr_comp.compile_view st scope v in
+      List.iter
+        (fun tid ->
+          let bs =
+            ("threadIdx.x", tid) :: ("blockIdx.x", 0)
+            :: List.mapi (fun i n -> (n, (i mod 2) + 1)) extra
+          in
+          let env_arr =
+            Array.make (List.length scope + Lower.Slots.count st + 8) 0
+          in
+          List.iter
+            (fun (name, value) ->
+              match List.assoc_opt name scope with
+              | Some slot -> env_arr.(slot) <- value
+              | None -> ())
+            bs;
+          let sym = Ts.scalar_offsets ~env:(fun n -> List.assoc n bs) v in
+          let compiled = cview env_arr in
+          incr checked;
+          Alcotest.(check (array int))
+            (Printf.sprintf "offsets of %%%s (tid %d)" v.Ts.name tid)
+            sym compiled)
+        [ 0; 5; 31; 64; 127 ])
+    views;
+  check_bool "checked some views" true (!checked > 0)
+
+(* ----- lazy error semantics ----- *)
+
+let test_unmatched_leaf_is_lazy () =
+  let grid = Tt.grid "g" [ 1 ] in
+  let cta = Tt.cta "cta" [ 32 ] in
+  let thr = Tt.select cta [ B.thread_idx ] in
+  let a = Ts.create_rm "A" [ 32 ] Dt.FP32 Ms.Global in
+  let dst = Ts.select a [ B.thread_idx ] in
+  (* A 7-element register move matches no atomic spec. *)
+  let r = Ts.create "r" (L.vector 7) Dt.FP32 Ms.Register in
+  let bogus = B.move ~threads:thr ~src:r ~dst:(Ts.select a [ E.zero ]) () in
+  let kernel dead =
+    B.kernel "lazy" ~grid ~cta ~params:[ a ]
+      [ Graphene.Spec.Alloc r
+      ; B.if_ B.(E.const (if dead then 1 else 0) ==. E.zero) [ bogus ]
+      ; B.init ~threads:thr 1.0 ~dst ()
+      ]
+  in
+  (* Unreachable unmatched leaf: lowering succeeds, execution succeeds. *)
+  let plan = Pipeline.lower Arch.SM86 (kernel true) in
+  let buf = Array.make 32 0.0 in
+  ignore (Interp.run_plan plan ~args:[ ("A", buf) ] ());
+  check_bool "dead unmatched leaf never fires" true (buf.(0) = 1.0);
+  (* Reachable: the same diagnostic the tree interpreter raises. *)
+  let plan_live = Pipeline.lower Arch.SM86 (kernel false) in
+  check_bool "live unmatched leaf raises" true
+    (try
+       ignore (Interp.run_plan plan_live ~args:[ ("A", Array.make 32 0.0) ] ());
+       false
+     with Interp.Exec_error msg ->
+       let has sub =
+         let n = String.length sub in
+         let rec go i =
+           i + n <= String.length msg
+           && (String.equal (String.sub msg i n) sub || go (i + 1))
+         in
+         go 0
+       in
+       has "no atomic spec matches" && has "near-miss candidates")
+
+let test_unbound_scalar_message () =
+  let kernel =
+    Kernels.Gemm.naive_parametric ~launch_m:16 ~launch_n:16 ~bm:16 ~bn:16
+      ~tm:4 ~tn:4 ()
+  in
+  let plan = Pipeline.lower Arch.SM86 kernel in
+  let args =
+    [ ("A", Array.make 256 0.0); ("B", Array.make 256 0.0)
+    ; ("C", Array.make 256 0.0)
+    ]
+  in
+  check_bool "missing scalar raises the tree path's message" true
+    (try
+       ignore (Interp.run_plan plan ~args ());
+       false
+     with Interp.Exec_error msg ->
+       (try
+          ignore (Interp.run_tree ~arch:Arch.SM86 kernel ~args ());
+          false
+        with Interp.Exec_error msg' -> String.equal msg msg'))
+
+(* ----- satellites: add_instr_n, parse_ldmatrix ----- *)
+
+let test_add_instr_n () =
+  let a = C.create () and b = C.create () in
+  List.iter
+    (fun (name, n) ->
+      C.add_instr_n a name n;
+      for _ = 1 to n do
+        C.add_instr b name
+      done)
+    [ ("fma.rn.f32", 3); ("ldmatrix.x4", 1); ("fma.rn.f32", 2)
+    ; ("mma.m16n8k16", 0); ("cp.async.f16x8", 128)
+    ];
+  Alcotest.(check (list (pair string int)))
+    "mix equals n repeated add_instr" (C.instr_mix_alist b)
+    (C.instr_mix_alist a);
+  check_int "instructions equal" b.C.instructions a.C.instructions
+
+let test_parse_ldmatrix () =
+  let check_case name expected =
+    Alcotest.(check (option (pair int bool)))
+      name expected (Atomic.parse_ldmatrix name)
+  in
+  check_case "ldmatrix.x1" (Some (1, false));
+  check_case "ldmatrix.x2" (Some (2, false));
+  check_case "ldmatrix.x4" (Some (4, false));
+  check_case "ldmatrix.x1.trans" (Some (1, true));
+  check_case "ldmatrix.x2.trans" (Some (2, true));
+  check_case "ldmatrix.x4.trans" (Some (4, true));
+  check_case "ldmatrix" None;
+  check_case "ldmatrix.x" None;
+  check_case "ldmatrix.xa" None;
+  check_case "ldmatrix.x4.t" None;
+  check_case "ldmatrix.x4.transpose" None;
+  check_case "mma.m16n8k16" None;
+  check_case "" None
+
+let () =
+  Alcotest.run "lower"
+    [ ( "plan/tree equivalence",
+        [ Alcotest.test_case "gemm tensor-core (both arches)" `Quick
+            test_equiv_gemm_tc
+        ; Alcotest.test_case "gemm naive" `Quick test_equiv_gemm_naive
+        ; Alcotest.test_case "gemm parametric (scalars)" `Quick
+            test_equiv_gemm_parametric
+        ; Alcotest.test_case "fmha (both arches)" `Quick test_equiv_fmha
+        ; Alcotest.test_case "lstm" `Quick test_equiv_lstm
+        ; Alcotest.test_case "mlp" `Quick test_equiv_mlp
+        ; Alcotest.test_case "layernorm" `Quick test_equiv_layernorm
+        ; Alcotest.test_case "softmax" `Quick test_equiv_softmax
+        ; Alcotest.test_case "fused gemm+layernorm" `Quick
+            test_equiv_gemm_layernorm
+        ] )
+    ; ( "pipeline",
+        [ Alcotest.test_case "find called once per leaf" `Quick
+            test_find_called_once_per_leaf
+        ; Alcotest.test_case "compiled offsets match symbolic" `Quick
+            test_compiled_offsets_match
+        ; Alcotest.test_case "unmatched leaf stays lazy" `Quick
+            test_unmatched_leaf_is_lazy
+        ; Alcotest.test_case "unbound scalar message" `Quick
+            test_unbound_scalar_message
+        ] )
+    ; ( "satellites",
+        [ Alcotest.test_case "add_instr_n" `Quick test_add_instr_n
+        ; Alcotest.test_case "parse_ldmatrix" `Quick test_parse_ldmatrix
+        ] )
+    ]

@@ -1,6 +1,6 @@
 # Convenience wrappers around dune. `make ci` is what CI runs.
 
-.PHONY: build test profile-smoke bench golden ci clean
+.PHONY: build test profile-smoke parallel-smoke bench golden ci clean
 
 build:
 	dune build
@@ -12,6 +12,11 @@ test:
 # on one kernel per supported architecture; fails on non-zero exit.
 profile-smoke:
 	dune build @profile-smoke
+
+# 2-domain determinism check: a parallel run of a small tensor-core GEMM
+# must be bit-identical (counters, report, trace, buffers) to 1 domain.
+parallel-smoke:
+	dune build @parallel-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -246,10 +246,62 @@ let lower_cmd =
           execution plan. See docs/LOWERING.md.")
     Term.(const run $ arch_arg $ kernel_arg $ plan_only)
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Execute the simulated grid on $(docv) OCaml domains in parallel \
+           (default: \\$GRAPHENE_SIM_DOMAINS, else the machine's recommended \
+           domain count). Results are bit-identical at every domain count; \
+           see docs/PARALLELISM.md.")
+
 let simulate_cmd =
-  let run arch name =
+  let check_domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "check-domains" ] ~docv:"N"
+          ~doc:
+            "Determinism check: run the kernel once on 1 domain and once on \
+             $(docv) domains and require bit-identical counters, profiler \
+             report, Chrome trace and output buffers. Exits non-zero on any \
+             difference.")
+  in
+  let run arch name domains check =
     let kernel, args, verify = build arch name in
-    let counters = Gpu_sim.Interp.run ~arch kernel ~args () in
+    (match check with
+    | None -> ()
+    | Some nd ->
+      let copy l = List.map (fun (n, a) -> (n, Array.copy a)) l in
+      let one_run ~domains args =
+        let trace = Gpu_sim.Trace.create () in
+        let profiler = Gpu_sim.Profiler.create ~trace () in
+        let counters =
+          Gpu_sim.Interp.run ~arch ~profiler ~domains kernel ~args ()
+        in
+        let report =
+          Gpu_sim.Profiler.report profiler ~kernel ~arch ~counters ()
+        in
+        ( Gpu_sim.Profiler.report_to_json report
+        , Gpu_sim.Trace.to_chrome_string trace )
+      in
+      let args1 = copy args and argsn = copy args in
+      let report1, trace1 = one_run ~domains:1 args1 in
+      let reportn, tracen = one_run ~domains:nd argsn in
+      let check_one what ok =
+        Format.printf "  %-16s %s@." what
+          (if ok then "bit-identical" else "MISMATCH");
+        ok
+      in
+      Format.printf "determinism: 1 domain vs %d domains@." nd;
+      (* no && here: every check should print, even after a mismatch *)
+      let ok_report = check_one "profiler report" (String.equal report1 reportn) in
+      let ok_trace = check_one "chrome trace" (String.equal trace1 tracen) in
+      let ok_bufs = check_one "output buffers" (args1 = argsn) in
+      if not (ok_report && ok_trace && ok_bufs) then exit 1);
+    let counters = Gpu_sim.Interp.run ~arch ?domains kernel ~args () in
     Format.printf "%a@." Gpu_sim.Counters.pp counters;
     if verify () then Format.printf "result: matches CPU reference@."
     else begin
@@ -260,7 +312,7 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Execute a kernel on the simulated GPU and verify the result.")
-    Term.(const run $ arch_arg $ kernel_arg)
+    Term.(const run $ arch_arg $ kernel_arg $ domains_arg $ check_domains)
 
 let write_file path contents =
   try
@@ -286,11 +338,13 @@ let profile_cmd =
             "Also record one trace event per executed instruction instance \
              (larger trace files).")
   in
-  let run arch name out_dir detail =
+  let run arch name out_dir detail domains =
     let kernel, args, verify = build arch name in
     let trace = Gpu_sim.Trace.create () in
     let profiler = Gpu_sim.Profiler.create ~trace ~detail () in
-    let counters = Gpu_sim.Interp.run ~arch ~profiler kernel ~args () in
+    let counters =
+      Gpu_sim.Interp.run ~arch ~profiler ?domains kernel ~args ()
+    in
     let machine = Gpu_sim.Machine.of_arch arch in
     let report =
       Gpu_sim.Profiler.report profiler ~kernel ~arch ~counters ~machine ()
@@ -321,7 +375,7 @@ let profile_cmd =
           print the attribution report (instruction mix, bytes, coalescing, \
           bank conflicts, roofline placement) and write a JSON report plus \
           a Chrome-trace timeline. See docs/PROFILING.md.")
-    Term.(const run $ arch_arg $ kernel_arg $ out_dir $ detail)
+    Term.(const run $ arch_arg $ kernel_arg $ out_dir $ detail $ domains_arg)
 
 let tune_cmd =
   let mnk =
@@ -342,7 +396,7 @@ let tune_cmd =
              a measured per-spec profile (coalescing, bank conflicts) to \
              each line.")
   in
-  let run arch _kernel sizes profile_top =
+  let run arch _kernel sizes profile_top domains =
     let m, n, k =
       match sizes with
       | [ m; n; k ] -> (m, n, k)
@@ -351,8 +405,8 @@ let tune_cmd =
     in
     let machine = Gpu_sim.Machine.of_arch arch in
     let results =
-      Tuner.Autotune.tune ~profile_top machine ~epilogue:Kernels.Epilogue.none
-        ~m ~n ~k ()
+      Tuner.Autotune.tune ~profile_top ?domains machine
+        ~epilogue:Kernels.Epilogue.none ~m ~n ~k ()
     in
     Format.printf "top configurations for %dx%dx%d on %s:@." m n k
       (Arch.display_name arch);
@@ -366,7 +420,7 @@ let tune_cmd =
     (Cmd.info "tune"
        ~doc:
          "Rank GEMM tile configurations for a problem size using the           performance model over each candidate's IR.")
-    Term.(const run $ arch_arg $ kernel_pos $ mnk $ profile_top)
+    Term.(const run $ arch_arg $ kernel_pos $ mnk $ profile_top $ domains_arg)
 
 let tables_cmd =
   let run () = Experiments.Figures.print_all Format.std_formatter in

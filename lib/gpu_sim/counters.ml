@@ -128,6 +128,14 @@ let merge dst src =
         (v + Option.value ~default:0 (Hashtbl.find_opt dst.instr_mix k)))
     src.instr_mix
 
+(* Total merge: the counters of a whole run from its per-domain parts.
+   All fields are sums, so the fold order cannot matter — but we fold in
+   list order anyway, matching the ascending-block merge everywhere else. *)
+let merge_list parts =
+  let acc = create () in
+  List.iter (merge acc) parts;
+  acc
+
 let instr_mix_alist t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.instr_mix []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -52,6 +52,12 @@ val record_shared_batch : t -> store:bool -> bytes:int -> int list -> unit
     per-instruction mix. *)
 val merge : t -> t -> unit
 
+(** [merge_list parts] — a fresh counter holding the sum of [parts]
+    (used to rebuild a whole run's totals from its per-domain pieces;
+    all fields are commutative sums, so any order gives the same
+    result). *)
+val merge_list : t list -> t
+
 (** The instruction mix as an association list, sorted by instruction name
     (deterministic, for reports). *)
 val instr_mix_alist : t -> (string * int) list

@@ -1,0 +1,44 @@
+(** A small self-contained pool of OCaml 5 domains (no domainslib) used to
+    execute independent thread blocks — and independent autotuning
+    candidates — in parallel. See docs/PARALLELISM.md.
+
+    Workers share one task queue; the domain submitting a batch always
+    participates in executing it, so nested or concurrent batches make
+    progress without deadlock. *)
+
+type t
+
+(** The parallelism the simulator uses when the caller does not pass
+    [?domains]: the [GRAPHENE_SIM_DOMAINS] environment variable when set
+    to a positive integer, otherwise [Domain.recommended_domain_count ()]. *)
+val default_domains : unit -> int
+
+(** A fresh pool with no workers; workers are spawned on demand by
+    {!run_list}, up to an internal cap (31). *)
+val create : unit -> t
+
+(** The process-wide pool (created lazily, grown on demand). All
+    simulator entry points share it so the total number of spawned
+    domains stays bounded. *)
+val global : unit -> t
+
+(** Current capacity: workers + the submitting domain. *)
+val size : t -> int
+
+(** A task raised: carries the task's index in the submitted list, the
+    exception, and its backtrace. *)
+exception Task_error of int * exn * Printexc.raw_backtrace
+
+(** [run_list pool thunks] executes every thunk (on the pool's workers
+    and the calling domain), waits for all of them, and returns their
+    results in submission order. If any thunk raised, re-raises the
+    lowest-indexed failure as {!Task_error} — after every task has
+    finished, so no task is abandoned mid-flight. *)
+val run_list : t -> (unit -> 'a) list -> 'a list
+
+(** [block_ranges ~total ~chunks] — contiguous ascending [(lo, hi))
+    ranges covering [0, total), balanced to within one block. A pure
+    function of its arguments: the same chunk count always yields the
+    same split (the deterministic-merge contract relies on this). At most
+    [total] (and at least one) ranges are returned. *)
+val block_ranges : total:int -> chunks:int -> (int * int) list

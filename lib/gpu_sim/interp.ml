@@ -19,6 +19,7 @@ type ctx =
   ; counters : Counters.t
   ; cta_size : int
   ; prof : Profiler.t option
+  ; mutable block : int  (* blockIdx.x of the block currently executing *)
   }
 
 let sem_trace ctx =
@@ -91,13 +92,15 @@ let record_view_batch ctx env tids ~store (v : Ts.t) =
       if Ms.equal v.Ts.mem Ms.Global then begin
         Counters.record_global_batch ctx.counters ~store ~bytes addrs;
         Option.iter
-          (fun p -> Profiler.on_global_batch p ~store ~bytes ~warp addrs)
+          (fun p ->
+            Profiler.on_global_batch p ~block:ctx.block ~store ~bytes ~warp addrs)
           ctx.prof
       end
       else begin
         Counters.record_shared_batch ctx.counters ~store ~bytes addrs;
         Option.iter
-          (fun p -> Profiler.on_shared_batch p ~store ~bytes ~warp addrs)
+          (fun p ->
+            Profiler.on_shared_batch p ~block:ctx.block ~store ~bytes ~warp addrs)
           ctx.prof
       end
     end
@@ -138,11 +141,13 @@ let exec_per_thread ctx (instr : Atomic.instr) (s : Spec.t) env active =
       List.iter (record_view_batch ctx env tids ~store:true) s.Spec.outs;
       List.iter
         (fun tid ->
-          Semantics.exec ?trace:(sem_trace ctx) ctx.mem ~instr ~spec:s ~env
-            ~members:[| tid |])
+          Semantics.exec ?trace:(sem_trace ctx) ~block:ctx.block ctx.mem ~instr
+            ~spec:s ~env ~members:[| tid |])
         tids;
       Option.iter
-        (fun p -> Profiler.exec_event p ~warp:w ~lanes:(List.length tids) ~dur)
+        (fun p ->
+          Profiler.exec_event p ~block:ctx.block ~warp:w
+            ~lanes:(List.length tids) ~dur)
         ctx.prof)
     warps;
   account_cost ctx instr s ~instances:(List.length active)
@@ -177,7 +182,7 @@ let record_ldmatrix ctx ~trans x (s : Spec.t) env members =
       Counters.record_shared_batch ctx.counters ~store:false ~bytes:16 addrs;
       Option.iter
         (fun p ->
-          Profiler.on_shared_batch p ~store:false ~bytes:16
+          Profiler.on_shared_batch p ~block:ctx.block ~store:false ~bytes:16
             ~warp:(members.(0) / 32) addrs)
         ctx.prof
     done
@@ -210,10 +215,11 @@ let exec_collective ctx (instr : Atomic.instr) (s : Spec.t) env active =
       (match Atomic.parse_ldmatrix instr.Atomic.name with
       | Some (x, trans) -> record_ldmatrix ctx ~trans x s env members
       | None -> ());
-      Semantics.exec ?trace:(sem_trace ctx) ctx.mem ~instr ~spec:s ~env ~members;
+      Semantics.exec ?trace:(sem_trace ctx) ~block:ctx.block ctx.mem ~instr
+        ~spec:s ~env ~members;
       Option.iter
         (fun p ->
-          Profiler.exec_event p ~warp:(members.(0) / 32)
+          Profiler.exec_event p ~block:ctx.block ~warp:(members.(0) / 32)
             ~lanes:(Array.length members) ~dur)
         ctx.prof)
     groups;
@@ -227,7 +233,7 @@ let rec exec_stmt ctx env active stmt =
     if List.length active <> ctx.cta_size then
       error "__syncthreads() inside divergent control flow (%d of %d threads)"
         (List.length active) ctx.cta_size;
-    Option.iter Profiler.on_barrier ctx.prof
+    Option.iter (fun p -> Profiler.on_barrier p ~block:ctx.block) ctx.prof
   | Spec.For { var; lo; hi; step; body; _ } ->
     if mentions_tid lo || mentions_tid hi || mentions_tid step then
       error "loop %s has thread-dependent bounds" var;
@@ -279,32 +285,97 @@ let shared_alloc_size (t : Ts.t) =
   let w = Shape.Swizzle.window t.Ts.swizzle in
   (cosize + w - 1) / w * w
 
-let run_tree ~arch ?profiler (k : Spec.kernel) ~args ?(scalars = []) () =
-  let mem = Memory.create () in
-  let counters = Counters.create () in
-  List.iter (fun (name, data) -> Memory.bind_global mem name data) args;
-  List.iter
-    (fun (t : Ts.t) ->
-      match t.Ts.mem with
-      | Ms.Shared -> Memory.declare_shared mem t.Ts.buffer (shared_alloc_size t)
-      | Ms.Register -> Memory.declare_regs mem t.Ts.buffer (L.cosize t.Ts.layout)
-      | Ms.Global -> error "Alloc of a global tensor %s" t.Ts.buffer)
-    (Spec.allocs k.Spec.body);
+(* ===== parallel grid execution =====
+
+   Thread blocks are independent: each owns its shared memory, register
+   files and barrier scope, and distinct blocks write disjoint global
+   cells (the same contract real hardware gives a kernel). So the grid
+   splits into contiguous ascending block ranges, one per domain; each
+   domain executes its range against the shared global arena with private
+   block-local memory, its own counters and a forked profiler. Merging
+   the per-domain counters and profiler states back in ascending range
+   order makes every observable — counters, profiler reports, Chrome
+   traces, output buffers — bit-identical to the 1-domain run. See
+   docs/PARALLELISM.md for the full argument. *)
+
+let resolve_domains ?domains ~grid_size () =
+  let d =
+    match domains with Some d -> d | None -> Domain_pool.default_domains ()
+  in
+  max 1 (min d grid_size)
+
+(* [exec_range ~counters ~profiler lo hi] must execute blocks
+   [lo, hi) into the given sinks, touching no other shared state. *)
+let run_grid ~domains ~grid_size ~counters ~profiler ~exec_range =
+  if domains <= 1 then exec_range ~counters ~profiler 0 grid_size
+  else begin
+    let ranges = Domain_pool.block_ranges ~total:grid_size ~chunks:domains in
+    let tasks =
+      List.map
+        (fun (lo, hi) () ->
+          let c = Counters.create () in
+          let p = Option.map Profiler.fork profiler in
+          exec_range ~counters:c ~profiler:p lo hi;
+          (c, p))
+        ranges
+    in
+    match Domain_pool.run_list (Domain_pool.global ()) tasks with
+    | results ->
+      List.iter
+        (fun (c, p) ->
+          Counters.merge counters c;
+          match (profiler, p) with
+          | Some dst, Some src -> Profiler.merge_into dst src
+          | _ -> ())
+        results
+    | exception Domain_pool.Task_error (_, e, bt) ->
+      (* Lowest-range failure, i.e. the one the sequential run would have
+         hit first (each domain stops at the first failing block of its
+         range). Re-raised as itself so callers see Exec_error / Fault
+         exactly as in a 1-domain run. *)
+      Printexc.raise_with_backtrace e bt
+  end
+
+let run_tree ~arch ?profiler ?domains (k : Spec.kernel) ~args ?(scalars = []) ()
+    =
+  let arena = Memory.create_global () in
+  List.iter (fun (name, data) -> Memory.bind_arena arena name data) args;
+  let allocs = Spec.allocs k.Spec.body in
+  let declare mem =
+    List.iter
+      (fun (t : Ts.t) ->
+        match t.Ts.mem with
+        | Ms.Shared ->
+          Memory.declare_shared mem t.Ts.buffer (shared_alloc_size t)
+        | Ms.Register ->
+          Memory.declare_regs mem t.Ts.buffer (L.cosize t.Ts.layout)
+        | Ms.Global -> error "Alloc of a global tensor %s" t.Ts.buffer)
+      allocs
+  in
   let cta_size = Tt.size k.Spec.cta in
   let grid_size = Tt.size k.Spec.grid in
-  let ctx = { arch; mem; counters; cta_size; prof = profiler } in
   let base_env v =
     match List.assoc_opt v scalars with
     | Some n -> n
     | None -> error "unbound variable %s (missing scalar argument?)" v
   in
   let all_threads = List.init cta_size Fun.id in
-  for bid = 0 to grid_size - 1 do
-    Memory.reset_block mem;
-    Option.iter (fun p -> Profiler.set_block p bid) ctx.prof;
-    let env v = if String.equal v "blockIdx.x" then bid else base_env v in
-    List.iter (exec_stmt ctx env all_threads) k.Spec.body
-  done;
+  let counters = Counters.create () in
+  let exec_range ~counters ~profiler lo hi =
+    let mem = Memory.of_global arena in
+    declare mem;
+    let ctx = { arch; mem; counters; cta_size; prof = profiler; block = 0 } in
+    for bid = lo to hi - 1 do
+      Memory.new_block mem;
+      ctx.block <- bid;
+      Option.iter Profiler.begin_block ctx.prof;
+      let env v = if String.equal v "blockIdx.x" then bid else base_env v in
+      List.iter (exec_stmt ctx env all_threads) k.Spec.body
+    done
+  in
+  run_grid
+    ~domains:(resolve_domains ?domains ~grid_size ())
+    ~grid_size ~counters ~profiler ~exec_range;
   counters
 
 (* ===== the compiled-plan executor =====
@@ -360,13 +431,15 @@ let record_plan_batch ctx (env : int array) tids ~store (pv : P.view) =
       if Ms.equal pv.P.v_mem Ms.Global then begin
         Counters.record_global_batch ctx.counters ~store ~bytes addrs;
         Option.iter
-          (fun p -> Profiler.on_global_batch p ~store ~bytes ~warp addrs)
+          (fun p ->
+            Profiler.on_global_batch p ~block:ctx.block ~store ~bytes ~warp addrs)
           ctx.prof
       end
       else begin
         Counters.record_shared_batch ctx.counters ~store ~bytes addrs;
         Option.iter
-          (fun p -> Profiler.on_shared_batch p ~store ~bytes ~warp addrs)
+          (fun p ->
+            Profiler.on_shared_batch p ~block:ctx.block ~store ~bytes ~warp addrs)
           ctx.prof
       end
     end
@@ -400,14 +473,14 @@ let exec_plan_per_thread ctx (a : P.atomic) env active =
       List.iter (record_plan_batch ctx env tids ~store:true) a.P.a_outs;
       List.iter
         (fun tid ->
-          Semantics.exec ?trace:(sem_trace ctx) ~offsets:offs ctx.mem
-            ~instr:a.P.a_instr ~spec:a.P.a_spec ~env:env_fun
+          Semantics.exec ?trace:(sem_trace ctx) ~block:ctx.block ~offsets:offs
+            ctx.mem ~instr:a.P.a_instr ~spec:a.P.a_spec ~env:env_fun
             ~members:[| tid |])
         tids;
       Option.iter
         (fun p ->
-          Profiler.exec_event p ~warp:w ~lanes:(List.length tids)
-            ~dur:a.P.a_dur)
+          Profiler.exec_event p ~block:ctx.block ~warp:w
+            ~lanes:(List.length tids) ~dur:a.P.a_dur)
         ctx.prof)
     warps;
   account_cost_plan ctx a ~instances:(List.length active)
@@ -421,7 +494,7 @@ let record_plan_ldmatrix ctx (a : P.atomic) env ~trans x members =
       Counters.record_shared_batch ctx.counters ~store:false ~bytes:16 addrs;
       Option.iter
         (fun p ->
-          Profiler.on_shared_batch p ~store:false ~bytes:16
+          Profiler.on_shared_batch p ~block:ctx.block ~store:false ~bytes:16
             ~warp:(members.(0) / 32) addrs)
         ctx.prof
     done
@@ -460,11 +533,11 @@ let exec_plan_collective ctx (a : P.atomic) env active =
       (match a.P.a_ldmatrix with
       | Some (x, trans) -> record_plan_ldmatrix ctx a env ~trans x members
       | None -> ());
-      Semantics.exec ?trace:(sem_trace ctx) ~offsets:offs ctx.mem
-        ~instr:a.P.a_instr ~spec:a.P.a_spec ~env:env_fun ~members;
+      Semantics.exec ?trace:(sem_trace ctx) ~block:ctx.block ~offsets:offs
+        ctx.mem ~instr:a.P.a_instr ~spec:a.P.a_spec ~env:env_fun ~members;
       Option.iter
         (fun p ->
-          Profiler.exec_event p ~warp:(members.(0) / 32)
+          Profiler.exec_event p ~block:ctx.block ~warp:(members.(0) / 32)
             ~lanes:(Array.length members) ~dur:a.P.a_dur)
         ctx.prof)
     groups;
@@ -510,52 +583,69 @@ let rec exec_plan_op ctx (env : int array) active op =
     if List.length active <> ctx.cta_size then
       error "__syncthreads() inside divergent control flow (%d of %d threads)"
         (List.length active) ctx.cta_size;
-    Option.iter Profiler.on_barrier ctx.prof
+    Option.iter (fun p -> Profiler.on_barrier p ~block:ctx.block) ctx.prof
   | P.Frame { f_label; f_body } ->
     Option.iter (fun p -> Profiler.enter_frame p f_label) ctx.prof;
     List.iter (exec_plan_op ctx env active) f_body;
     Option.iter Profiler.exit_frame ctx.prof
   | P.Fail msg -> error "%s" msg
 
-let run_plan ?profiler (plan : P.t) ~args ?(scalars = []) () =
-  let mem = Memory.create () in
-  let counters = Counters.create () in
-  List.iter (fun (name, data) -> Memory.bind_global mem name data) args;
-  List.iter
-    (fun (al : P.alloc) ->
-      match al.P.al_mem with
-      | Ms.Shared -> Memory.declare_shared mem al.P.al_buffer al.P.al_size
-      | Ms.Register -> Memory.declare_regs mem al.P.al_buffer al.P.al_size
-      | Ms.Global -> error "Alloc of a global tensor %s" al.P.al_buffer)
-    plan.P.allocs;
-  let ctx =
-    { arch = plan.P.arch
-    ; mem
-    ; counters
-    ; cta_size = plan.P.cta_size
-    ; prof = profiler
-    }
+let run_plan ?profiler ?domains (plan : P.t) ~args ?(scalars = []) () =
+  let arena = Memory.create_global () in
+  List.iter (fun (name, data) -> Memory.bind_arena arena name data) args;
+  let declare mem =
+    List.iter
+      (fun (al : P.alloc) ->
+        match al.P.al_mem with
+        | Ms.Shared -> Memory.declare_shared mem al.P.al_buffer al.P.al_size
+        | Ms.Register -> Memory.declare_regs mem al.P.al_buffer al.P.al_size
+        | Ms.Global -> error "Alloc of a global tensor %s" al.P.al_buffer)
+      plan.P.allocs
   in
-  let env = Array.make plan.P.nslots Slots.unbound in
+  let base_env = Array.make plan.P.nslots Slots.unbound in
   List.iter
     (fun (name, v) ->
       match List.assoc_opt name plan.P.scalar_slots with
-      | Some slot -> env.(slot) <- v
+      | Some slot -> base_env.(slot) <- v
       | None -> () (* extra scalar args are ignored, as in run_tree *))
     scalars;
   let all_threads = List.init plan.P.cta_size Fun.id in
-  (try
-     for bid = 0 to plan.P.grid_size - 1 do
-       Memory.reset_block mem;
-       Option.iter (fun p -> Profiler.set_block p bid) ctx.prof;
-       env.(Slots.bid_slot) <- bid;
-       List.iter (exec_plan_op ctx env all_threads) plan.P.body
-     done
-   with Slots.Unbound_var v ->
-     error "unbound variable %s (missing scalar argument?)" v);
+  let grid_size = plan.P.grid_size in
+  let counters = Counters.create () in
+  let exec_range ~counters ~profiler lo hi =
+    let mem = Memory.of_global arena in
+    declare mem;
+    let ctx =
+      { arch = plan.P.arch
+      ; mem
+      ; counters
+      ; cta_size = plan.P.cta_size
+      ; prof = profiler
+      ; block = 0
+      }
+    in
+    (* The slot env is mutated during execution (thread/loop slots), so
+       every range gets its own copy of the scalar bindings. *)
+    let env = Array.copy base_env in
+    try
+      for bid = lo to hi - 1 do
+        Memory.new_block mem;
+        ctx.block <- bid;
+        Option.iter Profiler.begin_block ctx.prof;
+        env.(Slots.bid_slot) <- bid;
+        List.iter (exec_plan_op ctx env all_threads) plan.P.body
+      done
+    with Slots.Unbound_var v ->
+      error "unbound variable %s (missing scalar argument?)" v
+  in
+  run_grid
+    ~domains:(resolve_domains ?domains ~grid_size ())
+    ~grid_size ~counters ~profiler ~exec_range;
   counters
 
-(* Lower once, execute. Callers running the same kernel repeatedly should
-   lower once themselves and call [run_plan] per execution. *)
-let run ~arch ?profiler (k : Spec.kernel) ~args ?scalars () =
-  run_plan ?profiler (Lower.Pipeline.lower arch k) ~args ?scalars ()
+(* Lower once (through the plan cache), execute. Callers running the same
+   kernel repeatedly with different scalar arguments hit the cache; see
+   Lower.Pipeline.lower_cached. *)
+let run ~arch ?profiler ?domains (k : Spec.kernel) ~args ?scalars () =
+  let plan, _cache_hit = Lower.Pipeline.lower_cached arch k in
+  run_plan ?profiler ?domains plan ~args ?scalars ()

@@ -15,7 +15,18 @@
     conditions split the active mask (divergence); undecomposed specs
     dispatch to the matched atomic instruction's {!Semantics}. Event
     counters model coalescing (32-byte sectors) and shared-memory bank
-    conflicts from the very addresses the kernel touches. *)
+    conflicts from the very addresses the kernel touches.
+
+    {2 Parallel grids}
+
+    Both paths accept [?domains]: the grid's thread blocks split into
+    contiguous ascending ranges executed concurrently on that many OCaml
+    domains (default {!Domain_pool.default_domains}, i.e. the
+    [GRAPHENE_SIM_DOMAINS] environment variable or the machine's
+    recommended domain count). Per-domain counters and profiler state
+    merge back in ascending block order, so counters, profiler reports,
+    traces and output buffers are bit-identical at every domain count —
+    see docs/PARALLELISM.md. *)
 
 exception Exec_error of string
 
@@ -36,6 +47,7 @@ exception Exec_error of string
 val run_tree :
   arch:Graphene.Arch.t ->
   ?profiler:Profiler.t ->
+  ?domains:int ->
   Graphene.Spec.kernel ->
   args:(string * float array) list ->
   ?scalars:(string * int) list ->
@@ -50,17 +62,21 @@ val run_tree :
     runs). *)
 val run_plan :
   ?profiler:Profiler.t ->
+  ?domains:int ->
   Lower.Plan.t ->
   args:(string * float array) list ->
   ?scalars:(string * int) list ->
   unit ->
   Counters.t
 
-(** [run ~arch kernel ~args ~scalars] lowers the kernel and executes the
-    plan once — the convenience entry point for single executions. *)
+(** [run ~arch kernel ~args ~scalars] lowers the kernel (through
+    {!Lower.Pipeline.lower_cached}, so repeated launches of structurally
+    identical kernels — including scalar-parameter variants — reuse the
+    plan) and executes it. *)
 val run :
   arch:Graphene.Arch.t ->
   ?profiler:Profiler.t ->
+  ?domains:int ->
   Graphene.Spec.kernel ->
   args:(string * float array) list ->
   ?scalars:(string * int) list ->

@@ -2,27 +2,50 @@ module Ts = Gpu_tensor.Tensor
 module Ms = Gpu_tensor.Memspace
 module Dt = Gpu_tensor.Dtype
 
-type t =
-  { global : (string, float array) Hashtbl.t
-  ; shared : (string, float array) Hashtbl.t
+(* The global-memory arena is the only state shared between domains when
+   blocks execute in parallel: it is populated (bind) before execution
+   starts and only its arrays' cells are written afterwards — blocks
+   writing disjoint cells, exactly as on real hardware. *)
+type global = (string, float array) Hashtbl.t
+
+(* Block-local state: shared-memory arrays and per-thread register files.
+   A fresh value per block replaces the old [reset_block] mutation, so a
+   domain executing its own block range can never observe another
+   domain's block-local state. *)
+type block =
+  { shared : (string, float array) Hashtbl.t
   ; regs : (string * int, float array) Hashtbl.t
+  }
+
+type t =
+  { global : global
   ; shared_sizes : (string, int) Hashtbl.t
   ; reg_sizes : (string, int) Hashtbl.t
+  ; mutable blk : block
   }
 
 exception Fault of string
 
 let fault fmt = Format.kasprintf (fun s -> raise (Fault s)) fmt
 
-let create () =
-  { global = Hashtbl.create 16
-  ; shared = Hashtbl.create 16
-  ; regs = Hashtbl.create 1024
+let create_global () : global = Hashtbl.create 16
+
+let fresh_block () =
+  { shared = Hashtbl.create 16; regs = Hashtbl.create 1024 }
+
+let of_global global =
+  { global
   ; shared_sizes = Hashtbl.create 16
   ; reg_sizes = Hashtbl.create 16
+  ; blk = fresh_block ()
   }
 
-let bind_global t name data = Hashtbl.replace t.global name data
+let create () = of_global (create_global ())
+
+let global t = t.global
+
+let bind_arena (g : global) name data = Hashtbl.replace g name data
+let bind_global t name data = bind_arena t.global name data
 
 let find_global t name =
   match Hashtbl.find_opt t.global name with
@@ -32,32 +55,30 @@ let find_global t name =
 let declare_shared t name size = Hashtbl.replace t.shared_sizes name size
 let declare_regs t name size = Hashtbl.replace t.reg_sizes name size
 
-let reset_block t =
-  Hashtbl.reset t.shared;
-  Hashtbl.reset t.regs
+let new_block t = t.blk <- fresh_block ()
 
 let buffer t ~tid (v : Ts.t) =
   match v.Ts.mem with
   | Ms.Global -> find_global t v.Ts.buffer
   | Ms.Shared -> (
-    match Hashtbl.find_opt t.shared v.Ts.buffer with
+    match Hashtbl.find_opt t.blk.shared v.Ts.buffer with
     | Some a -> a
     | None -> (
       match Hashtbl.find_opt t.shared_sizes v.Ts.buffer with
       | Some size ->
         let a = Array.make size 0.0 in
-        Hashtbl.replace t.shared v.Ts.buffer a;
+        Hashtbl.replace t.blk.shared v.Ts.buffer a;
         a
       | None -> fault "shared buffer %s was never allocated" v.Ts.buffer))
   | Ms.Register -> (
     let key = (v.Ts.buffer, tid) in
-    match Hashtbl.find_opt t.regs key with
+    match Hashtbl.find_opt t.blk.regs key with
     | Some a -> a
     | None -> (
       match Hashtbl.find_opt t.reg_sizes v.Ts.buffer with
       | Some size ->
         let a = Array.make size 0.0 in
-        Hashtbl.replace t.regs key a;
+        Hashtbl.replace t.blk.regs key a;
         a
       | None -> fault "register buffer %s was never allocated" v.Ts.buffer))
 

@@ -5,16 +5,39 @@
     destination view's element type (fp16/bf16), so simulated numerics match
     what mixed-precision GPU kernels produce. *)
 
+(** The global-memory arena, shared by every block — and, when blocks
+    execute on multiple domains, by every domain. It is written through
+    {!bind_arena}/{!bind_global} before execution starts; afterwards only
+    its arrays' cells are mutated, by blocks writing disjoint cells (as on
+    real hardware), so sharing it across domains is safe. *)
+type global
+
+(** A per-domain memory handle: the shared {!global} arena plus
+    block-local state (shared-memory arrays and per-thread register
+    files) that is replaced wholesale at each block boundary. *)
 type t
 
 exception Fault of string
 
+val create_global : unit -> global
+
+(** [bind_arena g name data] — attach a caller-owned array as a global
+    buffer; the kernel mutates it in place. *)
+val bind_arena : global -> string -> float array -> unit
+
+(** A fresh handle over [global] with empty block-local state and no
+    declarations — each domain executing a block range makes its own. *)
+val of_global : global -> t
+
+(** [create ()] = [of_global (create_global ())]. *)
 val create : unit -> t
+
+(** The arena this handle reads globals from. *)
+val global : t -> global
 
 (** {1 Buffer management} *)
 
-(** [bind_global t name data] — attach a caller-owned array as a global
-    buffer; the kernel mutates it in place. *)
+(** [bind_global t name data] = [bind_arena (global t) name data]. *)
 val bind_global : t -> string -> float array -> unit
 
 val find_global : t -> string -> float array
@@ -24,8 +47,11 @@ val declare_shared : t -> string -> int -> unit
 
 val declare_regs : t -> string -> int -> unit
 
-(** Discard all shared buffers and register files (between blocks). *)
-val reset_block : t -> unit
+(** Install fresh (empty) block-local state — shared buffers and register
+    files — at a block boundary. Replaces the old [reset_block] mutation:
+    block-local state is a separate value, never shared across blocks or
+    domains. *)
+val new_block : t -> unit
 
 (** {1 View access}
 

@@ -35,10 +35,53 @@ let create ?trace ?(detail = false) () =
 let trace p = p.trace_sink
 let detail_trace p = if p.detail then p.trace_sink else None
 
-let set_block p bid =
+(* New thread block: the scope stack and current-row cursor restart.
+   Events themselves carry their block id explicitly (the [~block]
+   arguments below), never ambient profiler state. *)
+let begin_block p =
   p.stack <- [];
-  p.current <- None;
-  Option.iter (fun tr -> Trace.set_pid tr bid) p.trace_sink
+  p.current <- None
+
+(* An empty profiler a domain can record its own block range into: fresh
+   trace sink iff [p] has one, same detail flag. Merge back with
+   {!merge_into} in ascending block order. *)
+let fork p =
+  create
+    ?trace:(Option.map (fun _ -> Trace.create ()) p.trace_sink)
+    ~detail:p.detail ()
+
+(* Deterministic merge of a per-domain profiler recorded for the block
+   range that sequentially follows everything already in [dst]: rows are
+   folded in [src]'s first-issue order (so a row first issued in a later
+   block lands exactly where the sequential run would have created it),
+   and the trace sinks merge with the virtual-clock shift. *)
+let merge_into dst src =
+  List.iter
+    (fun (src_row : acc_row) ->
+      let row =
+        match Hashtbl.find_opt dst.rows src_row.key with
+        | Some r -> r
+        | None ->
+          let r =
+            { key = src_row.key
+            ; a_path = src_row.a_path
+            ; a_kind = src_row.a_kind
+            ; a_instr = src_row.a_instr
+            ; a_instances = 0
+            ; c = Counters.create ()
+            }
+          in
+          Hashtbl.add dst.rows src_row.key r;
+          dst.order <- r :: dst.order;
+          r
+      in
+      row.a_instances <- row.a_instances + src_row.a_instances;
+      Counters.merge row.c src_row.c)
+    (List.rev src.order);
+  dst.barriers <- dst.barriers + src.barriers;
+  (match (dst.trace_sink, src.trace_sink) with
+  | Some d, Some s -> Trace.merge_into d s
+  | _ -> ())
 
 let enter_frame p name = p.stack <- name :: p.stack
 
@@ -81,7 +124,7 @@ let on_cost p ~instr ~tc ~flops ~instructions ~instances =
       r.c.Counters.instructions + (instructions * instances) - instances;
     Counters.add_instr_n r.c instr instances
 
-let on_global_batch p ~store ~bytes ~warp addresses =
+let on_global_batch p ~block ~store ~bytes ~warp addresses =
   (match p.current with
   | None -> ()
   | Some r -> Counters.record_global_batch r.c ~store ~bytes addresses);
@@ -91,7 +134,7 @@ let on_global_batch p ~store ~bytes ~warp addresses =
         match p.current with Some r -> r.a_path | None -> "global access"
       in
       Trace.instant tr ~name ~cat:(if store then "global.store" else "global.load")
-        ~tid:warp
+        ~pid:block ~tid:warp
         ~args:
           [ ("bytes", Trace.Int (bytes * List.length addresses))
           ; ("sectors", Trace.Int (Counters.sectors_of_batch ~bytes addresses))
@@ -99,7 +142,7 @@ let on_global_batch p ~store ~bytes ~warp addresses =
         ())
     p.trace_sink
 
-let on_shared_batch p ~store ~bytes ~warp addresses =
+let on_shared_batch p ~block ~store ~bytes ~warp addresses =
   (match p.current with
   | None -> ()
   | Some r -> Counters.record_shared_batch r.c ~store ~bytes addresses);
@@ -109,7 +152,7 @@ let on_shared_batch p ~store ~bytes ~warp addresses =
         match p.current with Some r -> r.a_path | None -> "shared access"
       in
       Trace.instant tr ~name ~cat:(if store then "shared.store" else "shared.load")
-        ~tid:warp
+        ~pid:block ~tid:warp
         ~args:
           [ ("bytes", Trace.Int (bytes * List.length addresses))
           ; ( "bank_conflicts"
@@ -118,7 +161,7 @@ let on_shared_batch p ~store ~bytes ~warp addresses =
         ())
     p.trace_sink
 
-let exec_event p ~warp ~lanes ~dur =
+let exec_event p ~block ~warp ~lanes ~dur =
   Option.iter
     (fun tr ->
       let name, instr =
@@ -126,15 +169,16 @@ let exec_event p ~warp ~lanes ~dur =
         | Some r -> (r.a_path, r.a_instr)
         | None -> ("exec", "?")
       in
-      Trace.complete tr ~name ~cat:"exec" ~tid:warp ~dur
+      Trace.complete tr ~name ~cat:"exec" ~pid:block ~tid:warp ~dur
         ~args:[ ("instr", Trace.Str instr); ("lanes", Trace.Int lanes) ]
         ())
     p.trace_sink
 
-let on_barrier p =
+let on_barrier p ~block =
   p.barriers <- p.barriers + 1;
   Option.iter
-    (fun tr -> Trace.instant tr ~name:"__syncthreads" ~cat:"barrier" ~tid:0 ())
+    (fun tr ->
+      Trace.instant tr ~name:"__syncthreads" ~cat:"barrier" ~pid:block ~tid:0 ())
     p.trace_sink
 
 (* ----- reports ----- *)

@@ -27,11 +27,27 @@ val trace : t -> Trace.t option
     this to {!Semantics.exec} for per-instance instruction events. *)
 val detail_trace : t -> Trace.t option
 
+(** {1 Parallel execution} *)
+
+(** [fork p] — an empty profiler with the same configuration as [p] (fresh
+    trace sink iff [p] has one, same detail flag), for a domain to record
+    its own contiguous block range into. *)
+val fork : t -> t
+
+(** [merge_into dst src] folds [src]'s rows into [dst] — matching rows by
+    key, creating missing ones in [src]'s first-issue order — and appends
+    [src]'s trace after [dst]'s (see {!Trace.merge_into}). When [src]
+    covers the block range that sequentially follows [dst]'s, the merged
+    profile is identical to one recorded by a single sequential pass. *)
+val merge_into : t -> t -> unit
+
 (** {1 Hooks called by the interpreter} *)
 
-(** New thread block: resets the scope stack, tags subsequent trace events
-    with the block id. *)
-val set_block : t -> int -> unit
+(** New thread block: resets the scope stack. Block identity is {e not}
+    recorded here — every trace-emitting hook below takes the issuing
+    block explicitly ([~block]), so events recorded concurrently by
+    per-domain profilers can never be misattributed by ambient state. *)
+val begin_block : t -> unit
 
 (** Push/pop a scope frame (a loop variable or a labeled decomposition). *)
 val enter_frame : t -> string -> unit
@@ -48,16 +64,19 @@ val on_cost :
   t -> instr:string -> tc:bool -> flops:int -> instructions:int ->
   instances:int -> unit
 
-(** One warp-synchronous global/shared access batch of the current spec. *)
-val on_global_batch : t -> store:bool -> bytes:int -> warp:int -> int list -> unit
+(** One warp-synchronous global/shared access batch of the current spec.
+    [block] is the issuing thread block (trace event pid). *)
+val on_global_batch :
+  t -> block:int -> store:bool -> bytes:int -> warp:int -> int list -> unit
 
-val on_shared_batch : t -> store:bool -> bytes:int -> warp:int -> int list -> unit
+val on_shared_batch :
+  t -> block:int -> store:bool -> bytes:int -> warp:int -> int list -> unit
 
 (** One executed instance batch (a warp or collective group) — emits a
     duration event on the trace timeline. *)
-val exec_event : t -> warp:int -> lanes:int -> dur:int -> unit
+val exec_event : t -> block:int -> warp:int -> lanes:int -> dur:int -> unit
 
-val on_barrier : t -> unit
+val on_barrier : t -> block:int -> unit
 
 (** {1 Reports} *)
 

@@ -253,7 +253,7 @@ let exec_shfl mem kind (s : Spec.t) env offs members =
 
 (* ----- dispatch ----- *)
 
-let exec ?trace ?offsets mem ~instr ~spec ~env ~members =
+let exec ?trace ?(block = 0) ?offsets mem ~instr ~spec ~env ~members =
   let name = instr.Atomic.name in
   let offs =
     match offsets with
@@ -263,7 +263,7 @@ let exec ?trace ?offsets mem ~instr ~spec ~env ~members =
   (* Fine-grained (per-instance) instruction event, for detailed traces. *)
   Option.iter
     (fun tr ->
-      Trace.instant tr ~name:("sem:" ^ name) ~cat:"sem"
+      Trace.instant tr ~name:("sem:" ^ name) ~cat:"sem" ~pid:block
         ~tid:(members.(0) / 32)
         ~args:
           [ ("lane0", Trace.Int members.(0))

@@ -13,7 +13,8 @@
     block/loop variables (not [threadIdx.x], which is bound per member).
     Only data movement/compute happens here; event counting is the
     interpreter's job. [trace], when given (the profiler's detail mode),
-    receives one instruction-level event per executed instance.
+    receives one instruction-level event per executed instance, tagged
+    with the issuing thread block [block] (default 0).
 
     [offsets v tid], when given, supplies the element offsets of view [v]
     for thread [tid] (a compiled execution plan passes its precomputed
@@ -21,6 +22,7 @@
     via [Tensor.scalar_offsets]. *)
 val exec :
   ?trace:Trace.t ->
+  ?block:int ->
   ?offsets:(Gpu_tensor.Tensor.t -> int -> int array) ->
   Memory.t ->
   instr:Graphene.Atomic.instr ->

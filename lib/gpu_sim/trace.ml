@@ -17,26 +17,33 @@ type t =
   { mutable clock : int
   ; mutable events : event list  (* newest first *)
   ; mutable count : int
-  ; mutable cur_pid : int
   }
 
-let create () = { clock = 0; events = []; count = 0; cur_pid = 0 }
+let create () = { clock = 0; events = []; count = 0 }
 let now t = t.clock
 let num_events t = t.count
-let set_pid t pid = t.cur_pid <- pid
 
 let push t e =
   t.events <- e :: t.events;
   t.count <- t.count + 1
 
-let complete t ~name ~cat ?pid ~tid ~dur ?(args = []) () =
-  let pid = Option.value ~default:t.cur_pid pid in
+let complete t ~name ~cat ~pid ~tid ~dur ?(args = []) () =
   push t { name; cat; ph = 'X'; ts = t.clock; dur; pid; tid; args };
   t.clock <- t.clock + dur
 
-let instant t ~name ~cat ?pid ~tid ?(args = []) () =
-  let pid = Option.value ~default:t.cur_pid pid in
+let instant t ~name ~cat ~pid ~tid ?(args = []) () =
   push t { name; cat; ph = 'i'; ts = t.clock; dur = 0; pid; tid; args }
+
+(* Deterministic parallel merge: [src] recorded a contiguous block range
+   that sequentially follows everything already in [dst], so shifting
+   [src]'s virtual timestamps by [dst]'s final clock and appending
+   reproduces the single-domain trace byte for byte. *)
+let merge_into dst src =
+  let shift = dst.clock in
+  List.iter
+    (fun e -> push dst { e with ts = e.ts + shift })
+    (List.rev src.events);
+  dst.clock <- shift + src.clock
 
 let json_string s =
   let b = Buffer.create (String.length s + 2) in

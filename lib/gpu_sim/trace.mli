@@ -23,34 +23,40 @@ val now : t -> int
 
 val num_events : t -> int
 
-(** [set_pid t pid] — subsequent events default to this process id
-    (the interpreter sets it to the executing block). *)
-val set_pid : t -> int -> unit
-
-(** [complete t ~name ~cat ~tid ~dur ()] — a duration event ([ph:"X"])
-    starting at the current virtual time; advances the clock by [dur]. *)
+(** [complete t ~name ~cat ~pid ~tid ~dur ()] — a duration event
+    ([ph:"X"]) starting at the current virtual time; advances the clock by
+    [dur]. [pid] is the issuing thread block — always explicit, so events
+    recorded by per-domain sinks can never be misattributed by ambient
+    state. *)
 val complete :
   t ->
   name:string ->
   cat:string ->
-  ?pid:int ->
+  pid:int ->
   tid:int ->
   dur:int ->
   ?args:(string * arg) list ->
   unit ->
   unit
 
-(** [instant t ~name ~cat ~tid ()] — a zero-duration event ([ph:"i"]);
-    does not advance the clock. *)
+(** [instant t ~name ~cat ~pid ~tid ()] — a zero-duration event
+    ([ph:"i"]); does not advance the clock. *)
 val instant :
   t ->
   name:string ->
   cat:string ->
-  ?pid:int ->
+  pid:int ->
   tid:int ->
   ?args:(string * arg) list ->
   unit ->
   unit
+
+(** [merge_into dst src] appends [src]'s events to [dst], shifting their
+    virtual timestamps by [dst]'s current clock, and advances [dst]'s
+    clock past them. When [src] recorded the block range that sequentially
+    follows [dst]'s, the result is byte-for-byte the single-domain trace
+    (see docs/PARALLELISM.md). [src] is not modified. *)
+val merge_into : t -> t -> unit
 
 (** The full trace as Chrome [trace_events] JSON:
     [{"displayTimeUnit":"ns","traceEvents":[...]}], including process/thread

@@ -357,3 +357,69 @@ let lower ?log arch (k : Spec.kernel) : Plan.t =
   let flat = Pass.apply ?log flatten_pass k in
   let resolved = Pass.apply ?log (resolve_pass arch) flat in
   Pass.apply ?log (compile_pass arch diagnostics) (k, resolved)
+
+(* ----- the plan cache -----
+
+   Keyed by the (arch, kernel) pair under full structural equality.
+   [Spec.kernel] is pure data (no closures), so [Stdlib.(=)] is a sound
+   key comparison and the generic [Hashtbl.hash] a consistent hash; and
+   because scalar parameters appear in the kernel only by NAME (their
+   values are bound per launch into the plan's slot array), two launches
+   of the same kernel structure with different scalar values share one
+   plan — the cache is keyed "modulo scalar parameter values" for free.
+
+   A mutex guards the table: autotuning lowers candidates from several
+   domains at once. Lowering itself runs outside the lock; if two domains
+   race on the same key, the first insert wins and both share it. *)
+
+type cache_stats =
+  { hits : int
+  ; misses : int
+  }
+
+let cache : (Arch.t * Spec.kernel, Plan.t) Hashtbl.t = Hashtbl.create 32
+let cache_mutex = Mutex.create ()
+let cache_hits = ref 0
+let cache_misses = ref 0
+
+let cache_stats () =
+  Mutex.lock cache_mutex;
+  let s = { hits = !cache_hits; misses = !cache_misses } in
+  Mutex.unlock cache_mutex;
+  s
+
+let cache_clear () =
+  Mutex.lock cache_mutex;
+  Hashtbl.reset cache;
+  cache_hits := 0;
+  cache_misses := 0;
+  Mutex.unlock cache_mutex
+
+let lower_cached ?log arch (k : Spec.kernel) : Plan.t * bool =
+  match log with
+  | Some _ ->
+    (* A logging caller wants the per-pass renders, so the pipeline must
+       actually run; don't pollute the cache statistics either way. *)
+    (lower ?log arch k, false)
+  | None -> (
+    let key = (arch, k) in
+    Mutex.lock cache_mutex;
+    match Hashtbl.find_opt cache key with
+    | Some plan ->
+      incr cache_hits;
+      Mutex.unlock cache_mutex;
+      (plan, true)
+    | None ->
+      incr cache_misses;
+      Mutex.unlock cache_mutex;
+      let plan = lower arch k in
+      Mutex.lock cache_mutex;
+      let plan =
+        match Hashtbl.find_opt cache key with
+        | Some first -> first (* lost a race; share the first insert *)
+        | None ->
+          Hashtbl.add cache key plan;
+          plan
+      in
+      Mutex.unlock cache_mutex;
+      (plan, false))

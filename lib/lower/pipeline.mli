@@ -15,3 +15,28 @@ val lower : ?log:Pass.log -> Graphene.Arch.t -> Graphene.Spec.kernel -> Plan.t
 (** The unmatched-leaf diagnostic: the tree interpreter's message plus
     up to six same-family registry candidates (exposed for tests). *)
 val unmatched_message : Graphene.Arch.t -> Graphene.Spec.t -> string
+
+(** {1 Plan cache}
+
+    Lowering is pure in [(arch, kernel)], and a kernel mentions its
+    scalar parameters only by name (values bind per launch), so plans
+    memoize under structural kernel equality — i.e. modulo scalar
+    parameter values. The cache is process-wide and thread-safe (the
+    autotuner lowers candidates from several domains concurrently). *)
+
+(** [lower_cached arch kernel] returns the memoized plan and whether it
+    was a cache hit. Passing [?log] bypasses the cache entirely (the
+    caller wants the per-pass renders) and does not touch the
+    statistics. *)
+val lower_cached :
+  ?log:Pass.log -> Graphene.Arch.t -> Graphene.Spec.kernel -> Plan.t * bool
+
+type cache_stats =
+  { hits : int
+  ; misses : int
+  }
+
+(** Cumulative hit/miss counts since start (or the last {!cache_clear}). *)
+val cache_stats : unit -> cache_stats
+
+val cache_clear : unit -> unit

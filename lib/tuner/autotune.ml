@@ -7,6 +7,8 @@ type result =
   { config : Gemm.config
   ; estimate : PM.estimate
   ; profile : Profiler.report option
+  ; lower_s : float
+  ; lower_cache_hit : bool
   }
 
 let candidates arch ~m ~n ~k =
@@ -73,20 +75,27 @@ let profile_candidate machine ~epilogue (config : Gemm.config) ~m ~n ~k =
         kernel.Graphene.Spec.params
     in
     let profiler = Profiler.create () in
-    (* Lower once, execute the compiled plan. The proxy is simulated only
-       once per candidate, but hoisting the lowering keeps resolution /
-       expression-compilation work out of the measured simulation — and
-       any candidate whose kernel doesn't lower is rejected before memory
-       is even allocated. *)
-    (match Lower.Pipeline.lower arch kernel with
+    (* Lower through the plan cache: candidates sharing a kernel
+       structure (and repeated tune calls on the same problem) skip the
+       pipeline entirely — and any candidate whose kernel doesn't lower
+       is rejected before memory is even allocated. The simulation runs
+       on one domain: candidates are themselves profiled in parallel
+       (one pool task each), so nesting grid parallelism inside
+       candidate parallelism would only oversubscribe the pool. *)
+    let t0 = Unix.gettimeofday () in
+    (match Lower.Pipeline.lower_cached arch kernel with
     | exception _ -> None
-    | plan -> (
-      match Gpu_sim.Interp.run_plan ~profiler plan ~args () with
+    | plan, lower_cache_hit -> (
+      let lower_s = Unix.gettimeofday () -. t0 in
+      match Gpu_sim.Interp.run_plan ~profiler ~domains:1 plan ~args () with
       | exception _ -> None
       | counters ->
-        Some (Profiler.report profiler ~kernel ~arch ~counters ~machine ())))
+        Some
+          ( Profiler.report profiler ~kernel ~arch ~counters ~machine ()
+          , lower_s
+          , lower_cache_hit )))
 
-let tune ?(profile_top = 0) machine ~epilogue ~m ~n ~k () =
+let tune ?(profile_top = 0) ?domains machine ~epilogue ~m ~n ~k () =
   let arch = machine.Gpu_sim.Machine.arch in
   let scored =
     List.filter_map
@@ -94,7 +103,13 @@ let tune ?(profile_top = 0) machine ~epilogue ~m ~n ~k () =
         match Gemm.tensor_core arch config ~epilogue ~m ~n ~k () with
         | kernel ->
           let estimate = PM.of_kernel machine kernel () in
-          Some { config; estimate; profile = None }
+          Some
+            { config
+            ; estimate
+            ; profile = None
+            ; lower_s = 0.0
+            ; lower_cache_hit = false
+            }
         | exception Invalid_argument _ -> None)
       (candidates arch ~m ~n ~k)
   in
@@ -105,13 +120,43 @@ let tune ?(profile_top = 0) machine ~epilogue ~m ~n ~k () =
   in
   (* Simulated per-spec profiles for the head of the ranking, so results
      can explain *why* a configuration wins (bank conflicts, coalescing,
-     instruction mix) — not just how fast the model thinks it is. *)
-  List.mapi
-    (fun i r ->
-      if i < profile_top then
-        { r with profile = profile_candidate machine ~epilogue r.config ~m ~n ~k }
-      else r)
-    ranked
+     instruction mix) — not just how fast the model thinks it is. The
+     candidates are independent, so they profile in parallel: the head
+     splits into [domains] contiguous groups, one pool task each, and
+     regrouping in ascending order keeps the returned ranking (and every
+     report in it) identical to a sequential profile pass. *)
+  let arr = Array.of_list ranked in
+  let to_profile = min profile_top (Array.length arr) in
+  if to_profile <= 0 then ranked
+  else begin
+    let ndomains =
+      let d =
+        match domains with
+        | Some d -> d
+        | None -> Gpu_sim.Domain_pool.default_domains ()
+      in
+      max 1 (min d to_profile)
+    in
+    let profile_one i =
+      let r = arr.(i) in
+      match profile_candidate machine ~epilogue r.config ~m ~n ~k with
+      | None -> r
+      | Some (report, lower_s, lower_cache_hit) ->
+        { r with profile = Some report; lower_s; lower_cache_hit }
+    in
+    let profiled =
+      if ndomains = 1 then List.init to_profile profile_one
+      else
+        Gpu_sim.Domain_pool.run_list
+          (Gpu_sim.Domain_pool.global ())
+          (List.map
+             (fun (lo, hi) () -> List.init (hi - lo) (fun i -> profile_one (lo + i)))
+             (Gpu_sim.Domain_pool.block_ranges ~total:to_profile
+                ~chunks:ndomains))
+        |> List.concat
+    in
+    profiled @ List.filteri (fun i _ -> i >= to_profile) ranked
+  end
 
 let best machine ~epilogue ~m ~n ~k () =
   match tune machine ~epilogue ~m ~n ~k () with
@@ -127,8 +172,10 @@ let pp_result fmt r =
   | Some rep ->
     Format.fprintf fmt
       " | profiled (proxy): %s-bound, %.0f%% coalesced, %d bank-conflict \
-       cycles/block"
+       cycles/block, lowered in %.1fms%s"
       rep.Profiler.bound
       (100.0 *. rep.Profiler.totals.Profiler.coalescing)
       (rep.Profiler.totals.Profiler.shared_bank_conflicts
       / max 1 rep.Profiler.grid_blocks)
+      (1e3 *. r.lower_s)
+      (if r.lower_cache_hit then " (plan cache hit)" else "")

@@ -15,6 +15,12 @@ type result =
   ; profile : Gpu_sim.Profiler.report option
         (** measured per-spec profile from a proxy-size simulated run —
             present for the top [profile_top] candidates of {!tune} *)
+  ; lower_s : float
+        (** wall time spent lowering the profiled proxy kernel (0 when
+            the candidate was not profiled) *)
+  ; lower_cache_hit : bool
+        (** whether that lowering was served by
+            {!Lower.Pipeline.lower_cached} *)
   }
 
 (** All tile configurations valid for the given problem (divisibility,
@@ -27,9 +33,15 @@ val candidates :
     candidates at a proxy size (≤ 2x2x2 block tiles) with the {!Gpu_sim.Profiler}
     and attaches the per-spec report, so a ranking can explain what
     distinguishes the winner (coalescing, bank conflicts, instruction
-    mix) rather than just the modeled time. *)
+    mix) rather than just the modeled time.
+
+    The profiled candidates are independent simulations, so they run in
+    parallel on [domains] OCaml domains (default
+    {!Gpu_sim.Domain_pool.default_domains}); results regroup in rank
+    order, so the returned list is identical at every domain count. *)
 val tune :
   ?profile_top:int ->
+  ?domains:int ->
   Gpu_sim.Machine.t ->
   epilogue:Kernels.Epilogue.t ->
   m:int ->

@@ -1,6 +1,6 @@
 # Convenience wrappers around dune. `make ci` is what CI runs.
 
-.PHONY: build test profile-smoke parallel-smoke bench golden ci clean
+.PHONY: build test profile-smoke parallel-smoke perf-smoke bench golden ci clean
 
 build:
 	dune build
@@ -17,6 +17,11 @@ profile-smoke:
 # must be bit-identical (counters, report, trace, buffers) to 1 domain.
 parallel-smoke:
 	dune build @parallel-smoke
+
+# Quick tree-vs-plan bit-identity smoke on shrunken shapes (exits
+# nonzero on any counter/output mismatch).
+perf-smoke:
+	dune build @bench/perf-smoke
 
 bench:
 	dune exec bench/main.exe

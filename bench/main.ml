@@ -147,8 +147,11 @@ let time f =
   (r, Unix.gettimeofday () -. t0)
 
 (* One simulated cell = one fused multiply-add of the workload's
-   definition (m*n*k for GEMM; the paper's FMHA flop count / 2). *)
-let sim_cases () =
+   definition (m*n*k for GEMM; the paper's FMHA flop count / 2).
+   [quick] shrinks the shapes to a few-second smoke (the `perf-smoke`
+   alias): the same kernels and the same bit-identity checks, just on
+   one-to-few block grids. *)
+let sim_cases ?(quick = false) () =
   let gemm arch ~m ~n ~k =
     ( Printf.sprintf "gemm_tc_%dx%dx%d" m n k
     , arch
@@ -165,15 +168,22 @@ let sim_cases () =
         ~nthreads:64 ()
     , Kernels.Fmha.flop_count ~batch ~heads ~seq ~dh / 2 )
   in
-  [ (* the acceptance row: compiled plans must be >= 2x the tree path *)
-    (fun () -> gemm Graphene.Arch.SM86 ~m:256 ~n:256 ~k:256)
-  ; (fun () -> gemm Graphene.Arch.SM70 ~m:128 ~n:128 ~k:128)
-  ; (fun () ->
-      fmha Graphene.Arch.SM86 ~seq:64 ~dh:32 ~chunk:16 ~swizzle_smem:true)
-  ; (fun () ->
-      (* Volta: per-lane fragment staging, quad-pair mma, no swizzle. *)
-      fmha Graphene.Arch.SM70 ~seq:32 ~dh:32 ~chunk:32 ~swizzle_smem:false)
-  ]
+  if quick then
+    [ (fun () -> gemm Graphene.Arch.SM86 ~m:64 ~n:64 ~k:64)
+    ; (fun () -> gemm Graphene.Arch.SM70 ~m:64 ~n:64 ~k:64)
+    ; (fun () ->
+        fmha Graphene.Arch.SM70 ~seq:32 ~dh:32 ~chunk:32 ~swizzle_smem:false)
+    ]
+  else
+    [ (* the acceptance row: compiled plans must be >= 2x the tree path *)
+      (fun () -> gemm Graphene.Arch.SM86 ~m:256 ~n:256 ~k:256)
+    ; (fun () -> gemm Graphene.Arch.SM70 ~m:128 ~n:128 ~k:128)
+    ; (fun () ->
+        fmha Graphene.Arch.SM86 ~seq:64 ~dh:32 ~chunk:16 ~swizzle_smem:true)
+    ; (fun () ->
+        (* Volta: per-lane fragment staging, quad-pair mma, no swizzle. *)
+        fmha Graphene.Arch.SM70 ~seq:32 ~dh:32 ~chunk:32 ~swizzle_smem:false)
+    ]
 
 (* The parallel-grid measurement point: 4 domains is the acceptance
    configuration (docs/PARALLELISM.md). On hosts with fewer cores the
@@ -181,11 +191,15 @@ let sim_cases () =
    — the numbers are measured, never extrapolated. *)
 let par_domains = 4
 
+(* Returns the row's JSON and whether every bit-identity check held
+   (rows that fail to build or run count as not identical, so the
+   `--quick` smoke exits nonzero on them too). *)
 let sim_bench_row case =
   match case () with
   | exception exn ->
-    Printf.sprintf "{\"name\":\"?\",\"error\":%s}"
-      (Gpu_sim.Trace.json_string (Printexc.to_string exn))
+    ( Printf.sprintf "{\"name\":\"?\",\"error\":%s}"
+        (Gpu_sim.Trace.json_string (Printexc.to_string exn))
+    , false )
   | name, arch, kernel, cells -> (
     let args () =
       List.map
@@ -200,10 +214,15 @@ let sim_bench_row case =
         a b
     in
     match
+      (* Minor-heap allocation of each path, from the caller domain's
+         allocation counter ([~domains:1] runs inline, so every word the
+         executor allocates is counted here). *)
+      let mw0 = Gc.minor_words () in
       let tree_counters, tree_s =
         time (fun () ->
             Gpu_sim.Interp.run_tree ~arch ~domains:1 kernel ~args:(args ()) ())
       in
+      let tree_minor_words = Gc.minor_words () -. mw0 in
       let plan, lower_s =
         time (fun () -> Lower.Pipeline.lower arch kernel)
       in
@@ -216,9 +235,11 @@ let sim_bench_row case =
       (* Execute the plan twice on one domain (the lower-once/execute-many
          shape); report the best run. *)
       let plan_args = args () in
+      let mw1 = Gc.minor_words () in
       let plan_counters, plan_s1 =
         time (fun () -> Gpu_sim.Interp.run_plan ~domains:1 plan ~args:plan_args ())
       in
+      let plan_minor_words = Gc.minor_words () -. mw1 in
       let _, plan_s2 =
         time (fun () -> Gpu_sim.Interp.run_plan ~domains:1 plan ~args:(args ()) ())
       in
@@ -235,70 +256,102 @@ let sim_bench_row case =
         && counters_equal plan_counters par_counters
       in
       let outputs_identical = buffers_equal plan_args par_args in
-      ( tree_counters
-      , tree_s
+      ( tree_s
+      , tree_minor_words
       , lower_s
       , (cache_hit, lower_cached_s)
       , plan_s
+      , plan_minor_words
       , par_s
       , identical
       , outputs_identical )
     with
     | exception exn ->
-      Printf.sprintf "{\"name\":%s,\"arch\":%s,\"error\":%s}"
-        (Gpu_sim.Trace.json_string name)
-        (Gpu_sim.Trace.json_string (Graphene.Arch.name arch))
-        (Gpu_sim.Trace.json_string (Printexc.to_string exn))
-    | ( _tree_counters
-      , tree_s
+      ( Printf.sprintf "{\"name\":%s,\"arch\":%s,\"error\":%s}"
+          (Gpu_sim.Trace.json_string name)
+          (Gpu_sim.Trace.json_string (Graphene.Arch.name arch))
+          (Gpu_sim.Trace.json_string (Printexc.to_string exn))
+      , false )
+    | ( tree_s
+      , tree_minor_words
       , lower_s
       , (cache_hit, lower_cached_s)
       , plan_s
+      , plan_minor_words
       , par_s
       , identical
       , outputs_identical ) ->
       let cps s = if s > 0.0 then float_of_int cells /. s else Float.nan in
+      let per_cell w = w /. float_of_int (max 1 cells) in
+      let mw_reduction =
+        if plan_minor_words > 0.0 then tree_minor_words /. plan_minor_words
+        else Float.nan
+      in
+      let ok = identical && outputs_identical in
       Format.printf
         "%-24s %-4s tree %7.3fs  lower %6.4fs (cached %6.4fs)  plan %7.3fs  \
-         par[%d] %7.3fs (%4.2fx)  speedup %5.2fx  counters %s@."
+         par[%d] %7.3fs (%4.2fx)  speedup %5.2fx  minor w/cell %5.1f -> \
+         %4.2f (%4.1fx)  counters %s@."
         name (Graphene.Arch.name arch) tree_s lower_s lower_cached_s plan_s
         par_domains par_s (plan_s /. par_s) (tree_s /. plan_s)
-        (if identical && outputs_identical then "bit-identical"
-         else "MISMATCH");
-      Printf.sprintf
-        "{\"name\":%s,\"arch\":%s,\"cells\":%d,\"tree_s\":%.6f,\
-         \"lower_s\":%.6f,\"lower_cached_s\":%.6f,\"lower_cache_hit\":%b,\
-         \"plan_s\":%.6f,\"par_s\":%.6f,\"par_domains\":%d,\
-         \"domains_speedup\":%.3f,\"speedup\":%.3f,\
-         \"cells_per_sec_tree\":%.6g,\"cells_per_sec_plan\":%.6g,\
-         \"counters_bit_identical\":%b,\"outputs_bit_identical\":%b}"
-        (Gpu_sim.Trace.json_string name)
-        (Gpu_sim.Trace.json_string (Graphene.Arch.name arch))
-        cells tree_s lower_s lower_cached_s cache_hit plan_s par_s par_domains
-        (plan_s /. par_s) (tree_s /. plan_s) (cps tree_s) (cps plan_s)
-        identical outputs_identical)
+        (per_cell tree_minor_words) (per_cell plan_minor_words) mw_reduction
+        (if ok then "bit-identical" else "MISMATCH");
+      ( Printf.sprintf
+          "{\"name\":%s,\"arch\":%s,\"cells\":%d,\"tree_s\":%.6f,\
+           \"lower_s\":%.6f,\"lower_cached_s\":%.6f,\"lower_cache_hit\":%b,\
+           \"plan_s\":%.6f,\"par_s\":%.6f,\"par_domains\":%d,\
+           \"domains_speedup\":%.3f,\"speedup\":%.3f,\
+           \"cells_per_sec_tree\":%.6g,\"cells_per_sec_plan\":%.6g,\
+           \"minor_words_tree\":%.0f,\"minor_words_plan\":%.0f,\
+           \"minor_words_per_cell_tree\":%.6g,\
+           \"minor_words_per_cell_plan\":%.6g,\
+           \"minor_words_reduction\":%.6g,\
+           \"counters_bit_identical\":%b,\"outputs_bit_identical\":%b}"
+          (Gpu_sim.Trace.json_string name)
+          (Gpu_sim.Trace.json_string (Graphene.Arch.name arch))
+          cells tree_s lower_s lower_cached_s cache_hit plan_s par_s
+          par_domains (plan_s /. par_s) (tree_s /. plan_s) (cps tree_s)
+          (cps plan_s) tree_minor_words plan_minor_words
+          (per_cell tree_minor_words) (per_cell plan_minor_words) mw_reduction
+          identical outputs_identical
+      , ok ))
 
-let emit_sim_bench () =
+let emit_sim_bench ?(quick = false) () =
   Format.printf
-    "== Simulation: tree-walking interpreter vs compiled execution plan ==@.";
-  let rows = List.map sim_bench_row (sim_cases ()) in
-  let stats = Lower.Pipeline.cache_stats () in
-  let oc = open_out "BENCH_sim.json" in
-  output_string oc "{\"schema\":\"graphene.sim_bench.v2\",\n";
-  output_string oc
-    (Printf.sprintf "\"par_domains\":%d,\"default_domains\":%d,\n" par_domains
-       (Gpu_sim.Domain_pool.default_domains ()));
-  output_string oc "\"rows\":[\n";
-  output_string oc (String.concat ",\n" rows);
-  output_string oc "\n],\n";
-  output_string oc
-    (Printf.sprintf "\"plan_cache\":{\"hits\":%d,\"misses\":%d}}\n"
-       stats.Lower.Pipeline.hits stats.Lower.Pipeline.misses);
-  close_out oc;
-  Format.printf "wrote BENCH_sim.json (%d rows)@.@." (List.length rows)
+    "== Simulation: tree-walking interpreter vs compiled execution plan%s ==@."
+    (if quick then " (quick smoke)" else "");
+  let results = List.map sim_bench_row (sim_cases ~quick ()) in
+  let rows = List.map fst results in
+  let all_ok = List.for_all snd results in
+  if quick then begin
+    (* The perf smoke: no BENCH_sim.json (quick shapes would clobber the
+       real numbers) — just the bit-identity verdict as the exit code. *)
+    if all_ok then Format.printf "perf smoke OK (%d rows)@.@." (List.length rows)
+    else begin
+      Format.printf "perf smoke FAILED: tree/plan mismatch@.";
+      exit 1
+    end
+  end
+  else begin
+    let stats = Lower.Pipeline.cache_stats () in
+    let oc = open_out "BENCH_sim.json" in
+    output_string oc "{\"schema\":\"graphene.sim_bench.v3\",\n";
+    output_string oc
+      (Printf.sprintf "\"par_domains\":%d,\"default_domains\":%d,\n" par_domains
+         (Gpu_sim.Domain_pool.default_domains ()));
+    output_string oc "\"rows\":[\n";
+    output_string oc (String.concat ",\n" rows);
+    output_string oc "\n],\n";
+    output_string oc
+      (Printf.sprintf "\"plan_cache\":{\"hits\":%d,\"misses\":%d}}\n"
+         stats.Lower.Pipeline.hits stats.Lower.Pipeline.misses);
+    close_out oc;
+    Format.printf "wrote BENCH_sim.json (%d rows)@.@." (List.length rows)
+  end
 
 let () =
-  if Array.mem "--sim-only" Sys.argv then emit_sim_bench ()
+  if Array.mem "--sim-only" Sys.argv then
+    emit_sim_bench ~quick:(Array.mem "--quick" Sys.argv) ()
   else begin
     Format.printf
       "Graphene reproduction benchmark harness — regenerating the paper's \

@@ -229,21 +229,27 @@ let lower_cmd =
     in
     let plan = Lower.Pipeline.lower ~log arch kernel in
     if plan_only then print_endline (Lower.Plan.to_string plan);
+    let launch, block, loop, thread =
+      Lower.Plan.tier_counts plan.Lower.Plan.body
+    in
     Format.printf
       "lowered %s for %s: %d op(s), %d atomic(s), %d env slot(s), %d \
-       alloc(s)@."
+       alloc(s)@.view dependence tiers: %d launch, %d block, %d loop, %d \
+       thread@."
       kernel.Graphene.Spec.name (Arch.name arch)
       (Lower.Plan.count_ops plan.Lower.Plan.body)
       (Lower.Plan.count_atomics plan.Lower.Plan.body)
       plan.Lower.Plan.nslots
       (List.length plan.Lower.Plan.allocs)
+      launch block loop thread
   in
   Cmd.v
     (Cmd.info "lower"
        ~doc:
-         "Run the lowering pipeline (validate, flatten, resolve, compile) \
-          on a kernel, printing the IR after every pass and the compiled \
-          execution plan. See docs/LOWERING.md.")
+         "Run the lowering pipeline (validate, flatten, resolve, depcheck, \
+          compile) on a kernel, printing the IR after every pass and the \
+          compiled execution plan, with each view's dependence tier. See \
+          docs/LOWERING.md.")
     Term.(const run $ arch_arg $ kernel_arg $ plan_only)
 
 let domains_arg =

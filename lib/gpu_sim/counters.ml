@@ -48,68 +48,78 @@ let add_instr_n t name n =
       (n + Option.value ~default:0 (Hashtbl.find_opt t.instr_mix name))
   end
 
-(* Distinct 32-byte sectors across a batch, modelling coalescing. *)
-let sectors_of_batch ~bytes addresses =
+(* Distinct 32-byte sectors across a batch, modelling coalescing. The
+   array form is the core — the plan executor batches addresses into a
+   reused scratch buffer of which the first [len] entries are live; the
+   list form (tree interpreter) is a wrapper, so the two paths share one
+   implementation and cannot drift. *)
+let sectors_of_batcha ~bytes addresses ~len =
   let sectors = Hashtbl.create 16 in
-  List.iter
-    (fun a ->
-      let lo = a / 32 and hi = (a + bytes - 1) / 32 in
-      for s = lo to hi do
-        Hashtbl.replace sectors s ()
-      done)
-    addresses;
+  for i = 0 to len - 1 do
+    let a = Array.unsafe_get addresses i in
+    let lo = a / 32 and hi = (a + bytes - 1) / 32 in
+    for s = lo to hi do
+      Hashtbl.replace sectors s ()
+    done
+  done;
   Hashtbl.length sectors
 
-let record_global_batch t ~store ~bytes addresses =
-  let total = bytes * List.length addresses in
+let sectors_of_batch ~bytes addresses =
+  let a = Array.of_list addresses in
+  sectors_of_batcha ~bytes a ~len:(Array.length a)
+
+let record_global_batcha t ~store ~bytes addresses ~len =
+  let total = bytes * len in
   if store then t.global_store_bytes <- t.global_store_bytes + total
   else t.global_load_bytes <- t.global_load_bytes + total;
   t.global_transactions <-
-    t.global_transactions + sectors_of_batch ~bytes addresses
+    t.global_transactions + sectors_of_batcha ~bytes addresses ~len
 
-let rec chunks n = function
-  | [] -> []
-  | l ->
-    let rec take k acc = function
-      | [] -> (List.rev acc, [])
-      | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
-      | rest -> (List.rev acc, rest)
-    in
-    let hd, tl = take n [] l in
-    hd :: chunks n tl
+let record_global_batch t ~store ~bytes addresses =
+  let a = Array.of_list addresses in
+  record_global_batcha t ~store ~bytes a ~len:(Array.length a)
 
 (* The hardware serves at most 128 bytes (32 banks x 4 bytes) per phase;
    wide per-thread accesses split into phases of 128/bytes threads. Bank
    conflicts are extra cycles within a phase: the maximum number of
    distinct 4-byte words mapping to one bank. *)
-let conflicts_of_batch ~bytes addresses =
+let conflicts_of_batcha ~bytes addresses ~len =
   let per_phase = max 1 (128 / max 1 bytes) in
-  List.fold_left
-    (fun acc phase ->
-      let words_per_bank = Array.make 32 [] in
-      List.iter
-        (fun a ->
-          let lo = a / 4 and hi = (a + bytes - 1) / 4 in
-          for w = lo to hi do
-            let bank = w mod 32 in
-            if not (List.mem w words_per_bank.(bank)) then
-              words_per_bank.(bank) <- w :: words_per_bank.(bank)
-          done)
-        phase;
-      let degree =
-        Array.fold_left
-          (fun acc ws -> max acc (List.length ws))
-          1 words_per_bank
-      in
-      acc + (degree - 1))
-    0 (chunks per_phase addresses)
+  let acc = ref 0 and i = ref 0 in
+  while !i < len do
+    let stop = min len (!i + per_phase) in
+    let words_per_bank = Array.make 32 [] in
+    for j = !i to stop - 1 do
+      let a = Array.unsafe_get addresses j in
+      let lo = a / 4 and hi = (a + bytes - 1) / 4 in
+      for w = lo to hi do
+        let bank = w mod 32 in
+        if not (List.mem w words_per_bank.(bank)) then
+          words_per_bank.(bank) <- w :: words_per_bank.(bank)
+      done
+    done;
+    let degree =
+      Array.fold_left (fun acc ws -> max acc (List.length ws)) 1 words_per_bank
+    in
+    acc := !acc + (degree - 1);
+    i := stop
+  done;
+  !acc
 
-let record_shared_batch t ~store ~bytes addresses =
-  let total = bytes * List.length addresses in
+let conflicts_of_batch ~bytes addresses =
+  let a = Array.of_list addresses in
+  conflicts_of_batcha ~bytes a ~len:(Array.length a)
+
+let record_shared_batcha t ~store ~bytes addresses ~len =
+  let total = bytes * len in
   if store then t.shared_store_bytes <- t.shared_store_bytes + total
   else t.shared_load_bytes <- t.shared_load_bytes + total;
   t.shared_bank_conflicts <-
-    t.shared_bank_conflicts + conflicts_of_batch ~bytes addresses
+    t.shared_bank_conflicts + conflicts_of_batcha ~bytes addresses ~len
+
+let record_shared_batch t ~store ~bytes addresses =
+  let a = Array.of_list addresses in
+  record_shared_batcha t ~store ~bytes a ~len:(Array.length a)
 
 let merge dst src =
   dst.global_load_bytes <- dst.global_load_bytes + src.global_load_bytes;

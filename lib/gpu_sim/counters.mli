@@ -48,6 +48,22 @@ val record_global_batch : t -> store:bool -> bytes:int -> int list -> unit
     free); degree-1 accesses add nothing. *)
 val record_shared_batch : t -> store:bool -> bytes:int -> int list -> unit
 
+(** {1 Array batch cores}
+
+    Allocation-free forms over the first [len] entries of a (reusable)
+    address buffer. These are the actual implementations — each list
+    function above is an [Array.of_list] wrapper — so both executor
+    paths share one computation and produce identical counts. *)
+
+val sectors_of_batcha : bytes:int -> int array -> len:int -> int
+val conflicts_of_batcha : bytes:int -> int array -> len:int -> int
+
+val record_global_batcha :
+  t -> store:bool -> bytes:int -> int array -> len:int -> unit
+
+val record_shared_batcha :
+  t -> store:bool -> bytes:int -> int array -> len:int -> unit
+
 (** [merge dst src] adds every counter of [src] into [dst], including the
     per-instruction mix. *)
 val merge : t -> t -> unit

@@ -384,7 +384,21 @@ let run_tree ~arch ?profiler ?domains (k : Spec.kernel) ~args ?(scalars = []) ()
    lowering), loop bounds / predicates / view offsets are closures over
    one dense slot array, and all profiler attribution strings and costs
    are precomputed. Event and profiler output is bit-identical to
-   [run_tree] — test/test_lower.ml pins that down per kernel. *)
+   [run_tree] — test/test_lower.ml pins that down per kernel.
+
+   Active sets are per-warp 32-bit masks ([Warp_mask]) instead of thread
+   id lists, and the plan's depcheck annotations drive hoisting: a view
+   enumeration or collective member grouping whose dependence tier is
+   below [Thread] is computed once and reused while the slots it reads
+   ([v_dep_slots] / [a_members_slots]) hold the values they held when it
+   was cached — equal inputs give equal results, so stale-but-equal reuse
+   is sound. Address batches read only the first scalar offset, via the
+   allocation-free [v_addr0] closure. *)
+
+module WM = Warp_mask
+module Depcheck = Lower.Depcheck
+
+let no_addr = Lower.Expr_comp.no_addr
 
 (* Name lookup for the residual symbolic paths (a shfl.idx source-lane
    expression, a derived ldmatrix row view). *)
@@ -404,45 +418,175 @@ let find_pview (a : P.atomic) (v : Ts.t) =
   in
   match go a.P.a_ins with Some pv -> Some pv | None -> go a.P.a_outs
 
-(* The offsets oracle handed to [Semantics.exec]: compiled closure for the
-   atomic's own views, symbolic fallback for any derived view. *)
-let plan_offsets (a : P.atomic) (env : int array) v tid =
-  env.(Slots.tid_slot) <- tid;
-  match find_pview a v with
-  | Some pv -> pv.P.v_offsets env
-  | None -> Ts.scalar_offsets ~env:(with_tid (plan_env_fun a env) tid) v
+(* Cached value of one view's offset enumeration, reusable while the
+   slots in [v_dep_slots] hold the snapshot values. Thread-tier views
+   never land here. *)
+type vcache =
+  { mutable vc_valid : bool
+  ; vc_snap : int array
+  ; mutable vc_offs : int array
+  }
 
-let record_plan_batch ctx (env : int array) tids ~store (pv : P.view) =
+(* Per-tid cache for Thread-tier views: one enumeration per thread,
+   valid while the non-thread dependence slots ([v_dep_slots], which
+   never include threadIdx.x) hold the snapshot values. A loop-invariant
+   register fragment view — the common operand shape of mma/ldmatrix
+   collectives — is then enumerated once per thread per launch instead
+   of once per member per group per iteration. The empty array is the
+   "not yet computed" sentinel: OCaml's zero-length arrays all share one
+   atom, so a legitimately empty enumeration just recomputes (cheap and
+   rare) rather than aliasing the sentinel incorrectly. *)
+type tcache =
+  { mutable tc_valid : bool
+  ; tc_snap : int array
+  ; tc_offs : int array array  (* by tid; [||] = not computed *)
+  }
+
+(* Cached collective grouping: valid for the same dependence-slot
+   snapshot AND the same activity mask (the groups are a function of
+   both). *)
+type gcache =
+  { mutable gc_valid : bool
+  ; gc_snap : int array
+  ; gc_mask : int array
+  ; mutable gc_groups : int array array
+  }
+
+(* Per-range executor state: one slot env, one full-CTA mask, reusable
+   scratch buffers, the hoisting caches (indexed by the plan's dense
+   view/atomic ids) and the per-atomic closures ([plan_env_fun] and the
+   offsets oracle), allocated once instead of once per atomic exec. *)
+type pctx =
+  { c : ctx
+  ; env : int array
+  ; full : WM.t
+  ; addrs : int array  (* address batch scratch: one slot per warp lane *)
+  ; ld8 : int array  (* ldmatrix row-address scratch *)
+  ; members1 : int array  (* reused singleton members for per-thread exec *)
+  ; vcaches : vcache array  (* by v_id *)
+  ; tcaches : tcache array  (* by v_id; seated for Thread-tier views *)
+  ; gcaches : gcache array  (* by a_id *)
+  ; seen : (int array, unit) Hashtbl.t  (* group-dedup scratch *)
+  ; mutable a_envf : (string -> int) array  (* by a_id *)
+  ; mutable a_offs : (Ts.t -> int -> int array) array  (* by a_id *)
+  }
+
+let snap_matches snap slots (env : int array) =
+  let n = Array.length slots in
+  let rec go i =
+    i >= n
+    || Array.unsafe_get snap i
+       = Array.unsafe_get env (Array.unsafe_get slots i)
+       && go (i + 1)
+  in
+  go 0
+
+let snap_update snap slots (env : int array) =
+  for i = 0 to Array.length slots - 1 do
+    Array.unsafe_set snap i (Array.unsafe_get env (Array.unsafe_get slots i))
+  done
+
+let cached_offsets px (pv : P.view) =
+  let vc = px.vcaches.(pv.P.v_id) in
+  if vc.vc_valid && snap_matches vc.vc_snap pv.P.v_dep_slots px.env then
+    vc.vc_offs
+  else begin
+    let offs = pv.P.v_offsets px.env in
+    vc.vc_offs <- offs;
+    snap_update vc.vc_snap pv.P.v_dep_slots px.env;
+    vc.vc_valid <- true;
+    offs
+  end
+
+let thread_cached_offsets px (pv : P.view) tid =
+  let tc = px.tcaches.(pv.P.v_id) in
+  if not (tc.tc_valid && snap_matches tc.tc_snap pv.P.v_dep_slots px.env)
+  then begin
+    Array.fill tc.tc_offs 0 (Array.length tc.tc_offs) [||];
+    snap_update tc.tc_snap pv.P.v_dep_slots px.env;
+    tc.tc_valid <- true
+  end;
+  let cached = tc.tc_offs.(tid) in
+  if Array.length cached > 0 then cached
+  else begin
+    let offs = pv.P.v_offsets px.env in
+    tc.tc_offs.(tid) <- offs;
+    offs
+  end
+
+(* The offsets oracle handed to [Semantics.exec]: compiled closure for the
+   atomic's own views (cached per the depcheck tier), symbolic fallback
+   for any derived view. *)
+let plan_offsets_px px (a : P.atomic) v tid =
+  px.env.(Slots.tid_slot) <- tid;
+  match find_pview a v with
+  | Some pv ->
+    if pv.P.v_dep.Depcheck.d_tier = Depcheck.Thread then
+      thread_cached_offsets px pv tid
+    else cached_offsets px pv
+  | None -> Ts.scalar_offsets ~env:(with_tid (px.a_envf.(a.P.a_id)) tid) v
+
+(* One warp's address batch for one view: first scalar byte address per
+   active lane, ascending. A thread-independent view yields one address
+   computed once and duplicated per lane — the byte totals and the
+   conflict phase structure depend on the lane count, so the duplicates
+   are semantically load-bearing, not waste. *)
+let record_plan_batch px w wmask ~store (pv : P.view) =
   match pv.P.v_mem with
   | Ms.Register -> ()
   | Ms.Global | Ms.Shared ->
-    let bytes = pv.P.v_batch_bytes in
-    let addrs =
-      List.filter_map
-        (fun tid ->
-          env.(Slots.tid_slot) <- tid;
-          let offs = pv.P.v_offsets env in
-          if Array.length offs = 0 then None
-          else Some (offs.(0) * pv.P.v_elt_bytes))
-        tids
-    in
-    if addrs <> [] then begin
-      let warp = match tids with t :: _ -> t / 32 | [] -> 0 in
+    let env = px.env and addrs = px.addrs in
+    let n = ref 0 in
+    if pv.P.v_dep.Depcheck.d_tier = Depcheck.Thread then begin
+      let base = w * 32 in
+      for l = 0 to 31 do
+        if wmask land (1 lsl l) <> 0 then begin
+          env.(Slots.tid_slot) <- base + l;
+          let a = pv.P.v_addr0 env in
+          if a <> no_addr then begin
+            Array.unsafe_set addrs !n (a * pv.P.v_elt_bytes);
+            incr n
+          end
+        end
+      done
+    end
+    else begin
+      let a = pv.P.v_addr0 env in
+      if a <> no_addr then begin
+        let count = WM.popcount32 wmask in
+        let byte = a * pv.P.v_elt_bytes in
+        for i = 0 to count - 1 do
+          Array.unsafe_set addrs i byte
+        done;
+        n := count
+      end
+    end;
+    if !n > 0 then begin
+      let ctx = px.c in
+      let bytes = pv.P.v_batch_bytes in
       if Ms.equal pv.P.v_mem Ms.Global then begin
-        Counters.record_global_batch ctx.counters ~store ~bytes addrs;
+        Counters.record_global_batcha ctx.counters ~store ~bytes addrs ~len:!n;
         Option.iter
           (fun p ->
-            Profiler.on_global_batch p ~block:ctx.block ~store ~bytes ~warp addrs)
+            Profiler.on_global_batcha p ~block:ctx.block ~store ~bytes ~warp:w
+              addrs ~len:!n)
           ctx.prof
       end
       else begin
-        Counters.record_shared_batch ctx.counters ~store ~bytes addrs;
+        Counters.record_shared_batcha ctx.counters ~store ~bytes addrs ~len:!n;
         Option.iter
           (fun p ->
-            Profiler.on_shared_batch p ~block:ctx.block ~store ~bytes ~warp addrs)
+            Profiler.on_shared_batcha p ~block:ctx.block ~store ~bytes ~warp:w
+              addrs ~len:!n)
           ctx.prof
       end
     end
+
+let rec record_batches px w wmask ~store = function
+  | [] -> ()
+  | pv :: tl ->
+    record_plan_batch px w wmask ~store pv;
+    record_batches px w wmask ~store tl
 
 let account_cost_plan ctx (a : P.atomic) ~instances =
   let c = a.P.a_cost in
@@ -463,87 +607,142 @@ let account_cost_plan ctx (a : P.atomic) ~instances =
         ~flops:c.Atomic.flops ~instructions:c.Atomic.instructions ~instances)
     ctx.prof
 
-let exec_plan_per_thread ctx (a : P.atomic) env active =
-  let warps = warps_of active in
-  let offs = plan_offsets a env in
-  let env_fun = plan_env_fun a env in
-  List.iter
-    (fun (w, tids) ->
-      List.iter (record_plan_batch ctx env tids ~store:false) a.P.a_ins;
-      List.iter (record_plan_batch ctx env tids ~store:true) a.P.a_outs;
-      List.iter
-        (fun tid ->
+let exec_plan_per_thread px (a : P.atomic) (mask : WM.t) =
+  let ctx = px.c in
+  let env = px.env in
+  let envf = px.a_envf.(a.P.a_id) in
+  let offs = px.a_offs.(a.P.a_id) in
+  let total = ref 0 in
+  for w = 0 to Array.length mask - 1 do
+    let m = Array.unsafe_get mask w in
+    if m <> 0 then begin
+      record_batches px w m ~store:false a.P.a_ins;
+      record_batches px w m ~store:true a.P.a_outs;
+      let base = w * 32 in
+      for l = 0 to 31 do
+        if m land (1 lsl l) <> 0 then begin
+          let tid = base + l in
+          env.(Slots.tid_slot) <- tid;
+          px.members1.(0) <- tid;
           Semantics.exec ?trace:(sem_trace ctx) ~block:ctx.block ~offsets:offs
-            ctx.mem ~instr:a.P.a_instr ~spec:a.P.a_spec ~env:env_fun
-            ~members:[| tid |])
-        tids;
+            ctx.mem ~instr:a.P.a_instr ~spec:a.P.a_spec ~env:envf
+            ~members:px.members1
+        end
+      done;
+      let lanes = WM.popcount32 m in
+      total := !total + lanes;
       Option.iter
         (fun p ->
-          Profiler.exec_event p ~block:ctx.block ~warp:w
-            ~lanes:(List.length tids) ~dur:a.P.a_dur)
-        ctx.prof)
-    warps;
-  account_cost_plan ctx a ~instances:(List.length active)
+          Profiler.exec_event p ~block:ctx.block ~warp:w ~lanes ~dur:a.P.a_dur)
+        ctx.prof
+    end
+  done;
+  account_cost_plan ctx a ~instances:!total
 
-let record_plan_ldmatrix ctx (a : P.atomic) env ~trans x members =
+let record_plan_ldmatrix px (a : P.atomic) ~trans x members =
+  let ctx = px.c in
   match a.P.a_ld_rows with
   | Some (rows, elt_bytes) ->
-    env.(Slots.tid_slot) <- members.(0);
+    px.env.(Slots.tid_slot) <- members.(0);
     for j = 0 to x - 1 do
-      let addrs = List.init 8 (fun r -> (rows.(j).(r) env).(0) * elt_bytes) in
-      Counters.record_shared_batch ctx.counters ~store:false ~bytes:16 addrs;
+      let rj = rows.(j) in
+      for r = 0 to 7 do
+        let addr = rj.(r) px.env in
+        (* An empty row enumeration faulted as an array access on the
+           old path; keep the same exception. *)
+        if addr = no_addr then invalid_arg "index out of bounds";
+        Array.unsafe_set px.ld8 r (addr * elt_bytes)
+      done;
+      Counters.record_shared_batcha ctx.counters ~store:false ~bytes:16 px.ld8
+        ~len:8;
       Option.iter
         (fun p ->
-          Profiler.on_shared_batch p ~block:ctx.block ~store:false ~bytes:16
-            ~warp:(members.(0) / 32) addrs)
+          Profiler.on_shared_batcha p ~block:ctx.block ~store:false ~bytes:16
+            ~warp:(members.(0) / 32) px.ld8 ~len:8)
         ctx.prof
     done
   | None ->
     (* Symbolic fallback (e.g. an outer extent the compiler couldn't make
        concrete) — identical traffic, derived the tree path's way. *)
-    record_ldmatrix ctx ~trans x a.P.a_spec (plan_env_fun a env) members
+    record_ldmatrix ctx ~trans x a.P.a_spec (px.a_envf.(a.P.a_id)) members
 
-let exec_plan_collective ctx (a : P.atomic) env active =
+(* Group the active threads into collective instances: probe every active
+   thread ascending, dedup on the member array, and require every member
+   of a fresh group to be active — exactly the tree path's grouping, so
+   overlapping or divergent member sets fail identically. *)
+let compute_groups px (a : P.atomic) (mask : WM.t) =
   let members_of =
     match a.P.a_members with
     | Some f -> f
-    | None -> fun _ _ -> [||] (* unreachable: collectives always compile one *)
+    | None ->
+      (* Plan invariant: the compile pass builds a member function for
+         every collective. Absence means the plan was corrupted. *)
+      error "collective %s has no compiled member function (plan invariant \
+             violated)"
+        a.P.a_instr.Atomic.name
   in
-  let seen = Hashtbl.create 8 in
-  let active_set = Hashtbl.create 64 in
-  List.iter (fun t -> Hashtbl.replace active_set t ()) active;
-  let groups = ref [] in
-  List.iter
+  Hashtbl.clear px.seen;
+  let groups = ref [] and n = ref 0 in
+  WM.iter
     (fun tid ->
-      let members = members_of env tid in
-      let key = Array.to_list members in
-      if not (Hashtbl.mem seen key) then begin
-        Hashtbl.replace seen key ();
-        if not (Array.for_all (Hashtbl.mem active_set) members) then
+      let members = members_of px.env tid in
+      if not (Hashtbl.mem px.seen members) then begin
+        Hashtbl.replace px.seen members ();
+        if not (Array.for_all (WM.mem mask) members) then
           error "collective %s executed with divergent threads"
             a.P.a_instr.Atomic.name;
-        groups := members :: !groups
+        groups := members :: !groups;
+        incr n
       end)
-    active;
-  let groups = List.rev !groups in
-  let offs = plan_offsets a env in
-  let env_fun = plan_env_fun a env in
-  List.iter
+    mask;
+  let out = Array.make !n [||] in
+  let rec fill i = function
+    | [] -> ()
+    | g :: tl ->
+      out.(i) <- g;
+      fill (i - 1) tl
+  in
+  fill (!n - 1) !groups;
+  out
+
+let plan_groups px (a : P.atomic) (mask : WM.t) =
+  let gc = px.gcaches.(a.P.a_id) in
+  if
+    gc.gc_valid
+    && snap_matches gc.gc_snap a.P.a_members_slots px.env
+    && WM.equal gc.gc_mask mask
+  then gc.gc_groups
+  else begin
+    let groups = compute_groups px a mask in
+    gc.gc_groups <- groups;
+    snap_update gc.gc_snap a.P.a_members_slots px.env;
+    Array.blit mask 0 gc.gc_mask 0 (Array.length mask);
+    gc.gc_valid <- true;
+    groups
+  end
+
+let exec_plan_collective px (a : P.atomic) (mask : WM.t) =
+  let ctx = px.c in
+  let groups = plan_groups px a mask in
+  let offs = px.a_offs.(a.P.a_id) in
+  let envf = px.a_envf.(a.P.a_id) in
+  Array.iter
     (fun members ->
       (match a.P.a_ldmatrix with
-      | Some (x, trans) -> record_plan_ldmatrix ctx a env ~trans x members
+      | Some (x, trans) -> record_plan_ldmatrix px a ~trans x members
       | None -> ());
       Semantics.exec ?trace:(sem_trace ctx) ~block:ctx.block ~offsets:offs
-        ctx.mem ~instr:a.P.a_instr ~spec:a.P.a_spec ~env:env_fun ~members;
+        ctx.mem ~instr:a.P.a_instr ~spec:a.P.a_spec ~env:envf ~members;
       Option.iter
         (fun p ->
           Profiler.exec_event p ~block:ctx.block ~warp:(members.(0) / 32)
             ~lanes:(Array.length members) ~dur:a.P.a_dur)
         ctx.prof)
     groups;
-  account_cost_plan ctx a ~instances:(List.length groups)
+  account_cost_plan ctx a ~instances:(Array.length groups)
 
-let rec exec_plan_op ctx (env : int array) active op =
+let rec exec_plan_op px (mask : WM.t) op =
+  let ctx = px.c in
   match op with
   | P.Atomic_exec a ->
     Option.iter
@@ -551,44 +750,122 @@ let rec exec_plan_op ctx (env : int array) active op =
         Profiler.begin_atomic p ~label:a.P.a_label ~kind:a.P.a_kind
           ~instr:a.P.a_instr.Atomic.name)
       ctx.prof;
-    if a.P.a_per_thread then exec_plan_per_thread ctx a env active
-    else exec_plan_collective ctx a env active
+    if a.P.a_per_thread then exec_plan_per_thread px a mask
+    else exec_plan_collective px a mask
   | P.Loop { l_var; l_slot; l_lo; l_hi; l_step; l_body } ->
+    let env = px.env in
     let lo = l_lo env and hi = l_hi env and step = l_step env in
     if step <= 0 then error "loop %s has non-positive step" l_var;
     Option.iter (fun p -> Profiler.enter_frame p l_var) ctx.prof;
     let v = ref lo in
     while !v < hi do
       env.(l_slot) <- !v;
-      List.iter (exec_plan_op ctx env active) l_body;
+      List.iter (exec_plan_op px mask) l_body;
       v := !v + step
     done;
     Option.iter Profiler.exit_frame ctx.prof
   | P.Branch { b_tid_dep; b_cond; b_then; b_else } ->
     if b_tid_dep then begin
-      let taken, not_taken =
-        List.partition
-          (fun tid ->
-            env.(Slots.tid_slot) <- tid;
-            b_cond env)
-          active
-      in
-      if taken <> [] then List.iter (exec_plan_op ctx env taken) b_then;
-      if not_taken <> [] && b_else <> [] then
-        List.iter (exec_plan_op ctx env not_taken) b_else
+      let env = px.env in
+      let nw = Array.length mask in
+      let taken = Array.make nw 0 in
+      let not_taken = Array.make nw 0 in
+      for w = 0 to nw - 1 do
+        let m = Array.unsafe_get mask w in
+        if m <> 0 then begin
+          let t = ref 0 in
+          let base = w * 32 in
+          for l = 0 to 31 do
+            if m land (1 lsl l) <> 0 then begin
+              env.(Slots.tid_slot) <- base + l;
+              if b_cond env then t := !t lor (1 lsl l)
+            end
+          done;
+          taken.(w) <- !t;
+          not_taken.(w) <- m land lnot !t
+        end
+      done;
+      if not (WM.is_empty taken) then List.iter (exec_plan_op px taken) b_then;
+      if b_else <> [] && not (WM.is_empty not_taken) then
+        List.iter (exec_plan_op px not_taken) b_else
     end
-    else if b_cond env then List.iter (exec_plan_op ctx env active) b_then
-    else List.iter (exec_plan_op ctx env active) b_else
+    else if b_cond px.env then List.iter (exec_plan_op px mask) b_then
+    else List.iter (exec_plan_op px mask) b_else
   | P.Barrier ->
-    if List.length active <> ctx.cta_size then
+    let active = WM.popcount mask in
+    if active <> ctx.cta_size then
       error "__syncthreads() inside divergent control flow (%d of %d threads)"
-        (List.length active) ctx.cta_size;
+        active ctx.cta_size;
     Option.iter (fun p -> Profiler.on_barrier p ~block:ctx.block) ctx.prof
   | P.Frame { f_label; f_body } ->
     Option.iter (fun p -> Profiler.enter_frame p f_label) ctx.prof;
-    List.iter (exec_plan_op ctx env active) f_body;
+    List.iter (exec_plan_op px mask) f_body;
     Option.iter Profiler.exit_frame ctx.prof
   | P.Fail msg -> error "%s" msg
+
+(* Build the per-range executor state: walk the plan once to size and
+   seat the caches, then seat the per-atomic closures (they capture the
+   state record itself, hence the two-phase construction). *)
+let make_pctx ctx (plan : P.t) (env : int array) =
+  let vcaches =
+    Array.make plan.P.n_views { vc_valid = false; vc_snap = [||]; vc_offs = [||] }
+  in
+  let tcaches =
+    Array.make plan.P.n_views { tc_valid = false; tc_snap = [||]; tc_offs = [||] }
+  in
+  let nwords = WM.nwords ~cta_size:plan.P.cta_size in
+  let gcaches =
+    Array.make plan.P.n_atomics
+      { gc_valid = false; gc_snap = [||]; gc_mask = [||]; gc_groups = [||] }
+  in
+  P.iter_atomics
+    (fun a ->
+      let seat (pv : P.view) =
+        if pv.P.v_dep.Depcheck.d_tier = Depcheck.Thread then
+          tcaches.(pv.P.v_id) <-
+            { tc_valid = false
+            ; tc_snap = Array.make (Array.length pv.P.v_dep_slots) Slots.unbound
+            ; tc_offs = Array.make plan.P.cta_size [||]
+            }
+        else
+          vcaches.(pv.P.v_id) <-
+            { vc_valid = false
+            ; vc_snap = Array.make (Array.length pv.P.v_dep_slots) Slots.unbound
+            ; vc_offs = [||]
+            }
+      in
+      List.iter seat a.P.a_ins;
+      List.iter seat a.P.a_outs;
+      gcaches.(a.P.a_id) <-
+        { gc_valid = false
+        ; gc_snap = Array.make (Array.length a.P.a_members_slots) Slots.unbound
+        ; gc_mask = Array.make nwords 0
+        ; gc_groups = [||]
+        })
+    plan.P.body;
+  let px =
+    { c = ctx
+    ; env
+    ; full = WM.full ~cta_size:plan.P.cta_size
+    ; addrs = Array.make 32 0
+    ; ld8 = Array.make 8 0
+    ; members1 = [| 0 |]
+    ; vcaches
+    ; tcaches
+    ; gcaches
+    ; seen = Hashtbl.create 32
+    ; a_envf = [||]
+    ; a_offs = [||]
+    }
+  in
+  px.a_envf <- Array.make plan.P.n_atomics (fun _ -> 0);
+  px.a_offs <- Array.make plan.P.n_atomics (fun _ _ -> [||]);
+  P.iter_atomics
+    (fun a ->
+      px.a_envf.(a.P.a_id) <- plan_env_fun a env;
+      px.a_offs.(a.P.a_id) <- plan_offsets_px px a)
+    plan.P.body;
+  px
 
 let run_plan ?profiler ?domains (plan : P.t) ~args ?(scalars = []) () =
   let arena = Memory.create_global () in
@@ -609,7 +886,6 @@ let run_plan ?profiler ?domains (plan : P.t) ~args ?(scalars = []) () =
       | Some slot -> base_env.(slot) <- v
       | None -> () (* extra scalar args are ignored, as in run_tree *))
     scalars;
-  let all_threads = List.init plan.P.cta_size Fun.id in
   let grid_size = plan.P.grid_size in
   let counters = Counters.create () in
   let exec_range ~counters ~profiler lo hi =
@@ -625,15 +901,17 @@ let run_plan ?profiler ?domains (plan : P.t) ~args ?(scalars = []) () =
       }
     in
     (* The slot env is mutated during execution (thread/loop slots), so
-       every range gets its own copy of the scalar bindings. *)
+       every range gets its own copy of the scalar bindings — and its own
+       hoisting caches and scratch buffers (pctx), shared by nothing. *)
     let env = Array.copy base_env in
+    let px = make_pctx ctx plan env in
     try
       for bid = lo to hi - 1 do
         Memory.new_block mem;
         ctx.block <- bid;
         Option.iter Profiler.begin_block ctx.prof;
         env.(Slots.bid_slot) <- bid;
-        List.iter (exec_plan_op ctx env all_threads) plan.P.body
+        List.iter (exec_plan_op px px.full) plan.P.body
       done
     with Slots.Unbound_var v ->
       error "unbound variable %s (missing scalar argument?)" v

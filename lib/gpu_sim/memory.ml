@@ -102,17 +102,39 @@ let read_offs t ~tid v offs =
       buf.(off))
     offs
 
-let write_offs t ~tid v offs data =
+let read_offs_into t ~tid v offs dst =
   let buf = buffer t ~tid v in
-  if Array.length offs <> Array.length data then
-    fault "view %%%s: writing %d values into %d slots" v.Ts.name
-      (Array.length data) (Array.length offs);
+  for i = 0 to Array.length offs - 1 do
+    let off = Array.unsafe_get offs i in
+    checked buf v off;
+    Array.unsafe_set dst i (Array.unsafe_get buf off)
+  done
+
+let read_sub_offs_into t ~tid v offs ~pos ~len dst =
+  (* Same guard (and exception) as [Array.sub offs pos len]. *)
+  if pos < 0 || len < 0 || pos > Array.length offs - len then
+    invalid_arg "Array.sub";
+  let buf = buffer t ~tid v in
+  for i = 0 to len - 1 do
+    let off = Array.unsafe_get offs (pos + i) in
+    checked buf v off;
+    Array.unsafe_set dst i (Array.unsafe_get buf off)
+  done
+
+let write_offs_n t ~tid v offs data ~len =
+  let buf = buffer t ~tid v in
+  if Array.length offs <> len then
+    fault "view %%%s: writing %d values into %d slots" v.Ts.name len
+      (Array.length offs);
   let dt = Ts.dtype v in
   Array.iteri
     (fun i off ->
       checked buf v off;
       buf.(off) <- Dt.round dt data.(i))
     offs
+
+let write_offs t ~tid v offs data =
+  write_offs_n t ~tid v offs data ~len:(Array.length data)
 
 let read_k_offs t ~tid v offs k =
   let buf = buffer t ~tid v in

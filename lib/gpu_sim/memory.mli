@@ -85,6 +85,44 @@ val read_offs : t -> tid:int -> Gpu_tensor.Tensor.t -> int array -> float array
 val write_offs :
   t -> tid:int -> Gpu_tensor.Tensor.t -> int array -> float array -> unit
 
+(** {2 Allocation-free forms}
+
+    Fill/drain caller-provided scratch buffers instead of allocating.
+    Checks, rounding and fault messages are identical to {!read_offs} /
+    {!write_offs}; the instruction semantics use these on their hot paths
+    so a scratch buffer is reused across every lane of a warp. *)
+
+(** [read_offs_into t ~tid v offs dst] — gather [offs] into
+    [dst.(0 .. length offs - 1)]. [dst] must be at least as long. *)
+val read_offs_into :
+  t -> tid:int -> Gpu_tensor.Tensor.t -> int array -> float array -> unit
+
+(** [read_sub_offs_into t ~tid v offs ~pos ~len dst] — gather the slice
+    [offs.(pos .. pos+len-1)] into [dst.(0 .. len-1)], with the same
+    range guard (and exception) as [Array.sub offs pos len]. *)
+val read_sub_offs_into :
+  t ->
+  tid:int ->
+  Gpu_tensor.Tensor.t ->
+  int array ->
+  pos:int ->
+  len:int ->
+  float array ->
+  unit
+
+(** [write_offs_n t ~tid v offs data ~len] — scatter
+    [data.(0 .. len-1)] to [offs]; faults exactly like {!write_offs}
+    would on a [data] of length [len]. [write_offs] is the [len = length
+    data] instance. *)
+val write_offs_n :
+  t ->
+  tid:int ->
+  Gpu_tensor.Tensor.t ->
+  int array ->
+  float array ->
+  len:int ->
+  unit
+
 val read_k_offs :
   t -> tid:int -> Gpu_tensor.Tensor.t -> int array -> int -> float
 

@@ -161,6 +161,48 @@ let on_shared_batch p ~block ~store ~bytes ~warp addresses =
         ())
     p.trace_sink
 
+(* Array forms of the batch hooks: same row-counter updates and the same
+   trace instants (identical names, categories and argument values) over
+   the first [len] entries of a reusable address buffer — the plan
+   executor's allocation-free path. *)
+let on_global_batcha p ~block ~store ~bytes ~warp addresses ~len =
+  (match p.current with
+  | None -> ()
+  | Some r -> Counters.record_global_batcha r.c ~store ~bytes addresses ~len);
+  Option.iter
+    (fun tr ->
+      let name =
+        match p.current with Some r -> r.a_path | None -> "global access"
+      in
+      Trace.instant tr ~name ~cat:(if store then "global.store" else "global.load")
+        ~pid:block ~tid:warp
+        ~args:
+          [ ("bytes", Trace.Int (bytes * len))
+          ; ( "sectors"
+            , Trace.Int (Counters.sectors_of_batcha ~bytes addresses ~len) )
+          ]
+        ())
+    p.trace_sink
+
+let on_shared_batcha p ~block ~store ~bytes ~warp addresses ~len =
+  (match p.current with
+  | None -> ()
+  | Some r -> Counters.record_shared_batcha r.c ~store ~bytes addresses ~len);
+  Option.iter
+    (fun tr ->
+      let name =
+        match p.current with Some r -> r.a_path | None -> "shared access"
+      in
+      Trace.instant tr ~name ~cat:(if store then "shared.store" else "shared.load")
+        ~pid:block ~tid:warp
+        ~args:
+          [ ("bytes", Trace.Int (bytes * len))
+          ; ( "bank_conflicts"
+            , Trace.Int (Counters.conflicts_of_batcha ~bytes addresses ~len) )
+          ]
+        ())
+    p.trace_sink
+
 let exec_event p ~block ~warp ~lanes ~dur =
   Option.iter
     (fun tr ->

@@ -72,6 +72,29 @@ val on_global_batch :
 val on_shared_batch :
   t -> block:int -> store:bool -> bytes:int -> warp:int -> int list -> unit
 
+(** Array forms over the first [len] entries of a reusable address
+    buffer — identical counter updates and trace events to the list
+    forms, without per-batch allocation (the plan executor's path). *)
+val on_global_batcha :
+  t ->
+  block:int ->
+  store:bool ->
+  bytes:int ->
+  warp:int ->
+  int array ->
+  len:int ->
+  unit
+
+val on_shared_batcha :
+  t ->
+  block:int ->
+  store:bool ->
+  bytes:int ->
+  warp:int ->
+  int array ->
+  len:int ->
+  unit
+
 (** One executed instance batch (a warp or collective group) — emits a
     duration event on the trace timeline. *)
 val exec_event : t -> block:int -> warp:int -> lanes:int -> dur:int -> unit

@@ -48,6 +48,49 @@ let mma_m8n8k4_c_coords q =
       let i = k / 4 and j = k mod 4 in
       (((q mod 4) * 2) + i, (4 * (q / 4)) + j))
 
+(* The coordinate functions above are pure in the lane index, so the
+   executors index precomputed 32-entry tables instead of re-allocating
+   the coordinate arrays for every lane of every instruction instance
+   (the per-lane arrays dominated the allocation profile of mma-heavy
+   kernels). Lanes beyond 31 — which no real fragment layout produces —
+   fall back to the original function. *)
+let tab32 f = Array.init 32 f
+
+let tabbed tab f lane =
+  if lane < 32 then Array.unsafe_get tab lane else f lane
+
+let mma_m16n8k16_a = tabbed (tab32 mma_m16n8k16_a_coords) mma_m16n8k16_a_coords
+let mma_m16n8k16_b = tabbed (tab32 mma_m16n8k16_b_coords) mma_m16n8k16_b_coords
+let mma_m16n8k16_c = tabbed (tab32 mma_m16n8k16_c_coords) mma_m16n8k16_c_coords
+let mma_m8n8k4_a = tabbed (tab32 mma_m8n8k4_a_coords) mma_m8n8k4_a_coords
+let mma_m8n8k4_b = tabbed (tab32 mma_m8n8k4_b_coords) mma_m8n8k4_b_coords
+let mma_m8n8k4_c = tabbed (tab32 mma_m8n8k4_c_coords) mma_m8n8k4_c_coords
+let ldmatrix_frag = tabbed (tab32 ldmatrix_frag_coords) ldmatrix_frag_coords
+
+(* Domain-local scratch buffers. The executors below run millions of
+   small gather/compute/scatter steps and their intermediate
+   [float array]s dominated the minor heap; each buffer grows
+   monotonically and is private to its domain, so parallel block ranges
+   never share one. Every value read or written through a scratch buffer
+   is identical to what the previous allocate-per-call code produced. *)
+let scratch_key () = Domain.DLS.new_key (fun () -> ref [||])
+let s_move = scratch_key ()
+let s_va = scratch_key ()
+let s_vb = scratch_key ()
+let s_vc = scratch_key ()
+let s_frag = scratch_key ()
+let s_tile = scratch_key ()
+let s_ma = scratch_key ()
+let s_mb = scratch_key ()
+let s_mc = scratch_key ()
+let s_md = scratch_key ()
+let s_m64 = scratch_key ()
+
+let scratch key n =
+  let r = Domain.DLS.get key in
+  if Array.length !r < n then r := Array.make n 0.0;
+  !r
+
 (* ----- helpers ----- *)
 
 let single_io (s : Spec.t) =
@@ -64,8 +107,11 @@ let single_io (s : Spec.t) =
 
 let exec_thread_move mem (s : Spec.t) offs tid =
   let src, dst = single_io s in
-  let data = Memory.read_offs mem ~tid src (offs src tid) in
-  Memory.write_offs mem ~tid dst (offs dst tid) data
+  let s_offs = offs src tid in
+  let n = Array.length s_offs in
+  let data = scratch s_move n in
+  Memory.read_offs_into mem ~tid src s_offs data;
+  Memory.write_offs_n mem ~tid dst (offs dst tid) data ~len:n
 
 let exec_thread_fma mem (s : Spec.t) offs tid =
   match (s.Spec.ins, s.Spec.outs) with
@@ -167,26 +213,29 @@ let exec_ldmatrix mem x (s : Spec.t) offs members =
   in
   let per_tile = Array.length src_offs / tiles in
   let dst_offs = Array.map (fun tid -> offs dst tid) members in
+  let data = scratch s_tile per_tile in
+  let m = scratch s_m64 64 in
   for j = 0 to x - 1 do
     let t0 = if tiles > 1 then j * per_tile else 0 in
-    let data =
-      Memory.read_offs mem ~tid:lane0 src (Array.sub src_offs t0 per_tile)
-    in
-    (* 8x8, leftmost (row) fastest: linear = r + 8 * c. *)
-    let m = Array.make_matrix 8 8 0.0 in
+    Memory.read_sub_offs_into mem ~tid:lane0 src src_offs ~pos:t0
+      ~len:per_tile data;
+    (* 8x8, leftmost (row) fastest: linear = r + 8 * c. Transposed into
+       [m] (row-major) before distributing, so a short tile still faults
+       before any fragment write. *)
     for c = 0 to 7 do
       for r = 0 to 7 do
-        m.(r).(c) <- data.((c * 8) + r)
+        if (c * 8) + r >= per_tile then invalid_arg "index out of bounds";
+        m.((r * 8) + c) <- data.((c * 8) + r)
       done
     done;
     (* Distribute fragments per the PTX mapping. *)
     Array.iteri
       (fun lane tid ->
-        let coords = ldmatrix_frag_coords lane in
+        let coords = ldmatrix_frag lane in
         Array.iteri
           (fun c (r, col) ->
             Memory.write_k_offs mem ~tid dst dst_offs.(lane) ((2 * j) + c)
-              m.(r).(col))
+              m.((r * 8) + col))
           coords)
       members
   done
@@ -195,38 +244,61 @@ let exec_mma mem ~m ~n ~k ~a_coords ~b_coords ~c_coords (s : Spec.t) offs
     members =
   match (s.Spec.ins, s.Spec.outs) with
   | [ a; b ], [ c ] ->
-    let ma = Array.make_matrix m k 0.0 in
-    let mb = Array.make_matrix k n 0.0 in
-    let mc = Array.make_matrix m n 0.0 in
+    (* Flat row-major matrices in reusable scratch (zeroed, like the
+       fresh matrices they replace). *)
+    let ma = scratch s_ma (m * k) in
+    let mb = scratch s_mb (k * n) in
+    let mc = scratch s_mc (m * n) in
+    Array.fill ma 0 (m * k) 0.0;
+    Array.fill mb 0 (k * n) 0.0;
+    Array.fill mc 0 (m * n) 0.0;
     let c_offs = Array.map (fun tid -> offs c tid) members in
     (* Gather fragments. *)
+    let get v len i =
+      if i >= len then invalid_arg "index out of bounds" else v.(i)
+    in
     Array.iteri
       (fun lane tid ->
-        let va = Memory.read_offs mem ~tid a (offs a tid) in
-        let vb = Memory.read_offs mem ~tid b (offs b tid) in
-        let vc = Memory.read_offs mem ~tid c c_offs.(lane) in
-        Array.iteri (fun i (r, col) -> ma.(r).(col) <- va.(i)) (a_coords lane);
-        Array.iteri (fun i (r, col) -> mb.(r).(col) <- vb.(i)) (b_coords lane);
-        Array.iteri (fun i (r, col) -> mc.(r).(col) <- vc.(i)) (c_coords lane))
+        let ao = offs a tid and bo = offs b tid in
+        let co = c_offs.(lane) in
+        let la = Array.length ao
+        and lb = Array.length bo
+        and lc = Array.length co in
+        let va = scratch s_va la
+        and vb = scratch s_vb lb
+        and vc = scratch s_vc lc in
+        Memory.read_offs_into mem ~tid a ao va;
+        Memory.read_offs_into mem ~tid b bo vb;
+        Memory.read_offs_into mem ~tid c co vc;
+        Array.iteri
+          (fun i (r, col) -> ma.((r * k) + col) <- get va la i)
+          (a_coords lane);
+        Array.iteri
+          (fun i (r, col) -> mb.((r * n) + col) <- get vb lb i)
+          (b_coords lane);
+        Array.iteri
+          (fun i (r, col) -> mc.((r * n) + col) <- get vc lc i)
+          (c_coords lane))
       members;
     (* D = A @ B + C in fp32. *)
-    let md = Array.make_matrix m n 0.0 in
+    let md = scratch s_md (m * n) in
     for i = 0 to m - 1 do
       for j = 0 to n - 1 do
-        let acc = ref mc.(i).(j) in
+        let acc = ref mc.((i * n) + j) in
         for kk = 0 to k - 1 do
-          acc := !acc +. (ma.(i).(kk) *. mb.(kk).(j))
+          acc := !acc +. (ma.((i * k) + kk) *. mb.((kk * n) + j))
         done;
-        md.(i).(j) <- !acc
+        md.((i * n) + j) <- !acc
       done
     done;
     (* Scatter the accumulator fragments. *)
     Array.iteri
       (fun lane tid ->
-        let frag =
-          Array.map (fun (r, col) -> md.(r).(col)) (c_coords lane)
-        in
-        Memory.write_offs mem ~tid c c_offs.(lane) frag)
+        let coords = c_coords lane in
+        let nc = Array.length coords in
+        let frag = scratch s_frag nc in
+        Array.iteri (fun i (r, col) -> frag.(i) <- md.((r * n) + col)) coords;
+        Memory.write_offs_n mem ~tid c c_offs.(lane) frag ~len:nc)
       members
   | _ -> invalid_arg "mma arity"
 
@@ -275,13 +347,11 @@ let exec ?trace ?(block = 0) ?offsets mem ~instr ~spec ~env ~members =
   | Some (x, _) -> exec_ldmatrix mem x spec offs members
   | None ->
     if starts_with "mma.m16n8k16" name then
-      exec_mma mem ~m:16 ~n:8 ~k:16 ~a_coords:mma_m16n8k16_a_coords
-        ~b_coords:mma_m16n8k16_b_coords ~c_coords:mma_m16n8k16_c_coords spec
-        offs members
+      exec_mma mem ~m:16 ~n:8 ~k:16 ~a_coords:mma_m16n8k16_a
+        ~b_coords:mma_m16n8k16_b ~c_coords:mma_m16n8k16_c spec offs members
     else if String.equal "mma.m8n8k4" name then
-      exec_mma mem ~m:8 ~n:8 ~k:4 ~a_coords:mma_m8n8k4_a_coords
-        ~b_coords:mma_m8n8k4_b_coords ~c_coords:mma_m8n8k4_c_coords spec offs
-        members
+      exec_mma mem ~m:8 ~n:8 ~k:4 ~a_coords:mma_m8n8k4_a
+        ~b_coords:mma_m8n8k4_b ~c_coords:mma_m8n8k4_c spec offs members
     else (
       match (spec.Spec.kind, members) with
       | Spec.Shfl kind, _ -> exec_shfl mem kind spec env offs members

@@ -1,0 +1,50 @@
+(** Slot-dependence analysis: classifies every compiled plan quantity
+    (view offset enumerations, collective member functions) by the most
+    frequently changing slot it reads, so the executor knows how far out
+    of the hot loop its value can be hoisted.
+
+    - [Launch]: constants and scalar parameters only — one evaluation per
+      launch.
+    - [Block]: reads [blockIdx.x] — one evaluation per thread block.
+    - [Loop]: reads an enclosing loop counter — one evaluation per
+      iteration of the innermost mentioned loop.
+    - [Thread]: reads [threadIdx.x] — per lane; never hoistable.
+
+    Results ride on the plan as {!dep} annotations; the depcheck pass in
+    {!Pipeline} computes one per compiled view and member function. *)
+
+type tier = Launch | Block | Loop | Thread
+
+type dep =
+  { d_tier : tier
+  ; d_vars : string list
+        (** the dynamic, non-thread variables read ([blockIdx.x] and/or
+            enclosing loop binders) — the executor snapshots the
+            corresponding slots and reuses a cached value while they are
+            unchanged *)
+  }
+
+val tier_name : tier -> string
+
+(** [of_vars ~loops vars] — classify a free-variable set. [loops] are the
+    enclosing loop binders (innermost first). *)
+val of_vars : loops:string list -> string list -> dep
+
+val view_dep : loops:string list -> Gpu_tensor.Tensor.t -> dep
+val members_dep : loops:string list -> Gpu_tensor.Thread_tensor.t -> dep
+
+(** Free variables of a thread arrangement (base offset plus every level
+    layout's dims/strides), exposed for tests. *)
+val thread_tensor_free_vars : Gpu_tensor.Thread_tensor.t -> string list
+
+(** Per-leaf annotation: one {!dep} per input/output view in spec order,
+    plus the member-function dep for collective instructions. *)
+type leaf =
+  { ins : dep list
+  ; outs : dep list
+  ; members : dep option
+  }
+
+val of_leaf : loops:string list -> Graphene.Spec.t -> per_thread:bool -> leaf
+val pp_dep : Format.formatter -> dep -> unit
+val dep_to_string : dep -> string

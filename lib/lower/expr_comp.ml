@@ -165,6 +165,55 @@ let compile_view st scope (v : Ts.t) : cview =
         Array.map (fun r -> Shape.Swizzle.apply sw (base + r)) combined
   end
 
+(* ----- first-address compilation -----
+
+   The executor's address-batch accounting only ever reads the FIRST
+   scalar offset of a view ([offs.(0) * elt_bytes]); materializing the
+   whole enumeration per thread per batch is pure allocation. The first
+   enumerated relative offset of every level table is the one at
+   all-zero coordinates, i.e. 0 — so the first scalar offset is just the
+   swizzled base offset, and only emptiness (a zero-extent level) needs
+   the level tables at all. *)
+
+let no_addr = min_int
+
+let compile_addr0 st scope (v : Ts.t) : cexpr =
+  if Ts.free_vars v = [] then begin
+    let offs = Ts.scalar_offsets ~env:(fun _ -> 0) v in
+    if Array.length offs = 0 then fun _ -> no_addr
+    else
+      let a = offs.(0) in
+      fun _ -> a
+  end
+  else begin
+    let offset_c = compile st scope v.Ts.offset in
+    let levels = List.map (compile_level st scope) (Ts.levels v) in
+    let sw = v.Ts.swizzle in
+    let static_empty =
+      List.exists
+        (function Static a -> Array.length a = 0 | Dyn _ -> false)
+        levels
+    in
+    let dyn_dims =
+      List.filter_map
+        (function Static _ -> None | Dyn (ds, _) -> Some ds)
+        levels
+    in
+    if static_empty then fun _ -> no_addr
+    else if dyn_dims = [] then fun env -> Shape.Swizzle.apply sw (offset_c env)
+    else
+      fun env ->
+        let empty =
+          List.exists
+            (fun ds ->
+              let p = ref 1 in
+              Array.iter (fun c -> p := !p * c env) ds;
+              !p = 0)
+            dyn_dims
+        in
+        if empty then no_addr else Shape.Swizzle.apply sw (offset_c env)
+  end
+
 (* Member ids of a thread arrangement, compiled: the [Thread_tensor]
    cartesian enumeration plus the final sort. The closure binds
    [threadIdx.x] itself (slot 0) from the probing thread id. *)

@@ -25,6 +25,18 @@ val compile_pred :
     under a variable base offset reduce to one addition per scalar. *)
 val compile_view : Slots.t -> (string * int) list -> Gpu_tensor.Tensor.t -> cview
 
+(** Sentinel returned by a {!compile_addr0} closure when the view
+    enumerates no scalars (the executor skips such views in address
+    batches, exactly as the full enumeration path does). *)
+val no_addr : int
+
+(** Compiled first scalar offset of a view — the value
+    [(compile_view ... v) env .(0)] would produce, or {!no_addr} when the
+    enumeration is empty — without materializing the enumeration. The
+    address-batch accounting only ever reads element 0. *)
+val compile_addr0 :
+  Slots.t -> (string * int) list -> Gpu_tensor.Tensor.t -> cexpr
+
 (** Compiled [Thread_tensor.member_ids]: [f env tid] binds the probing
     thread's id to the threadIdx slot and returns the sorted member ids
     of its collective instance. *)

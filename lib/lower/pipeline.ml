@@ -1,4 +1,4 @@
-(* The lowering pipeline: Spec.kernel -> Plan.t, in four named passes.
+(* The lowering pipeline: Spec.kernel -> Plan.t, in five named passes.
 
      validate   advisory structural diagnostics (shapes, allocations)
      flatten    decomposition tree -> flat statement list (allocs and
@@ -8,8 +8,12 @@
                 Atomic.find runs exactly once per leaf, never at
                 execution time; unmatched leaves become lazy failures
                 listing near-miss candidates
+     depcheck   slot-dependence footprint of every leaf quantity (view
+                offsets, member functions), classified launch / block /
+                loop / thread so the executor knows what to hoist
      compile    expressions, predicates, view offsets and thread
-                arrangements compiled to closures over the slot array
+                arrangements compiled to closures over the slot array,
+                carrying the depcheck tiers as plan annotations
 
    Atomic matching (Validate.check_atomics) is deliberately NOT part of
    the validate pass: the resolve pass subsumes it, and running it would
@@ -187,7 +191,45 @@ let resolve_pass arch =
              | None -> F_fail (unmatched_message arch s)))
         stmts)
 
-(* ----- pass 4: compile ----- *)
+(* ----- pass 4: depcheck ----- *)
+
+(* Annotate every resolved leaf with the slot-dependence footprint of its
+   views and (for collectives) its member function. The recursion carries
+   the enclosing loop binders innermost-first; a shadowing binder simply
+   appears twice and the compile pass resolves each name to its innermost
+   slot, matching the closures it builds. *)
+let rec depcheck_stmts loops stmts = List.map (depcheck_stmt loops) stmts
+
+and depcheck_stmt loops = function
+  | F_leaf ((s : Spec.t), (instr : Atomic.instr)) ->
+    let per_thread = instr.Atomic.threads = 1 in
+    F_leaf (s, instr, Depcheck.of_leaf ~loops s ~per_thread)
+  | F_loop { var; lo; hi; step; body } ->
+    F_loop { var; lo; hi; step; body = depcheck_stmts (var :: loops) body }
+  | F_branch (p, then_, else_) ->
+    F_branch (p, depcheck_stmts loops then_, depcheck_stmts loops else_)
+  | F_barrier -> F_barrier
+  | F_frame (label, body) -> F_frame (label, depcheck_stmts loops body)
+  | F_fail msg -> F_fail msg
+
+let depcheck_pass =
+  Pass.make ~name:"depcheck"
+    ~doc:"slot-dependence tiers (launch/block/loop/thread) per leaf"
+    ~render:
+      (render_fstmts
+         (fun fmt ((_ : Spec.t), (i : Atomic.instr), (d : Depcheck.leaf)) ->
+           let deps ds =
+             String.concat ", " (List.map Depcheck.dep_to_string ds)
+           in
+           Format.fprintf fmt "%s: ins[%s] -> outs[%s]" i.Atomic.name
+             (deps d.Depcheck.ins) (deps d.Depcheck.outs);
+           match d.Depcheck.members with
+           | Some m ->
+             Format.fprintf fmt " members[%s]" (Depcheck.dep_to_string m)
+           | None -> ()))
+    (fun stmts -> List.map (depcheck_stmt []) stmts)
+
+(* ----- pass 5: compile ----- *)
 
 (* Coordinates of the j-th tile among an ldmatrix source's outer tiles,
    leftmost-fastest (mirrors Semantics.tile_coords, which lives above
@@ -218,28 +260,60 @@ let compile_ld_rows st scope ~trans x (src : Ts.t) =
             if trans then Ts.select_ints tile [ 0; r ]
             else Ts.select_ints tile [ r; 0 ]
           in
-          Expr_comp.compile_view st scope row))
+          Expr_comp.compile_addr0 st scope row))
 
-let compile_atomic st scope (s : Spec.t) (instr : Atomic.instr) : Plan.atomic =
+(* Dense id supply for the executor's per-plan cache arrays. *)
+type ids =
+  { mutable next_view : int
+  ; mutable next_atomic : int
+  }
+
+(* Slots of a dep's snapshot variables. Every d_vars name is either a
+   builtin (blockIdx.x, in the base scope) or an enclosing loop binder
+   (prepended to the scope), so the innermost assoc hit is exactly the
+   slot the view closure was compiled against. *)
+let dep_slots st scope (d : Depcheck.dep) =
+  Array.of_list
+    (List.map
+       (fun v ->
+         match List.assoc_opt v scope with
+         | Some slot -> slot
+         | None -> Slots.scalar_slot st v)
+       d.Depcheck.d_vars)
+
+let compile_atomic st ids scope (s : Spec.t) (instr : Atomic.instr)
+    (dleaf : Depcheck.leaf) : Plan.atomic =
   let cost = instr.Atomic.cost s in
   let is_tc =
     String.length instr.Atomic.name >= 3
     && String.equal (String.sub instr.Atomic.name 0 3) "mma"
   in
-  let view (v : Ts.t) =
+  let view (v : Ts.t) (d : Depcheck.dep) =
     let elt = Dt.size_bytes (Ts.dtype v) in
     let n = try Ts.num_scalars_int v with Invalid_argument _ -> 1 in
-    { Plan.v_ts = v
+    let id = ids.next_view in
+    ids.next_view <- id + 1;
+    { Plan.v_id = id
+    ; v_ts = v
     ; v_mem = v.Ts.mem
     ; v_elt_bytes = elt
     ; v_batch_bytes = n * elt
     ; v_offsets = Expr_comp.compile_view st scope v
+    ; v_addr0 = Expr_comp.compile_addr0 st scope v
+    ; v_dep = d
+    ; v_dep_slots = dep_slots st scope d
     }
   in
   let per_thread = instr.Atomic.threads = 1 in
   let a_members =
     if per_thread then None
     else Some (Expr_comp.compile_members st scope s.Spec.threads)
+  in
+  let a_members_dep = dleaf.Depcheck.members in
+  let a_members_slots =
+    match a_members_dep with
+    | Some d -> dep_slots st scope d
+    | None -> [||]
   in
   let a_ldmatrix = Atomic.parse_ldmatrix instr.Atomic.name in
   let a_ld_rows =
@@ -258,7 +332,10 @@ let compile_atomic st scope (s : Spec.t) (instr : Atomic.instr) : Plan.atomic =
     | Some slot -> Some slot
     | None -> Slots.find_scalar st name
   in
-  { Plan.a_spec = s
+  let a_id = ids.next_atomic in
+  ids.next_atomic <- a_id + 1;
+  { Plan.a_id
+  ; a_spec = s
   ; a_instr = instr
   ; a_cost = cost
   ; a_is_tc = is_tc
@@ -266,18 +343,22 @@ let compile_atomic st scope (s : Spec.t) (instr : Atomic.instr) : Plan.atomic =
   ; a_label = s.Spec.label
   ; a_kind = Spec.kind_name s.Spec.kind
   ; a_per_thread = per_thread
-  ; a_ins = List.map view s.Spec.ins
-  ; a_outs = List.map view s.Spec.outs
+  ; a_ins = List.map2 view s.Spec.ins dleaf.Depcheck.ins
+  ; a_outs = List.map2 view s.Spec.outs dleaf.Depcheck.outs
   ; a_members
+  ; a_members_dep
+  ; a_members_slots
   ; a_ldmatrix
   ; a_ld_rows
   ; a_lookup
   }
 
-let rec compile_ops st scope stmts = List.map (compile_op st scope) stmts
+let rec compile_ops st ids scope stmts =
+  List.map (compile_op st ids scope) stmts
 
-and compile_op st scope = function
-  | F_leaf (s, instr) -> Plan.Atomic_exec (compile_atomic st scope s instr)
+and compile_op st ids scope = function
+  | F_leaf (s, instr, dleaf) ->
+    Plan.Atomic_exec (compile_atomic st ids scope s instr dleaf)
   | F_loop { var; lo; hi; step; body } ->
     let l_lo = Expr_comp.compile st scope lo
     and l_hi = Expr_comp.compile st scope hi
@@ -289,18 +370,18 @@ and compile_op st scope = function
       ; l_lo
       ; l_hi
       ; l_step
-      ; l_body = compile_ops st ((var, slot) :: scope) body
+      ; l_body = compile_ops st ids ((var, slot) :: scope) body
       }
   | F_branch (p, then_, else_) ->
     Plan.Branch
       { b_tid_dep = pred_mentions_tid p
       ; b_cond = Expr_comp.compile_pred st scope p
-      ; b_then = compile_ops st scope then_
-      ; b_else = compile_ops st scope else_
+      ; b_then = compile_ops st ids scope then_
+      ; b_else = compile_ops st ids scope else_
       }
   | F_barrier -> Plan.Barrier
   | F_frame (label, body) ->
-    Plan.Frame { f_label = label; f_body = compile_ops st scope body }
+    Plan.Frame { f_label = label; f_body = compile_ops st ids scope body }
   | F_fail msg -> Plan.Fail msg
 
 (* Shared allocations are rounded up to the swizzle window (mirrors the
@@ -321,7 +402,8 @@ let compile_pass arch diagnostics =
       List.iter
         (fun p -> ignore (Slots.scalar_slot st p))
         k.Spec.scalar_params;
-      let body = compile_ops st Slots.base_scope resolved in
+      let ids = { next_view = 0; next_atomic = 0 } in
+      let body = compile_ops st ids Slots.base_scope resolved in
       let allocs =
         List.map
           (fun (t : Ts.t) ->
@@ -335,14 +417,27 @@ let compile_pass arch diagnostics =
             })
           (Spec.allocs k.Spec.body)
       in
+      let cta_size = Tt.size k.Spec.cta in
+      (* The warp schedule: lanes of each warp of the CTA, ascending.
+         Built once per plan; the executor iterates it instead of
+         rediscovering warp membership per atomic. *)
+      let warp_tids =
+        Array.init
+          ((cta_size + 31) / 32)
+          (fun w ->
+            Array.init (min 32 (cta_size - (w * 32))) (fun l -> (w * 32) + l))
+      in
       { Plan.kernel = k
       ; arch
       ; nslots = Slots.count st
       ; scalar_slots = Slots.scalar_alist st
-      ; cta_size = Tt.size k.Spec.cta
+      ; cta_size
       ; grid_size = Tt.size k.Spec.grid
       ; allocs
       ; body
+      ; n_views = ids.next_view
+      ; n_atomics = ids.next_atomic
+      ; warp_tids
       ; diagnostics
       })
 
@@ -356,7 +451,8 @@ let lower ?log arch (k : Spec.kernel) : Plan.t =
   let k, diagnostics = Pass.apply ?log validate_pass k in
   let flat = Pass.apply ?log flatten_pass k in
   let resolved = Pass.apply ?log (resolve_pass arch) flat in
-  Pass.apply ?log (compile_pass arch diagnostics) (k, resolved)
+  let annotated = Pass.apply ?log depcheck_pass resolved in
+  Pass.apply ?log (compile_pass arch diagnostics) (k, annotated)
 
 (* ----- the plan cache -----
 

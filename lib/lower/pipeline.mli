@@ -1,5 +1,12 @@
-(** The lowering pipeline: [Spec.kernel] -> {!Plan.t} in four named
-    passes (validate, flatten, resolve, compile). See docs/LOWERING.md.
+(** The lowering pipeline: [Spec.kernel] -> {!Plan.t} in five named
+    passes (validate, flatten, resolve, depcheck, compile). See
+    docs/LOWERING.md.
+
+    The depcheck pass classifies every leaf quantity (view offset
+    enumerations, collective member functions) by slot-dependence tier
+    (launch / block / loop / thread — see {!Depcheck}); the compile pass
+    carries the tiers onto the plan so the executor can hoist and cache
+    everything that does not depend on [threadIdx.x].
 
     The pipeline promises to call [Atomic.find] exactly once per leaf
     spec: resolution happens at lowering, never during execution. An

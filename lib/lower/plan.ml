@@ -8,7 +8,8 @@
    keep the tree path's lazy error semantics). Every symbolic quantity is
    already compiled: loop bounds and predicates are closures, each leaf
    spec carries its matched instruction, precomputed cost, and compiled
-   per-view offset enumerations. *)
+   per-view offset enumerations — each annotated with its slot-dependence
+   tier (see [Depcheck]) so the executor knows what to hoist and cache. *)
 
 module Ts = Gpu_tensor.Tensor
 module Ms = Gpu_tensor.Memspace
@@ -16,15 +17,23 @@ module Spec = Graphene.Spec
 module Atomic = Graphene.Atomic
 
 type view =
-  { v_ts : Ts.t  (** the source view (for semantics dispatch / fallback) *)
+  { v_id : int  (** dense plan-wide id, indexes the executor's caches *)
+  ; v_ts : Ts.t  (** the source view (for semantics dispatch / fallback) *)
   ; v_mem : Ms.t
   ; v_elt_bytes : int
   ; v_batch_bytes : int  (** bytes per thread per access batch *)
   ; v_offsets : Expr_comp.cview
+  ; v_addr0 : Expr_comp.cexpr
+        (** first scalar offset only ([Expr_comp.no_addr] when empty) —
+            what address batching needs, without the full enumeration *)
+  ; v_dep : Depcheck.dep  (** slot-dependence tier of [v_offsets] *)
+  ; v_dep_slots : int array
+        (** slots of [v_dep.d_vars]: the executor's cache-snapshot key *)
   }
 
 type atomic =
-  { a_spec : Spec.t
+  { a_id : int  (** dense plan-wide id, indexes the executor's group cache *)
+  ; a_spec : Spec.t
   ; a_instr : Atomic.instr  (** resolved exactly once, at lowering *)
   ; a_cost : Atomic.cost
   ; a_is_tc : bool
@@ -36,10 +45,14 @@ type atomic =
   ; a_outs : view list
   ; a_members : (int array -> int -> int array) option
         (** collective instances: probing tid -> sorted member ids *)
+  ; a_members_dep : Depcheck.dep option
+        (** slot-dependence tier of [a_members] (collectives only) *)
+  ; a_members_slots : int array
+        (** slots of the member function's non-thread dynamic variables *)
   ; a_ldmatrix : (int * bool) option  (** (x, trans) for ldmatrix traffic *)
-  ; a_ld_rows : (Expr_comp.cview array array * int) option
-        (** compiled per-matrix row views + element size; [None] falls
-            back to the symbolic derivation *)
+  ; a_ld_rows : (Expr_comp.cexpr array array * int) option
+        (** compiled per-matrix first-row-byte offsets + element size;
+            [None] falls back to the symbolic derivation *)
   ; a_lookup : string -> int option
         (** name -> slot, for symbolic fallbacks (derived views, shfl.idx) *)
   }
@@ -75,6 +88,11 @@ type t =
   ; grid_size : int
   ; allocs : alloc list
   ; body : op list
+  ; n_views : int  (** total view count = executor view-cache size *)
+  ; n_atomics : int  (** total atomic count = executor group-cache size *)
+  ; warp_tids : int array array
+        (** precompiled warp schedule: thread ids of each warp of the CTA,
+            ascending — built once per plan, never per atomic *)
   ; diagnostics : string list  (** advisory validation findings *)
   }
 
@@ -106,11 +124,42 @@ let rec count_atomics ops =
       | Frame { f_body; _ } -> count_atomics f_body)
     0 ops
 
+let rec iter_atomics f ops =
+  List.iter
+    (fun op ->
+      match op with
+      | Atomic_exec a -> f a
+      | Barrier | Fail _ -> ()
+      | Loop { l_body; _ } -> iter_atomics f l_body
+      | Branch { b_then; b_else; _ } ->
+        iter_atomics f b_then;
+        iter_atomics f b_else
+      | Frame { f_body; _ } -> iter_atomics f f_body)
+    ops
+
+(* Views per dependence tier: (launch, block, loop, thread). *)
+let tier_counts ops =
+  let launch = ref 0 and block = ref 0 and loop = ref 0 and thread = ref 0 in
+  let count (d : Depcheck.dep) =
+    match d.Depcheck.d_tier with
+    | Depcheck.Launch -> incr launch
+    | Depcheck.Block -> incr block
+    | Depcheck.Loop -> incr loop
+    | Depcheck.Thread -> incr thread
+  in
+  iter_atomics
+    (fun a ->
+      List.iter (fun v -> count v.v_dep) a.a_ins;
+      List.iter (fun v -> count v.v_dep) a.a_outs)
+    ops;
+  (!launch, !block, !loop, !thread)
+
 (* ----- pretty-printing ----- *)
 
 let pp_view fmt (v : view) =
-  Format.fprintf fmt "%%%s[%s,%dB/thread]" v.v_ts.Ts.name
+  Format.fprintf fmt "%%%s[%s,%dB/thread,%s]" v.v_ts.Ts.name
     (Ms.to_ir_string v.v_mem) v.v_batch_bytes
+    (Depcheck.tier_name v.v_dep.Depcheck.d_tier)
 
 let pp_atomic fmt (a : atomic) =
   Format.fprintf fmt "exec %s  // %s, %s, (%a) -> (%a)"
@@ -125,6 +174,10 @@ let pp_atomic fmt (a : atomic) =
        ~pp_sep:(fun f () -> Format.fprintf f ", ")
        pp_view)
     a.a_outs;
+  (match a.a_members_dep with
+  | Some d ->
+    Format.fprintf fmt "  // members: %s" (Depcheck.tier_name d.Depcheck.d_tier)
+  | None -> ());
   if String.length a.a_label > 0 then Format.fprintf fmt "  // %s" a.a_label
 
 let rec pp_op fmt = function
@@ -156,6 +209,10 @@ let pp fmt t =
     (Graphene.Arch.name t.arch);
   Format.fprintf fmt "// grid %d block(s) x cta %d thread(s), %d env slot(s)@,"
     t.grid_size t.cta_size t.nslots;
+  (let l, b, lp, th = tier_counts t.body in
+   Format.fprintf fmt
+     "// view dependence tiers: %d launch, %d block, %d loop, %d thread@," l b
+     lp th);
   if t.scalar_slots <> [] then
     Format.fprintf fmt "// scalar slots: %s@,"
       (String.concat ", "

@@ -3,20 +3,33 @@
 
     A plan is lowered once and executed many times: every leaf spec is
     already paired with its atomic instruction (resolved exactly once),
-    costs and profiler attribution strings are precomputed, and all
-    symbolic index arithmetic is compiled to closures over one dense
-    [int array] environment (see {!Slots}, {!Expr_comp}). *)
+    costs and profiler attribution strings are precomputed, all symbolic
+    index arithmetic is compiled to closures over one dense [int array]
+    environment (see {!Slots}, {!Expr_comp}), and every compiled view and
+    member function carries its slot-dependence tier (see {!Depcheck}) so
+    the executor can hoist launch-, block- and loop-invariant values out
+    of the per-thread hot path. *)
 
 type view =
-  { v_ts : Gpu_tensor.Tensor.t
+  { v_id : int  (** dense plan-wide id, indexes the executor's caches *)
+  ; v_ts : Gpu_tensor.Tensor.t
   ; v_mem : Gpu_tensor.Memspace.t
   ; v_elt_bytes : int
   ; v_batch_bytes : int
   ; v_offsets : Expr_comp.cview
+  ; v_addr0 : Expr_comp.cexpr
+        (** first scalar offset ({!Expr_comp.no_addr} when the view
+            enumerates no scalars) — all the address-batch accounting
+            needs, without materializing the full enumeration *)
+  ; v_dep : Depcheck.dep
+  ; v_dep_slots : int array
+        (** slots of [v_dep.d_vars]; the executor snapshots these and
+            reuses cached offsets while the values are unchanged *)
   }
 
 type atomic =
-  { a_spec : Graphene.Spec.t
+  { a_id : int  (** dense plan-wide id, indexes the executor's group cache *)
+  ; a_spec : Graphene.Spec.t
   ; a_instr : Graphene.Atomic.instr
   ; a_cost : Graphene.Atomic.cost
   ; a_is_tc : bool
@@ -27,8 +40,13 @@ type atomic =
   ; a_ins : view list
   ; a_outs : view list
   ; a_members : (int array -> int -> int array) option
+  ; a_members_dep : Depcheck.dep option
+        (** dependence tier of [a_members] (collectives only) *)
+  ; a_members_slots : int array
+        (** snapshot slots for the member-function group cache *)
   ; a_ldmatrix : (int * bool) option
-  ; a_ld_rows : (Expr_comp.cview array array * int) option
+  ; a_ld_rows : (Expr_comp.cexpr array array * int) option
+        (** compiled first-row byte addresses per matrix + element size *)
   ; a_lookup : string -> int option
   }
 
@@ -65,6 +83,11 @@ type t =
   ; grid_size : int
   ; allocs : alloc list
   ; body : op list
+  ; n_views : int  (** total views = size of the executor's view cache *)
+  ; n_atomics : int  (** total atomics = size of the executor's group cache *)
+  ; warp_tids : int array array
+        (** precompiled warp schedule: thread ids of each warp of the
+            CTA, ascending; built once per plan *)
   ; diagnostics : string list
   }
 
@@ -72,6 +95,12 @@ type t =
 val count_ops : op list -> int
 
 val count_atomics : op list -> int
+
+(** Apply [f] to every atomic in the op tree, in program order. *)
+val iter_atomics : (atomic -> unit) -> op list -> unit
+
+(** View counts per dependence tier: [(launch, block, loop, thread)]. *)
+val tier_counts : op list -> int * int * int * int
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

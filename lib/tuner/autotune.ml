@@ -6,6 +6,7 @@ module Profiler = Gpu_sim.Profiler
 type result =
   { config : Gemm.config
   ; estimate : PM.estimate
+  ; score_s : float
   ; profile : Profiler.report option
   ; lower_s : float
   ; lower_cache_hit : bool
@@ -97,21 +98,49 @@ let profile_candidate machine ~epilogue (config : Gemm.config) ~m ~n ~k =
 
 let tune ?(profile_top = 0) ?domains machine ~epilogue ~m ~n ~k () =
   let arch = machine.Gpu_sim.Machine.arch in
+  let ndomains_for total =
+    let d =
+      match domains with
+      | Some d -> d
+      | None -> Gpu_sim.Domain_pool.default_domains ()
+    in
+    max 1 (min d total)
+  in
+  (* Build each candidate's kernel IR and score it with the performance
+     model. Candidates are independent, so the sweep splits into
+     contiguous groups (one pool task each); regrouping in enumeration
+     order makes the scored list — and the stable sort below — identical
+     to a sequential sweep at every domain count. *)
+  let score config =
+    let t0 = Unix.gettimeofday () in
+    match Gemm.tensor_core arch config ~epilogue ~m ~n ~k () with
+    | kernel ->
+      let estimate = PM.of_kernel machine kernel () in
+      Some
+        { config
+        ; estimate
+        ; score_s = Unix.gettimeofday () -. t0
+        ; profile = None
+        ; lower_s = 0.0
+        ; lower_cache_hit = false
+        }
+    | exception Invalid_argument _ -> None
+  in
+  let cands = candidates arch ~m ~n ~k in
+  let total = List.length cands in
+  let nscore = ndomains_for total in
   let scored =
-    List.filter_map
-      (fun config ->
-        match Gemm.tensor_core arch config ~epilogue ~m ~n ~k () with
-        | kernel ->
-          let estimate = PM.of_kernel machine kernel () in
-          Some
-            { config
-            ; estimate
-            ; profile = None
-            ; lower_s = 0.0
-            ; lower_cache_hit = false
-            }
-        | exception Invalid_argument _ -> None)
-      (candidates arch ~m ~n ~k)
+    if nscore <= 1 then List.filter_map score cands
+    else begin
+      let carr = Array.of_list cands in
+      Gpu_sim.Domain_pool.run_list
+        (Gpu_sim.Domain_pool.global ())
+        (List.map
+           (fun (lo, hi) () -> List.init (hi - lo) (fun i -> score carr.(lo + i)))
+           (Gpu_sim.Domain_pool.block_ranges ~total ~chunks:nscore))
+      |> List.concat
+      |> List.filter_map Fun.id
+    end
   in
   let ranked =
     List.sort
@@ -129,14 +158,7 @@ let tune ?(profile_top = 0) ?domains machine ~epilogue ~m ~n ~k () =
   let to_profile = min profile_top (Array.length arr) in
   if to_profile <= 0 then ranked
   else begin
-    let ndomains =
-      let d =
-        match domains with
-        | Some d -> d
-        | None -> Gpu_sim.Domain_pool.default_domains ()
-      in
-      max 1 (min d to_profile)
-    in
+    let ndomains = ndomains_for to_profile in
     let profile_one i =
       let r = arr.(i) in
       match profile_candidate machine ~epilogue r.config ~m ~n ~k with

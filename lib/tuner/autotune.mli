@@ -12,6 +12,9 @@
 type result =
   { config : Kernels.Gemm.config
   ; estimate : Gpu_sim.Perf_model.estimate
+  ; score_s : float
+        (** wall time spent building this candidate's kernel IR and
+            scoring it with the performance model *)
   ; profile : Gpu_sim.Profiler.report option
         (** measured per-spec profile from a proxy-size simulated run —
             present for the top [profile_top] candidates of {!tune} *)
@@ -35,10 +38,13 @@ val candidates :
     distinguishes the winner (coalescing, bank conflicts, instruction
     mix) rather than just the modeled time.
 
-    The profiled candidates are independent simulations, so they run in
-    parallel on [domains] OCaml domains (default
-    {!Gpu_sim.Domain_pool.default_domains}); results regroup in rank
-    order, so the returned list is identical at every domain count. *)
+    Both phases are parallel over [domains] OCaml domains (default
+    {!Gpu_sim.Domain_pool.default_domains}): the model-scoring sweep
+    splits the candidate enumeration into contiguous groups, and the
+    profiled head of the ranking simulates one candidate per pool task.
+    Results regroup in enumeration (then rank) order and the ranking
+    sort is stable, so the returned list is identical at every domain
+    count — only [score_s]/[lower_s] wall times vary. *)
 val tune :
   ?profile_top:int ->
   ?domains:int ->

@@ -1,6 +1,6 @@
 # Convenience wrappers around dune. `make ci` is what CI runs.
 
-.PHONY: build test profile-smoke parallel-smoke perf-smoke bench golden ci clean
+.PHONY: build test profile-smoke parallel-smoke vector-smoke perf-smoke bench golden ci clean
 
 build:
 	dune build
@@ -17,6 +17,11 @@ profile-smoke:
 # must be bit-identical (counters, report, trace, buffers) to 1 domain.
 parallel-smoke:
 	dune build @parallel-smoke
+
+# Lower GEMM/FMHA with the vectorize pass on and off: the plan listing
+# prints per-atomic vector widths and legality verdicts.
+vector-smoke:
+	dune build @vector-smoke
 
 # Quick tree-vs-plan bit-identity smoke on shrunken shapes (exits
 # nonzero on any counter/output mismatch).

@@ -127,6 +127,12 @@ let emit_bench_profile rows =
 
 module C = Gpu_sim.Counters
 
+(* Byte/sector/conflict/flop counters and the instruction mix must match
+   bitwise between the tree walk and the plan. The request counters are
+   deliberately NOT compared: the vectorized plan issues fewer, wider
+   requests than the scalar tree path by design (that delta is what the
+   v4 rows report); test/test_vectorize.ml pins them against a
+   scalar-forced lowering instead. *)
 let counters_equal (a : C.t) (b : C.t) =
   a.C.global_load_bytes = b.C.global_load_bytes
   && a.C.global_store_bytes = b.C.global_store_bytes
@@ -264,7 +270,8 @@ let sim_bench_row case =
       , plan_minor_words
       , par_s
       , identical
-      , outputs_identical )
+      , outputs_identical
+      , plan_counters )
     with
     | exception exn ->
       ( Printf.sprintf "{\"name\":%s,\"arch\":%s,\"error\":%s}"
@@ -280,21 +287,34 @@ let sim_bench_row case =
       , plan_minor_words
       , par_s
       , identical
-      , outputs_identical ) ->
+      , outputs_identical
+      , plan_counters ) ->
       let cps s = if s > 0.0 then float_of_int cells /. s else Float.nan in
       let per_cell w = w /. float_of_int (max 1 cells) in
       let mw_reduction =
         if plan_minor_words > 0.0 then tree_minor_words /. plan_minor_words
         else Float.nan
       in
+      (* Fraction of the global byte traffic carried by vector-widened
+         (v2/v4) requests — the vectorize pass's yield on this kernel. *)
+      let global_bytes =
+        plan_counters.C.global_load_bytes + plan_counters.C.global_store_bytes
+      in
+      let vector_widened_frac =
+        if global_bytes = 0 then 0.0
+        else
+          float_of_int plan_counters.C.global_vec_bytes
+          /. float_of_int global_bytes
+      in
       let ok = identical && outputs_identical in
       Format.printf
         "%-24s %-4s tree %7.3fs  lower %6.4fs (cached %6.4fs)  plan %7.3fs  \
          par[%d] %7.3fs (%4.2fx)  speedup %5.2fx  minor w/cell %5.1f -> \
-         %4.2f (%4.1fx)  counters %s@."
+         %4.2f (%4.1fx)  vec %3.0f%%  counters %s@."
         name (Graphene.Arch.name arch) tree_s lower_s lower_cached_s plan_s
         par_domains par_s (plan_s /. par_s) (tree_s /. plan_s)
         (per_cell tree_minor_words) (per_cell plan_minor_words) mw_reduction
+        (100.0 *. vector_widened_frac)
         (if ok then "bit-identical" else "MISMATCH");
       ( Printf.sprintf
           "{\"name\":%s,\"arch\":%s,\"cells\":%d,\"tree_s\":%.6f,\
@@ -306,6 +326,11 @@ let sim_bench_row case =
            \"minor_words_per_cell_tree\":%.6g,\
            \"minor_words_per_cell_plan\":%.6g,\
            \"minor_words_reduction\":%.6g,\
+           \"global_transactions\":%d,\"global_requests\":%d,\
+           \"global_vec_requests\":%d,\"global_vec_bytes\":%d,\
+           \"shared_requests\":%d,\"shared_vec_requests\":%d,\
+           \"shared_vec_bytes\":%d,\"shared_bank_conflicts\":%d,\
+           \"vector_widened_frac\":%.6g,\
            \"counters_bit_identical\":%b,\"outputs_bit_identical\":%b}"
           (Gpu_sim.Trace.json_string name)
           (Gpu_sim.Trace.json_string (Graphene.Arch.name arch))
@@ -313,7 +338,12 @@ let sim_bench_row case =
           par_domains (plan_s /. par_s) (tree_s /. plan_s) (cps tree_s)
           (cps plan_s) tree_minor_words plan_minor_words
           (per_cell tree_minor_words) (per_cell plan_minor_words) mw_reduction
-          identical outputs_identical
+          plan_counters.C.global_transactions plan_counters.C.global_requests
+          plan_counters.C.global_vec_requests plan_counters.C.global_vec_bytes
+          plan_counters.C.shared_requests plan_counters.C.shared_vec_requests
+          plan_counters.C.shared_vec_bytes
+          plan_counters.C.shared_bank_conflicts vector_widened_frac identical
+          outputs_identical
       , ok ))
 
 let emit_sim_bench ?(quick = false) () =
@@ -335,7 +365,7 @@ let emit_sim_bench ?(quick = false) () =
   else begin
     let stats = Lower.Pipeline.cache_stats () in
     let oc = open_out "BENCH_sim.json" in
-    output_string oc "{\"schema\":\"graphene.sim_bench.v3\",\n";
+    output_string oc "{\"schema\":\"graphene.sim_bench.v4\",\n";
     output_string oc
       (Printf.sprintf "\"par_domains\":%d,\"default_domains\":%d,\n" par_domains
          (Gpu_sim.Domain_pool.default_domains ()));

@@ -220,14 +220,26 @@ let lower_cmd =
       & info [ "plan-only" ]
           ~doc:"Print only the final execution plan, not the per-pass IR.")
   in
-  let run arch name plan_only =
+  let no_vectorize =
+    Arg.(
+      value & flag
+      & info [ "no-vectorize" ]
+          ~doc:
+            "Disable the vectorize pass's widening (every atomic stays \
+             scalar); the legality verdicts and bank-conflict lint are \
+             still computed and printed. Equivalent to setting \
+             \\$GRAPHENE_NO_VECTORIZE.")
+  in
+  let run arch name plan_only no_vectorize =
     let kernel, _, _ = build arch name in
     let log ~pass ~doc rendered =
       if not plan_only then begin
         Format.printf "==== %s: %s ====@.%s@.@." pass doc rendered
       end
     in
-    let plan = Lower.Pipeline.lower ~log arch kernel in
+    let plan =
+      Lower.Pipeline.lower ~log ~vectorize:(not no_vectorize) arch kernel
+    in
     if plan_only then print_endline (Lower.Plan.to_string plan);
     let launch, block, loop, thread =
       Lower.Plan.tier_counts plan.Lower.Plan.body
@@ -241,16 +253,31 @@ let lower_cmd =
       (Lower.Plan.count_atomics plan.Lower.Plan.body)
       plan.Lower.Plan.nslots
       (List.length plan.Lower.Plan.allocs)
-      launch block loop thread
+      launch block loop thread;
+    let widened, moves = Lower.Plan.vec_counts plan.Lower.Plan.body in
+    Format.printf "vectorize%s: %d of %d per-thread move(s) widened"
+      (if plan.Lower.Plan.vec_enabled then "" else " (disabled)")
+      widened moves;
+    (match Lower.Plan.global_vec_width plan.Lower.Plan.body with
+    | Some w -> Format.printf ", mean global width %.2f@." w
+    | None -> Format.printf "@.");
+    let flagged, cycles =
+      Lower.Plan.bank_warning_counts plan.Lower.Plan.body
+    in
+    if flagged > 0 then
+      Format.printf
+        "bank-conflict lint: %d atomic(s) flagged, +%d conflict \
+         cycle(s)/batch@."
+        flagged cycles
   in
   Cmd.v
     (Cmd.info "lower"
        ~doc:
          "Run the lowering pipeline (validate, flatten, resolve, depcheck, \
-          compile) on a kernel, printing the IR after every pass and the \
-          compiled execution plan, with each view's dependence tier. See \
-          docs/LOWERING.md.")
-    Term.(const run $ arch_arg $ kernel_arg $ plan_only)
+          vectorize, compile) on a kernel, printing the IR after every pass \
+          and the compiled execution plan, with each view's dependence tier, \
+          vector width and bank-conflict lint. See docs/LOWERING.md.")
+    Term.(const run $ arch_arg $ kernel_arg $ plan_only $ no_vectorize)
 
 let domains_arg =
   Arg.(

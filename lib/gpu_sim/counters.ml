@@ -8,6 +8,12 @@ type t =
   ; mutable flops : int
   ; mutable tensor_core_flops : int
   ; mutable instructions : int
+  ; mutable global_requests : int
+  ; mutable global_vec_requests : int
+  ; mutable global_vec_bytes : int
+  ; mutable shared_requests : int
+  ; mutable shared_vec_requests : int
+  ; mutable shared_vec_bytes : int
   ; instr_mix : (string, int) Hashtbl.t
   }
 
@@ -21,6 +27,12 @@ let create () =
   ; flops = 0
   ; tensor_core_flops = 0
   ; instructions = 0
+  ; global_requests = 0
+  ; global_vec_requests = 0
+  ; global_vec_bytes = 0
+  ; shared_requests = 0
+  ; shared_vec_requests = 0
+  ; shared_vec_bytes = 0
   ; instr_mix = Hashtbl.create 64
   }
 
@@ -34,6 +46,12 @@ let reset t =
   t.flops <- 0;
   t.tensor_core_flops <- 0;
   t.instructions <- 0;
+  t.global_requests <- 0;
+  t.global_vec_requests <- 0;
+  t.global_vec_bytes <- 0;
+  t.shared_requests <- 0;
+  t.shared_vec_requests <- 0;
+  t.shared_vec_bytes <- 0;
   Hashtbl.reset t.instr_mix
 
 let add_instr t name =
@@ -121,6 +139,32 @@ let record_shared_batch t ~store ~bytes addresses =
   let a = Array.of_list addresses in
   record_shared_batcha t ~store ~bytes a ~len:(Array.length a)
 
+(* Memory-pipe requests issued for one warp-per-view access: [elems]
+   per-thread scalar elements move as ceil(elems/width) instructions of
+   [width] elements each. Width 1 is the scalar baseline; widened
+   accesses additionally book the vectorized request count and the bytes
+   they carried, so reports can state which fraction of the traffic rode
+   wide transactions. Purely additive next to the byte/sector/conflict
+   accounting above — widening never changes those. *)
+let record_requests t ~global ~elems ~width ~bytes =
+  if elems > 0 then begin
+    let reqs = (elems + width - 1) / width in
+    if global then begin
+      t.global_requests <- t.global_requests + reqs;
+      if width > 1 then begin
+        t.global_vec_requests <- t.global_vec_requests + reqs;
+        t.global_vec_bytes <- t.global_vec_bytes + bytes
+      end
+    end
+    else begin
+      t.shared_requests <- t.shared_requests + reqs;
+      if width > 1 then begin
+        t.shared_vec_requests <- t.shared_vec_requests + reqs;
+        t.shared_vec_bytes <- t.shared_vec_bytes + bytes
+      end
+    end
+  end
+
 let merge dst src =
   dst.global_load_bytes <- dst.global_load_bytes + src.global_load_bytes;
   dst.global_store_bytes <- dst.global_store_bytes + src.global_store_bytes;
@@ -132,6 +176,12 @@ let merge dst src =
   dst.flops <- dst.flops + src.flops;
   dst.tensor_core_flops <- dst.tensor_core_flops + src.tensor_core_flops;
   dst.instructions <- dst.instructions + src.instructions;
+  dst.global_requests <- dst.global_requests + src.global_requests;
+  dst.global_vec_requests <- dst.global_vec_requests + src.global_vec_requests;
+  dst.global_vec_bytes <- dst.global_vec_bytes + src.global_vec_bytes;
+  dst.shared_requests <- dst.shared_requests + src.shared_requests;
+  dst.shared_vec_requests <- dst.shared_vec_requests + src.shared_vec_requests;
+  dst.shared_vec_bytes <- dst.shared_vec_bytes + src.shared_vec_bytes;
   Hashtbl.iter
     (fun k v ->
       Hashtbl.replace dst.instr_mix k
@@ -154,7 +204,11 @@ let pp fmt t =
   Format.fprintf fmt
     "@[<v>global: %d B loaded, %d B stored, %d sectors@,\
      shared: %d B loaded, %d B stored, %d conflict cycles@,\
-     flops: %d (%d tensor-core), %d instructions@]"
+     flops: %d (%d tensor-core), %d instructions@,\
+     requests: %d global (%d vectorized, %d B wide), %d shared (%d \
+     vectorized, %d B wide)@]"
     t.global_load_bytes t.global_store_bytes t.global_transactions
     t.shared_load_bytes t.shared_store_bytes t.shared_bank_conflicts t.flops
-    t.tensor_core_flops t.instructions
+    t.tensor_core_flops t.instructions t.global_requests
+    t.global_vec_requests t.global_vec_bytes t.shared_requests
+    t.shared_vec_requests t.shared_vec_bytes

@@ -13,6 +13,17 @@ type t =
   ; mutable flops : int
   ; mutable tensor_core_flops : int
   ; mutable instructions : int
+  ; mutable global_requests : int
+        (** warp-level memory-pipe requests to global memory: one per
+            scalar index per warp batch, or per vector group when the
+            access was widened *)
+  ; mutable global_vec_requests : int
+        (** the subset of [global_requests] issued at vector width > 1 *)
+  ; mutable global_vec_bytes : int
+        (** bytes moved by those vectorized global requests *)
+  ; mutable shared_requests : int
+  ; mutable shared_vec_requests : int
+  ; mutable shared_vec_bytes : int
   ; instr_mix : (string, int) Hashtbl.t  (** per atomic-instruction counts *)
   }
 
@@ -63,6 +74,17 @@ val record_global_batcha :
 
 val record_shared_batcha :
   t -> store:bool -> bytes:int -> int array -> len:int -> unit
+
+(** [record_requests t ~global ~elems ~width ~bytes] — request accounting
+    for one warp-per-view access of [elems] per-thread scalar elements
+    executed at vector width [width]: books [ceil(elems / width)]
+    requests ([width = 1] is the scalar baseline), and when [width > 1]
+    additionally books them as vectorized requests carrying [bytes]
+    total bytes across the warp. Purely additive next to the
+    byte/sector/conflict accounting — widening never changes those
+    counters. [elems <= 0] is a no-op. *)
+val record_requests :
+  t -> global:bool -> elems:int -> width:int -> bytes:int -> unit
 
 (** [merge dst src] adds every counter of [src] into [dst], including the
     per-instruction mix. *)

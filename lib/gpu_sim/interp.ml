@@ -89,6 +89,12 @@ let record_view_batch ctx env tids ~store (v : Ts.t) =
     in
     if addrs <> [] then begin
       let warp = match tids with t :: _ -> t / 32 | [] -> 0 in
+      (* One scalar request per scalar index per warp batch: the tree
+         path never widens, so this is the width-1 baseline the plan
+         executor's scalar-forced lowering must reproduce exactly. *)
+      Counters.record_requests ctx.counters
+        ~global:(Ms.equal v.Ts.mem Ms.Global)
+        ~elems:n ~width:1 ~bytes:0;
       if Ms.equal v.Ts.mem Ms.Global then begin
         Counters.record_global_batch ctx.counters ~store ~bytes addrs;
         Option.iter
@@ -180,6 +186,8 @@ let record_ldmatrix ctx ~trans x (s : Spec.t) env members =
     for j = 0 to x - 1 do
       let addrs = List.init 8 (fun r -> row_addr j r) in
       Counters.record_shared_batch ctx.counters ~store:false ~bytes:16 addrs;
+      Counters.record_requests ctx.counters ~global:false ~elems:1 ~width:1
+        ~bytes:0;
       Option.iter
         (fun p ->
           Profiler.on_shared_batch p ~block:ctx.block ~store:false ~bytes:16
@@ -463,6 +471,9 @@ type pctx =
   ; addrs : int array  (* address batch scratch: one slot per warp lane *)
   ; ld8 : int array  (* ldmatrix row-address scratch *)
   ; members1 : int array  (* reused singleton members for per-thread exec *)
+  ; fc_tids : int array  (* fastcopy scratch: active lane tids ... *)
+  ; fc_src : int array  (* ... their source base element offsets ... *)
+  ; fc_dst : int array  (* ... and destination bases, per warp *)
   ; vcaches : vcache array  (* by v_id *)
   ; tcaches : tcache array  (* by v_id; seated for Thread-tier views *)
   ; gcaches : gcache array  (* by a_id *)
@@ -564,6 +575,14 @@ let record_plan_batch px w wmask ~store (pv : P.view) =
     if !n > 0 then begin
       let ctx = px.c in
       let bytes = pv.P.v_batch_bytes in
+      (* Request accounting at the view's executed vector width. Only the
+         request/vectorized counters see the widening; the byte and
+         sector accounting below is untouched, so a widened plan differs
+         from its scalar twin in requests alone. *)
+      Counters.record_requests ctx.counters
+        ~global:(Ms.equal pv.P.v_mem Ms.Global)
+        ~elems:(bytes / pv.P.v_elt_bytes)
+        ~width:pv.P.v_vec_width ~bytes:(bytes * !n);
       if Ms.equal pv.P.v_mem Ms.Global then begin
         Counters.record_global_batcha ctx.counters ~store ~bytes addrs ~len:!n;
         Option.iter
@@ -607,28 +626,61 @@ let account_cost_plan ctx (a : P.atomic) ~instances =
         ~flops:c.Atomic.flops ~instructions:c.Atomic.instructions ~instances)
     ctx.prof
 
+(* The wide-transaction fast path: a vector-widened, full-span contiguous
+   move skips the per-lane [Semantics.exec] dispatch (and its offset
+   enumeration) — every active lane's enumeration is exactly
+   [addr0, addr0 + n) on both sides, so one [exec_warp_move_contig] call
+   per warp moves the whole batch. Skipped when instruction-level tracing
+   is on: the detail trace wants one event per lane from the generic
+   path. Counter accounting ([record_batches], [account_cost_plan]) is
+   shared with the generic path, so only the data-movement engine
+   changes. *)
+let exec_plan_fastcopy px (a : P.atomic) w m =
+  let env = px.env in
+  let src = List.hd a.P.a_ins and dst = List.hd a.P.a_outs in
+  let n = src.P.v_batch_bytes / src.P.v_elt_bytes in
+  let base = w * 32 in
+  let lanes = ref 0 in
+  for l = 0 to 31 do
+    if m land (1 lsl l) <> 0 then begin
+      let tid = base + l in
+      env.(Slots.tid_slot) <- tid;
+      let i = !lanes in
+      px.fc_tids.(i) <- tid;
+      px.fc_src.(i) <- src.P.v_addr0 env;
+      px.fc_dst.(i) <- dst.P.v_addr0 env;
+      incr lanes
+    end
+  done;
+  Semantics.exec_warp_move_contig px.c.mem a.P.a_spec ~tids:px.fc_tids
+    ~src_bases:px.fc_src ~dst_bases:px.fc_dst ~lanes:!lanes ~n
+
 let exec_plan_per_thread px (a : P.atomic) (mask : WM.t) =
   let ctx = px.c in
   let env = px.env in
   let envf = px.a_envf.(a.P.a_id) in
   let offs = px.a_offs.(a.P.a_id) in
+  let fastcopy = a.P.a_fastcopy && sem_trace ctx = None in
   let total = ref 0 in
   for w = 0 to Array.length mask - 1 do
     let m = Array.unsafe_get mask w in
     if m <> 0 then begin
       record_batches px w m ~store:false a.P.a_ins;
       record_batches px w m ~store:true a.P.a_outs;
-      let base = w * 32 in
-      for l = 0 to 31 do
-        if m land (1 lsl l) <> 0 then begin
-          let tid = base + l in
-          env.(Slots.tid_slot) <- tid;
-          px.members1.(0) <- tid;
-          Semantics.exec ?trace:(sem_trace ctx) ~block:ctx.block ~offsets:offs
-            ctx.mem ~instr:a.P.a_instr ~spec:a.P.a_spec ~env:envf
-            ~members:px.members1
-        end
-      done;
+      if fastcopy then exec_plan_fastcopy px a w m
+      else begin
+        let base = w * 32 in
+        for l = 0 to 31 do
+          if m land (1 lsl l) <> 0 then begin
+            let tid = base + l in
+            env.(Slots.tid_slot) <- tid;
+            px.members1.(0) <- tid;
+            Semantics.exec ?trace:(sem_trace ctx) ~block:ctx.block
+              ~offsets:offs ctx.mem ~instr:a.P.a_instr ~spec:a.P.a_spec
+              ~env:envf ~members:px.members1
+          end
+        done
+      end;
       let lanes = WM.popcount32 m in
       total := !total + lanes;
       Option.iter
@@ -655,6 +707,8 @@ let record_plan_ldmatrix px (a : P.atomic) ~trans x members =
       done;
       Counters.record_shared_batcha ctx.counters ~store:false ~bytes:16 px.ld8
         ~len:8;
+      Counters.record_requests ctx.counters ~global:false ~elems:1 ~width:1
+        ~bytes:0;
       Option.iter
         (fun p ->
           Profiler.on_shared_batcha p ~block:ctx.block ~store:false ~bytes:16
@@ -850,6 +904,9 @@ let make_pctx ctx (plan : P.t) (env : int array) =
     ; addrs = Array.make 32 0
     ; ld8 = Array.make 8 0
     ; members1 = [| 0 |]
+    ; fc_tids = Array.make 32 0
+    ; fc_src = Array.make 32 0
+    ; fc_dst = Array.make 32 0
     ; vcaches
     ; tcaches
     ; gcaches

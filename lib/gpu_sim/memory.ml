@@ -136,6 +136,30 @@ let write_offs_n t ~tid v offs data ~len =
 let write_offs t ~tid v offs data =
   write_offs_n t ~tid v offs data ~len:(Array.length data)
 
+(* Contiguous-span forms for vector-widened full-span moves: the offset
+   enumeration is provably [base, base + len), so the plan executor skips
+   materializing it. Bounds checks, faults, write rounding and the
+   ascending element order match the [*_offs] forms exactly — a widened
+   move must fault on the same element with the same message, and store
+   the same rounded values, as its scalar lowering. *)
+
+let read_contig_into t ~tid v ~base ~len dst =
+  let buf = buffer t ~tid v in
+  for i = 0 to len - 1 do
+    let off = base + i in
+    checked buf v off;
+    Array.unsafe_set dst i (Array.unsafe_get buf off)
+  done
+
+let write_contig t ~tid v ~base data ~len =
+  let buf = buffer t ~tid v in
+  let dt = Ts.dtype v in
+  for i = 0 to len - 1 do
+    let off = base + i in
+    checked buf v off;
+    buf.(off) <- Dt.round dt (Array.unsafe_get data i)
+  done
+
 let read_k_offs t ~tid v offs k =
   let buf = buffer t ~tid v in
   if k >= Array.length offs then

@@ -128,3 +128,21 @@ val read_k_offs :
 
 val write_k_offs :
   t -> tid:int -> Gpu_tensor.Tensor.t -> int array -> int -> float -> unit
+
+(** {2 Contiguous-span forms}
+
+    For vector-widened full-span moves, whose offset enumeration is
+    provably [base, base + len): skip materializing the offsets. Bounds
+    checks, faults, write rounding and element order are identical to
+    the [*_offs] forms on the offsets [base; base+1; ...], so a widened
+    move faults, rounds and stores exactly as its scalar lowering. *)
+
+(** [read_contig_into t ~tid v ~base ~len dst] — gather
+    [base .. base+len-1] into [dst.(0 .. len-1)]. *)
+val read_contig_into :
+  t -> tid:int -> Gpu_tensor.Tensor.t -> base:int -> len:int -> float array -> unit
+
+(** [write_contig t ~tid v ~base data ~len] — scatter [data.(0 .. len-1)]
+    to [base .. base+len-1], rounding through the view's element type. *)
+val write_contig :
+  t -> tid:int -> Gpu_tensor.Tensor.t -> base:int -> float array -> len:int -> unit

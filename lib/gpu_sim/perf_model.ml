@@ -9,7 +9,8 @@ type estimate =
   ; dram_util : float
   }
 
-let of_totals ?(smem_penalty = 1.0) (m : Machine.t) (t : Static_analysis.totals) =
+let of_totals ?(smem_penalty = 1.0) ?(vec_width = 4.0) (m : Machine.t)
+    (t : Static_analysis.totals) =
   let blocks = max 1 t.Static_analysis.blocks in
   let tpb = max 1 t.Static_analysis.threads_per_block in
   (* Occupancy: concurrent blocks per SM limited by threads and shared
@@ -64,9 +65,16 @@ let of_totals ?(smem_penalty = 1.0) (m : Machine.t) (t : Static_analysis.totals)
       (t.Static_analysis.global_bytes /. m.Machine.l2_amplification)
   in
   let dram_bytes = Float.min dram_bytes t.Static_analysis.global_bytes in
+  (* Narrow global accesses issue more memory-pipe requests per byte and
+     leave achievable DRAM efficiency on the table: full 128-bit vectors
+     reach the calibrated [mem_efficiency] (the default — the calibrated
+     kernels all stage through v4-contiguous views), scalar traffic about
+     three quarters of it. [vec_width] is the lowered plan's
+     bytes-weighted mean global width ({!Lower.Plan.global_vec_width}). *)
+  let vec_eff = 0.7 +. (0.075 *. vec_width) in
   let dram_s =
     dram_bytes
-    /. (m.Machine.dram_bytes_per_sec *. m.Machine.mem_efficiency)
+    /. (m.Machine.dram_bytes_per_sec *. m.Machine.mem_efficiency *. vec_eff)
     /. Float.max dram_fill 1e-3
   in
   let exec_s = Float.max compute_s (Float.max dram_s smem_s) in
@@ -85,8 +93,8 @@ let of_totals ?(smem_penalty = 1.0) (m : Machine.t) (t : Static_analysis.totals)
   in
   { time_s; exec_s; launch_s; compute_s; dram_s; smem_s; tc_util; dram_util }
 
-let of_kernel ?smem_penalty m kernel ?scalars () =
-  of_totals ?smem_penalty m
+let of_kernel ?smem_penalty ?vec_width m kernel ?scalars () =
+  of_totals ?smem_penalty ?vec_width m
     (Static_analysis.of_kernel m.Machine.arch kernel ?scalars ())
 
 let sequence ests =

@@ -22,13 +22,24 @@ type estimate =
   }
 
 (** [smem_penalty] scales the shared-memory time, standing in for measured
-    bank-conflict degradation (obtained from the simulator's counters). *)
+    bank-conflict degradation (obtained from the simulator's counters).
+
+    [vec_width] is the lowered plan's bytes-weighted mean global vector
+    width ({!Lower.Plan.global_vec_width}); it scales achievable DRAM
+    efficiency as [0.7 + 0.075 * width] — full 128-bit vectors (the
+    default, [4.0]) reach the calibrated [mem_efficiency], purely scalar
+    traffic about three quarters of it. *)
 val of_totals :
-  ?smem_penalty:float -> Machine.t -> Static_analysis.totals -> estimate
+  ?smem_penalty:float ->
+  ?vec_width:float ->
+  Machine.t ->
+  Static_analysis.totals ->
+  estimate
 
 (** Analyze the kernel and estimate in one step. *)
 val of_kernel :
   ?smem_penalty:float ->
+  ?vec_width:float ->
   Machine.t ->
   Graphene.Spec.kernel ->
   ?scalars:(string * int) list ->

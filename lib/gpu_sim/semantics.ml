@@ -113,6 +113,27 @@ let exec_thread_move mem (s : Spec.t) offs tid =
   Memory.read_offs_into mem ~tid src s_offs data;
   Memory.write_offs_n mem ~tid dst (offs dst tid) data ~len:n
 
+(* The vector-widened fast path of a full-span contiguous move: each
+   active lane's enumeration is exactly [base, base + n) on both sides
+   (proved by the vectorize pass), so the whole per-thread batch moves as
+   one contiguous copy without materializing offsets. Lanes run in
+   ascending order and elements ascend within a lane — the same gather /
+   round / scatter order, bounds checks and fault messages as issuing
+   [exec_thread_move] per lane. *)
+let exec_warp_move_contig mem (s : Spec.t) ~tids ~src_bases ~dst_bases ~lanes
+    ~n =
+  let src, dst = single_io s in
+  let data = scratch s_move n in
+  for l = 0 to lanes - 1 do
+    let tid = Array.unsafe_get tids l in
+    Memory.read_contig_into mem ~tid src
+      ~base:(Array.unsafe_get src_bases l)
+      ~len:n data;
+    Memory.write_contig mem ~tid dst
+      ~base:(Array.unsafe_get dst_bases l)
+      data ~len:n
+  done
+
 let exec_thread_fma mem (s : Spec.t) offs tid =
   match (s.Spec.ins, s.Spec.outs) with
   | [ a; b ], [ c ] ->

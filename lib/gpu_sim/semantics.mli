@@ -31,6 +31,23 @@ val exec :
   members:int array ->
   unit
 
+(** [exec_warp_move_contig mem spec ~tids ~src_bases ~dst_bases ~lanes ~n]
+    — the vector-widened fast path of a full-span contiguous per-thread
+    move (see {!Lower.Vectorize}): for each of the first [lanes] active
+    lanes, copy the [n] elements [src_bases.(l) ..] to [dst_bases.(l) ..]
+    without materializing offset enumerations. Element order, bounds
+    checks, faults and destination rounding are identical to executing
+    the scalar move per lane. *)
+val exec_warp_move_contig :
+  Memory.t ->
+  Graphene.Spec.t ->
+  tids:int array ->
+  src_bases:int array ->
+  dst_bases:int array ->
+  lanes:int ->
+  n:int ->
+  unit
+
 (** {1 Fragment layouts (exposed for tests)} *)
 
 (** [mma_m16n8k16_a_coords lane] — the (row, col) of the 16x16 A operand

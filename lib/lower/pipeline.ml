@@ -11,9 +11,14 @@
      depcheck   slot-dependence footprint of every leaf quantity (view
                 offsets, member functions), classified launch / block /
                 loop / thread so the executor knows what to hoist
+     vectorize  unit-stride contiguity / alignment proof per view:
+                eligible per-thread moves widen to v2/v4 vector atomics,
+                near-misses carry the refusal reason; fully-static
+                shared views get the bank-conflict lint
      compile    expressions, predicates, view offsets and thread
                 arrangements compiled to closures over the slot array,
-                carrying the depcheck tiers as plan annotations
+                carrying the depcheck tiers and vector widths as plan
+                annotations
 
    Atomic matching (Validate.check_atomics) is deliberately NOT part of
    the validate pass: the resolve pass subsumes it, and running it would
@@ -229,6 +234,48 @@ let depcheck_pass =
            | None -> ()))
     (fun stmts -> List.map (depcheck_stmt []) stmts)
 
+(* ----- pass 5: vectorize ----- *)
+
+(* Annotate every leaf with its widening verdict and bank lint. The
+   recursion tracks whether the leaf sits under a thread-dependent branch
+   (the divergent-mask hazard the legality rules refuse); loop bodies and
+   frames are transparent. The pass runs even when widening is disabled —
+   the bank lint and the per-view diagnostics are wanted either way, and
+   a disabled lowering records [Refused Disabled] on every atomic. *)
+let rec vectorize_stmts ~enabled ~cta_size divergent stmts =
+  List.map (vectorize_stmt ~enabled ~cta_size divergent) stmts
+
+and vectorize_stmt ~enabled ~cta_size divergent = function
+  | F_leaf ((s : Spec.t), (instr : Atomic.instr), (d : Depcheck.leaf)) ->
+    F_leaf (s, instr, d, Vectorize.of_leaf ~enabled ~divergent ~cta_size s instr)
+  | F_loop r ->
+    F_loop
+      { r with body = vectorize_stmts ~enabled ~cta_size divergent r.body }
+  | F_branch (p, then_, else_) ->
+    let dv = divergent || pred_mentions_tid p in
+    F_branch
+      ( p
+      , vectorize_stmts ~enabled ~cta_size dv then_
+      , vectorize_stmts ~enabled ~cta_size dv else_ )
+  | F_barrier -> F_barrier
+  | F_frame (label, body) ->
+    F_frame (label, vectorize_stmts ~enabled ~cta_size divergent body)
+  | F_fail msg -> F_fail msg
+
+let vectorize_pass ~enabled ~cta_size =
+  Pass.make ~name:"vectorize"
+    ~doc:"unit-stride/alignment legality: widen moves to v2/v4, lint banks"
+    ~render:
+      (render_fstmts
+         (fun
+           fmt
+           ( (_ : Spec.t)
+           , (i : Atomic.instr)
+           , (_ : Depcheck.leaf)
+           , (v : Vectorize.leaf) )
+         -> Format.fprintf fmt "%s: %a" i.Atomic.name Vectorize.pp_leaf v))
+    (fun stmts -> vectorize_stmts ~enabled ~cta_size false stmts)
+
 (* ----- pass 5: compile ----- *)
 
 (* Coordinates of the j-th tile among an ldmatrix source's outer tiles,
@@ -281,14 +328,25 @@ let dep_slots st scope (d : Depcheck.dep) =
          | None -> Slots.scalar_slot st v)
        d.Depcheck.d_vars)
 
+let rec map3 f a b c =
+  match (a, b, c) with
+  | [], [], [] -> []
+  | x :: a, y :: b, z :: c -> f x y z :: map3 f a b c
+  | _ -> invalid_arg "Pipeline.map3"
+
 let compile_atomic st ids scope (s : Spec.t) (instr : Atomic.instr)
-    (dleaf : Depcheck.leaf) : Plan.atomic =
+    (dleaf : Depcheck.leaf) (vleaf : Vectorize.leaf) : Plan.atomic =
   let cost = instr.Atomic.cost s in
   let is_tc =
     String.length instr.Atomic.name >= 3
     && String.equal (String.sub instr.Atomic.name 0 3) "mma"
   in
-  let view (v : Ts.t) (d : Depcheck.dep) =
+  let width =
+    match vleaf.Vectorize.l_verdict with
+    | Vectorize.Widened w -> w
+    | Vectorize.Refused _ -> 1
+  in
+  let view (v : Ts.t) (d : Depcheck.dep) (vd : Vectorize.verdict) =
     let elt = Dt.size_bytes (Ts.dtype v) in
     let n = try Ts.num_scalars_int v with Invalid_argument _ -> 1 in
     let id = ids.next_view in
@@ -302,6 +360,8 @@ let compile_atomic st ids scope (s : Spec.t) (instr : Atomic.instr)
     ; v_addr0 = Expr_comp.compile_addr0 st scope v
     ; v_dep = d
     ; v_dep_slots = dep_slots st scope d
+    ; v_vec = vd
+    ; v_vec_width = width
     }
   in
   let per_thread = instr.Atomic.threads = 1 in
@@ -343,22 +403,26 @@ let compile_atomic st ids scope (s : Spec.t) (instr : Atomic.instr)
   ; a_label = s.Spec.label
   ; a_kind = Spec.kind_name s.Spec.kind
   ; a_per_thread = per_thread
-  ; a_ins = List.map2 view s.Spec.ins dleaf.Depcheck.ins
-  ; a_outs = List.map2 view s.Spec.outs dleaf.Depcheck.outs
+  ; a_ins = map3 view s.Spec.ins dleaf.Depcheck.ins vleaf.Vectorize.l_ins
+  ; a_outs = map3 view s.Spec.outs dleaf.Depcheck.outs vleaf.Vectorize.l_outs
   ; a_members
   ; a_members_dep
   ; a_members_slots
   ; a_ldmatrix
   ; a_ld_rows
   ; a_lookup
+  ; a_vec = vleaf.Vectorize.l_verdict
+  ; a_vec_width = width
+  ; a_fastcopy = vleaf.Vectorize.l_fastcopy && width > 1
+  ; a_banks = vleaf.Vectorize.l_banks
   }
 
 let rec compile_ops st ids scope stmts =
   List.map (compile_op st ids scope) stmts
 
 and compile_op st ids scope = function
-  | F_leaf (s, instr, dleaf) ->
-    Plan.Atomic_exec (compile_atomic st ids scope s instr dleaf)
+  | F_leaf (s, instr, dleaf, vleaf) ->
+    Plan.Atomic_exec (compile_atomic st ids scope s instr dleaf vleaf)
   | F_loop { var; lo; hi; step; body } ->
     let l_lo = Expr_comp.compile st scope lo
     and l_hi = Expr_comp.compile st scope hi
@@ -391,7 +455,7 @@ let shared_alloc_size (t : Ts.t) =
   let w = Shape.Swizzle.window t.Ts.swizzle in
   (cosize + w - 1) / w * w
 
-let compile_pass arch diagnostics =
+let compile_pass ~vec_enabled arch diagnostics =
   Pass.make ~name:"compile"
     ~doc:"expressions, predicates and view offsets to closures"
     ~render:Plan.to_string
@@ -439,11 +503,20 @@ let compile_pass arch diagnostics =
       ; n_atomics = ids.next_atomic
       ; warp_tids
       ; diagnostics
+      ; vec_enabled
       })
 
 (* ----- driver ----- *)
 
-let lower ?log arch (k : Spec.kernel) : Plan.t =
+(* Widening defaults on; GRAPHENE_NO_VECTORIZE=1 (any value) forces every
+   lowering scalar, and the [?vectorize] parameter overrides both — the
+   bit-identity tests lower the same kernel both ways in one process. *)
+let vectorize_default () = Option.is_none (Sys.getenv_opt "GRAPHENE_NO_VECTORIZE")
+
+let lower ?log ?vectorize arch (k : Spec.kernel) : Plan.t =
+  let vec_enabled =
+    match vectorize with Some b -> b | None -> vectorize_default ()
+  in
   (match log with
   | Some f ->
     f ~pass:"input" ~doc:"source kernel" (Spec.kernel_to_string k)
@@ -452,11 +525,18 @@ let lower ?log arch (k : Spec.kernel) : Plan.t =
   let flat = Pass.apply ?log flatten_pass k in
   let resolved = Pass.apply ?log (resolve_pass arch) flat in
   let annotated = Pass.apply ?log depcheck_pass resolved in
-  Pass.apply ?log (compile_pass arch diagnostics) (k, annotated)
+  let cta_size = Tt.size k.Spec.cta in
+  let vectorized =
+    Pass.apply ?log
+      (vectorize_pass ~enabled:vec_enabled ~cta_size)
+      annotated
+  in
+  Pass.apply ?log (compile_pass ~vec_enabled arch diagnostics) (k, vectorized)
 
 (* ----- the plan cache -----
 
-   Keyed by the (arch, kernel) pair under full structural equality.
+   Keyed by the (arch, vectorize-enabled, kernel) triple under full
+   structural equality.
    [Spec.kernel] is pure data (no closures), so [Stdlib.(=)] is a sound
    key comparison and the generic [Hashtbl.hash] a consistent hash; and
    because scalar parameters appear in the kernel only by NAME (their
@@ -473,7 +553,8 @@ type cache_stats =
   ; misses : int
   }
 
-let cache : (Arch.t * Spec.kernel, Plan.t) Hashtbl.t = Hashtbl.create 32
+let cache : (Arch.t * bool * Spec.kernel, Plan.t) Hashtbl.t =
+  Hashtbl.create 32
 let cache_mutex = Mutex.create ()
 let cache_hits = ref 0
 let cache_misses = ref 0
@@ -491,14 +572,17 @@ let cache_clear () =
   cache_misses := 0;
   Mutex.unlock cache_mutex
 
-let lower_cached ?log arch (k : Spec.kernel) : Plan.t * bool =
+let lower_cached ?log ?vectorize arch (k : Spec.kernel) : Plan.t * bool =
   match log with
   | Some _ ->
     (* A logging caller wants the per-pass renders, so the pipeline must
        actually run; don't pollute the cache statistics either way. *)
-    (lower ?log arch k, false)
+    (lower ?log ?vectorize arch k, false)
   | None -> (
-    let key = (arch, k) in
+    let vec_enabled =
+      match vectorize with Some b -> b | None -> vectorize_default ()
+    in
+    let key = (arch, vec_enabled, k) in
     Mutex.lock cache_mutex;
     match Hashtbl.find_opt cache key with
     | Some plan ->
@@ -508,7 +592,7 @@ let lower_cached ?log arch (k : Spec.kernel) : Plan.t * bool =
     | None ->
       incr cache_misses;
       Mutex.unlock cache_mutex;
-      let plan = lower arch k in
+      let plan = lower ~vectorize:vec_enabled arch k in
       Mutex.lock cache_mutex;
       let plan =
         match Hashtbl.find_opt cache key with

@@ -1,12 +1,15 @@
-(** The lowering pipeline: [Spec.kernel] -> {!Plan.t} in five named
-    passes (validate, flatten, resolve, depcheck, compile). See
-    docs/LOWERING.md.
+(** The lowering pipeline: [Spec.kernel] -> {!Plan.t} in six named
+    passes (validate, flatten, resolve, depcheck, vectorize, compile).
+    See docs/LOWERING.md.
 
     The depcheck pass classifies every leaf quantity (view offset
     enumerations, collective member functions) by slot-dependence tier
-    (launch / block / loop / thread — see {!Depcheck}); the compile pass
-    carries the tiers onto the plan so the executor can hoist and cache
-    everything that does not depend on [threadIdx.x].
+    (launch / block / loop / thread — see {!Depcheck}); the vectorize
+    pass proves per-thread unit-stride contiguity and alignment from the
+    static stride/offset structure, widening eligible moves to width-2/4
+    vector atomics (see {!Vectorize}); the compile pass carries the
+    tiers, vector widths and bank-conflict lints onto the plan so the
+    executor can hoist, cache and batch accordingly.
 
     The pipeline promises to call [Atomic.find] exactly once per leaf
     spec: resolution happens at lowering, never during execution. An
@@ -14,10 +17,19 @@
     {!Plan.Fail} op, so the error fires only if control flow reaches
     it — the same lazy error semantics as the tree interpreter. *)
 
-(** [lower ?log arch kernel] runs the full pipeline. When [log] is
-    given it receives the rendered IR after every pass (plus the
-    ["input"] kernel listing), in order. *)
-val lower : ?log:Pass.log -> Graphene.Arch.t -> Graphene.Spec.kernel -> Plan.t
+(** [lower ?log ?vectorize arch kernel] runs the full pipeline. When
+    [log] is given it receives the rendered IR after every pass (plus
+    the ["input"] kernel listing), in order. [vectorize] controls the
+    widening pass; it defaults to on unless the [GRAPHENE_NO_VECTORIZE]
+    environment variable is set. A disabled lowering still runs the
+    pass for its diagnostics and bank lint, but every atomic stays
+    scalar. *)
+val lower :
+  ?log:Pass.log ->
+  ?vectorize:bool ->
+  Graphene.Arch.t ->
+  Graphene.Spec.kernel ->
+  Plan.t
 
 (** The unmatched-leaf diagnostic: the tree interpreter's message plus
     up to six same-family registry candidates (exposed for tests). *)
@@ -25,18 +37,24 @@ val unmatched_message : Graphene.Arch.t -> Graphene.Spec.t -> string
 
 (** {1 Plan cache}
 
-    Lowering is pure in [(arch, kernel)], and a kernel mentions its
-    scalar parameters only by name (values bind per launch), so plans
-    memoize under structural kernel equality — i.e. modulo scalar
-    parameter values. The cache is process-wide and thread-safe (the
-    autotuner lowers candidates from several domains concurrently). *)
+    Lowering is pure in [(arch, vectorize, kernel)], and a kernel
+    mentions its scalar parameters only by name (values bind per
+    launch), so plans memoize under structural kernel equality — i.e.
+    modulo scalar parameter values. The cache is process-wide and
+    thread-safe (the autotuner lowers candidates from several domains
+    concurrently). *)
 
 (** [lower_cached arch kernel] returns the memoized plan and whether it
     was a cache hit. Passing [?log] bypasses the cache entirely (the
     caller wants the per-pass renders) and does not touch the
-    statistics. *)
+    statistics. [vectorize] defaults as in {!lower} and is part of the
+    cache key. *)
 val lower_cached :
-  ?log:Pass.log -> Graphene.Arch.t -> Graphene.Spec.kernel -> Plan.t * bool
+  ?log:Pass.log ->
+  ?vectorize:bool ->
+  Graphene.Arch.t ->
+  Graphene.Spec.kernel ->
+  Plan.t * bool
 
 type cache_stats =
   { hits : int

@@ -29,6 +29,11 @@ type view =
   ; v_dep : Depcheck.dep  (** slot-dependence tier of [v_offsets] *)
   ; v_dep_slots : int array
         (** slots of [v_dep.d_vars]: the executor's cache-snapshot key *)
+  ; v_vec : Vectorize.verdict
+        (** this view's own widening capability (diagnostics) *)
+  ; v_vec_width : int
+        (** executed vector width: the enclosing atomic's width (1 =
+            scalar) — what transaction accounting must charge *)
   }
 
 type atomic =
@@ -55,6 +60,15 @@ type atomic =
             [None] falls back to the symbolic derivation *)
   ; a_lookup : string -> int option
         (** name -> slot, for symbolic fallbacks (derived views, shfl.idx) *)
+  ; a_vec : Vectorize.verdict
+        (** the vectorize pass's decision: width, or why it refused *)
+  ; a_vec_width : int  (** executed vector width (1 = scalar) *)
+  ; a_fastcopy : bool
+        (** widened and full-span contiguous on both sides: the executor
+            may move each thread's batch as one contiguous copy *)
+  ; a_banks : (string * int) list
+        (** statically conflicted shared views: (view name, extra
+            conflict cycles per CTA-wide batch) *)
   }
 
 type op =
@@ -94,6 +108,7 @@ type t =
         (** precompiled warp schedule: thread ids of each warp of the CTA,
             ascending — built once per plan, never per atomic *)
   ; diagnostics : string list  (** advisory validation findings *)
+  ; vec_enabled : bool  (** whether the vectorize pass was allowed to widen *)
   }
 
 (* ----- statistics ----- *)
@@ -154,12 +169,63 @@ let tier_counts ops =
     ops;
   (!launch, !block, !loop, !thread)
 
+let is_move (a : atomic) =
+  match a.a_spec.Spec.kind with Spec.Move -> true | _ -> false
+
+(* Widening statistics: (widened, per-thread move) atomic counts. *)
+let vec_counts ops =
+  let widened = ref 0 and moves = ref 0 in
+  iter_atomics
+    (fun a ->
+      if a.a_per_thread && is_move a then begin
+        incr moves;
+        if a.a_vec_width > 1 then incr widened
+      end)
+    ops;
+  (!widened, !moves)
+
+(* Statically flagged bank-conflict warnings: (atomics flagged, total
+   extra cycles per CTA-wide batch). *)
+let bank_warning_counts ops =
+  let atomics = ref 0 and cycles = ref 0 in
+  iter_atomics
+    (fun a ->
+      if a.a_banks <> [] then begin
+        incr atomics;
+        List.iter (fun (_, c) -> cycles := !cycles + c) a.a_banks
+      end)
+    ops;
+  (!atomics, !cycles)
+
+(* Bytes-weighted mean vector width over the global-memory views of
+   per-thread moves — the static stand-in for "achieved global access
+   width" the perf model consumes. [None] when the plan has no global
+   move traffic. The weighting is structural (per atomic, not per
+   execution), which matches how the roofline consumes it: a coarse
+   plan-level width, not a trace. *)
+let global_vec_width ops =
+  let bytes = ref 0 and weighted = ref 0 in
+  iter_atomics
+    (fun a ->
+      if a.a_per_thread && is_move a then
+        List.iter
+          (fun v ->
+            if Ms.equal v.v_mem Ms.Global then begin
+              bytes := !bytes + v.v_batch_bytes;
+              weighted := !weighted + (v.v_batch_bytes * v.v_vec_width)
+            end)
+          (a.a_ins @ a.a_outs))
+    ops;
+  if !bytes = 0 then None
+  else Some (float_of_int !weighted /. float_of_int !bytes)
+
 (* ----- pretty-printing ----- *)
 
 let pp_view fmt (v : view) =
-  Format.fprintf fmt "%%%s[%s,%dB/thread,%s]" v.v_ts.Ts.name
+  Format.fprintf fmt "%%%s[%s,%dB/thread,%s%s]" v.v_ts.Ts.name
     (Ms.to_ir_string v.v_mem) v.v_batch_bytes
     (Depcheck.tier_name v.v_dep.Depcheck.d_tier)
+    (if v.v_vec_width > 1 then Printf.sprintf ",v%d" v.v_vec_width else "")
 
 let pp_atomic fmt (a : atomic) =
   Format.fprintf fmt "exec %s  // %s, %s, (%a) -> (%a)"
@@ -178,6 +244,19 @@ let pp_atomic fmt (a : atomic) =
   | Some d ->
     Format.fprintf fmt "  // members: %s" (Depcheck.tier_name d.Depcheck.d_tier)
   | None -> ());
+  (match a.a_vec with
+  | Vectorize.Widened w ->
+    Format.fprintf fmt "  // vec v%d%s" w
+      (if a.a_fastcopy then " contiguous" else "")
+  | Vectorize.Refused r ->
+    (* Refusal verdicts only where widening was conceivable — per-thread
+       moves — so collectives and arithmetic stay uncluttered. *)
+    if a.a_per_thread && is_move a then
+      Format.fprintf fmt "  // vec scalar: %s" (Vectorize.reason_name r));
+  List.iter
+    (fun (name, c) ->
+      Format.fprintf fmt "  // BANK-CONFLICT %%%s: +%d cycles/batch" name c)
+    a.a_banks;
   if String.length a.a_label > 0 then Format.fprintf fmt "  // %s" a.a_label
 
 let rec pp_op fmt = function
@@ -213,6 +292,18 @@ let pp fmt t =
    Format.fprintf fmt
      "// view dependence tiers: %d launch, %d block, %d loop, %d thread@," l b
      lp th);
+  (let widened, moves = vec_counts t.body in
+   let flagged, cycles = bank_warning_counts t.body in
+   Format.fprintf fmt "// vectorize%s: %d of %d per-thread move(s) widened"
+     (if t.vec_enabled then "" else " (disabled)")
+     widened moves;
+   (match global_vec_width t.body with
+   | Some w -> Format.fprintf fmt ", mean global width %.2f" w
+   | None -> ());
+   if flagged > 0 then
+     Format.fprintf fmt "; %d atomic(s) bank-conflict flagged (+%d cycles)"
+       flagged cycles;
+   Format.fprintf fmt "@,");
   if t.scalar_slots <> [] then
     Format.fprintf fmt "// scalar slots: %s@,"
       (String.concat ", "

@@ -25,6 +25,11 @@ type view =
   ; v_dep_slots : int array
         (** slots of [v_dep.d_vars]; the executor snapshots these and
             reuses cached offsets while the values are unchanged *)
+  ; v_vec : Vectorize.verdict
+        (** this view's own widening capability (diagnostics) *)
+  ; v_vec_width : int
+        (** executed vector width: the enclosing atomic's width (1 =
+            scalar) — what transaction accounting must charge *)
   }
 
 type atomic =
@@ -48,6 +53,15 @@ type atomic =
   ; a_ld_rows : (Expr_comp.cexpr array array * int) option
         (** compiled first-row byte addresses per matrix + element size *)
   ; a_lookup : string -> int option
+  ; a_vec : Vectorize.verdict
+        (** the vectorize pass's decision: width, or why it refused *)
+  ; a_vec_width : int  (** executed vector width (1 = scalar) *)
+  ; a_fastcopy : bool
+        (** widened and full-span contiguous on both sides: the executor
+            may move each thread's batch as one contiguous copy *)
+  ; a_banks : (string * int) list
+        (** statically conflicted shared views: (view name, extra
+            conflict cycles per CTA-wide batch) *)
   }
 
 type op =
@@ -89,6 +103,7 @@ type t =
         (** precompiled warp schedule: thread ids of each warp of the
             CTA, ascending; built once per plan *)
   ; diagnostics : string list
+  ; vec_enabled : bool  (** whether the vectorize pass was allowed to widen *)
   }
 
 (** Total op count / atomic-exec count, for summaries. *)
@@ -101,6 +116,18 @@ val iter_atomics : (atomic -> unit) -> op list -> unit
 
 (** View counts per dependence tier: [(launch, block, loop, thread)]. *)
 val tier_counts : op list -> int * int * int * int
+
+(** [(widened, per-thread moves)] atomic counts. *)
+val vec_counts : op list -> int * int
+
+(** [(atomics flagged, total extra cycles per CTA-wide batch)] of the
+    static bank-conflict lint. *)
+val bank_warning_counts : op list -> int * int
+
+(** Bytes-weighted mean vector width over the global views of per-thread
+    moves (structural, per atomic); [None] without global move traffic.
+    Feeds {!Gpu_sim.Perf_model}'s [vec_width]. *)
+val global_vec_width : op list -> float option
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

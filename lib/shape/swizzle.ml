@@ -32,3 +32,5 @@ let pp fmt t =
 let to_string t = Format.asprintf "%a" pp t
 
 let window t = if t.bits = 0 then 1 else 1 lsl (t.base + t.shift + t.bits)
+
+let low_window t = if t.bits = 0 then max_int else 1 lsl t.base

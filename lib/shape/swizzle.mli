@@ -40,3 +40,10 @@ val to_string : t -> string
     identity); allocations touched by the swizzle should be padded to a
     multiple of this. *)
 val window : t -> int
+
+(** Size of the aligned low-index window the swizzle maps identically up
+    to a constant XOR of higher bits ([2^base]; [max_int] for the
+    identity): an aligned run of up to this many consecutive indices stays
+    consecutive — and keeps its alignment — after swizzling. This is the
+    window vectorized accesses must fit inside to stay contiguous. *)
+val low_window : t -> int

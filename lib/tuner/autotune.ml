@@ -10,6 +10,7 @@ type result =
   ; profile : Profiler.report option
   ; lower_s : float
   ; lower_cache_hit : bool
+  ; vec_width : float
   }
 
 let candidates arch ~m ~n ~k =
@@ -115,7 +116,18 @@ let tune ?(profile_top = 0) ?domains machine ~epilogue ~m ~n ~k () =
     let t0 = Unix.gettimeofday () in
     match Gemm.tensor_core arch config ~epilogue ~m ~n ~k () with
     | kernel ->
-      let estimate = PM.of_kernel machine kernel () in
+      (* Lower through the plan cache so the vectorize pass's legality
+         verdicts feed the score: a candidate whose global staging fails
+         to widen pays the scalar DRAM-efficiency penalty in the model
+         instead of ranking on tile shape alone. *)
+      let vec_width =
+        match Lower.Pipeline.lower_cached arch kernel with
+        | plan, _ ->
+          Option.value ~default:4.0
+            (Lower.Plan.global_vec_width plan.Lower.Plan.body)
+        | exception _ -> 1.0
+      in
+      let estimate = PM.of_kernel ~vec_width machine kernel () in
       Some
         { config
         ; estimate
@@ -123,6 +135,7 @@ let tune ?(profile_top = 0) ?domains machine ~epilogue ~m ~n ~k () =
         ; profile = None
         ; lower_s = 0.0
         ; lower_cache_hit = false
+        ; vec_width
         }
     | exception Invalid_argument _ -> None
   in
@@ -186,9 +199,9 @@ let best machine ~epilogue ~m ~n ~k () =
   | [] -> failwith "Autotune.best: no valid configuration"
 
 let pp_result fmt r =
-  Format.fprintf fmt "%3dx%3dx%2d tiles, warp %2dx%2d -> %a" r.config.Gemm.bm
-    r.config.Gemm.bn r.config.Gemm.bk r.config.Gemm.wm r.config.Gemm.wn PM.pp
-    r.estimate;
+  Format.fprintf fmt "%3dx%3dx%2d tiles, warp %2dx%2d, vec %.1f -> %a"
+    r.config.Gemm.bm r.config.Gemm.bn r.config.Gemm.bk r.config.Gemm.wm
+    r.config.Gemm.wn r.vec_width PM.pp r.estimate;
   match r.profile with
   | None -> ()
   | Some rep ->

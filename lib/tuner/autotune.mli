@@ -24,6 +24,12 @@ type result =
   ; lower_cache_hit : bool
         (** whether that lowering was served by
             {!Lower.Pipeline.lower_cached} *)
+  ; vec_width : float
+        (** bytes-weighted mean global vector width of the candidate's
+            lowered plan ({!Lower.Plan.global_vec_width}) — the vectorize
+            pass's legality verdict, fed into the performance model's
+            DRAM-efficiency term ([1.0] = fully scalar, [4.0] = full
+            128-bit vectors) *)
   }
 
 (** All tile configurations valid for the given problem (divisibility,

@@ -1,6 +1,6 @@
 # Convenience wrappers around dune. `make ci` is what CI runs.
 
-.PHONY: build test profile-smoke parallel-smoke vector-smoke perf-smoke bench golden ci clean
+.PHONY: build test profile-smoke parallel-smoke vector-smoke perf-smoke serve-smoke bench golden ci clean
 
 build:
 	dune build
@@ -27,6 +27,11 @@ vector-smoke:
 # nonzero on any counter/output mismatch).
 perf-smoke:
 	dune build @bench/perf-smoke
+
+# Continuous-batching serving smoke: a small seeded traffic trace served
+# twice must produce identical deterministic metrics (see docs/SERVING.md).
+serve-smoke:
+	dune build @bench/serve-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -379,8 +379,53 @@ let emit_sim_bench ?(quick = false) () =
     Format.printf "wrote BENCH_sim.json (%d rows)@.@." (List.length rows)
   end
 
+(* ----- continuous-batching serving benchmark -----
+
+   Seeded Poisson traffic through the Serve engine (docs/SERVING.md).
+   Every simulated metric is deterministic per seed; [quick] runs a small
+   trace twice and fails on any difference in the deterministic JSON
+   (the `serve-smoke` alias), the full mode writes BENCH_serve.json. *)
+let emit_serve_bench ?(quick = false) () =
+  Format.printf "== Serving: continuous batching on the plan cache%s ==@."
+    (if quick then " (quick smoke)" else "");
+  let params =
+    if quick then { Serve.Traffic.default with Serve.Traffic.requests = 24 }
+    else Serve.Traffic.default
+  in
+  let run () =
+    Serve.Engine.run ~seed:params.Serve.Traffic.seed
+      ~rate_rps:params.Serve.Traffic.rate_rps
+      (Serve.Traffic.generate params)
+  in
+  let result = run () in
+  Format.printf "%a" Serve.Metrics.pp_summary result.Serve.Engine.summary;
+  if quick then begin
+    (* Same seed, fresh engine: every simulated metric — including the
+       digest over all output buffers and counters — must reproduce. *)
+    let again = run () in
+    let det r =
+      Serve.Metrics.to_json ~wall:false r.Serve.Engine.summary
+    in
+    if String.equal (det result) (det again) then
+      Format.printf "serve smoke OK (deterministic across runs)@.@."
+    else begin
+      Format.printf "serve smoke FAILED: same seed, different metrics@.";
+      exit 1
+    end
+  end
+  else begin
+    let oc = open_out "BENCH_serve.json" in
+    output_string oc (Serve.Metrics.to_json result.Serve.Engine.summary);
+    close_out oc;
+    Format.printf "wrote BENCH_serve.json (%d requests, %d buckets)@.@."
+      result.Serve.Engine.summary.Serve.Metrics.requests
+      (List.length result.Serve.Engine.summary.Serve.Metrics.buckets)
+  end
+
 let () =
-  if Array.mem "--sim-only" Sys.argv then
+  if Array.mem "--serve-only" Sys.argv then
+    emit_serve_bench ~quick:(Array.mem "--quick" Sys.argv) ()
+  else if Array.mem "--sim-only" Sys.argv then
     emit_sim_bench ~quick:(Array.mem "--quick" Sys.argv) ()
   else begin
     Format.printf
@@ -399,7 +444,10 @@ let () =
      with exn ->
        Format.printf "BENCH_profile.json skipped: %s@."
          (Printexc.to_string exn));
-    try emit_sim_bench ()
+    (try emit_sim_bench ()
+     with exn ->
+       Format.printf "BENCH_sim.json skipped: %s@." (Printexc.to_string exn));
+    try emit_serve_bench ()
     with exn ->
-      Format.printf "BENCH_sim.json skipped: %s@." (Printexc.to_string exn)
+      Format.printf "BENCH_serve.json skipped: %s@." (Printexc.to_string exn)
   end

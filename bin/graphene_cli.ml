@@ -455,6 +455,98 @@ let tune_cmd =
          "Rank GEMM tile configurations for a problem size using the           performance model over each candidate's IR.")
     Term.(const run $ arch_arg $ kernel_pos $ mnk $ profile_top $ domains_arg)
 
+let serve_cmd =
+  let seed =
+    Arg.(
+      value & opt int Serve.Traffic.default.Serve.Traffic.seed
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Traffic seed. The same seed reproduces the identical request \
+             stream and identical simulated metrics (only wall-clock fields \
+             vary between runs).")
+  in
+  let requests =
+    Arg.(
+      value & opt int Serve.Traffic.default.Serve.Traffic.requests
+      & info [ "n"; "requests" ] ~docv:"N" ~doc:"Number of requests to serve.")
+  in
+  let rate =
+    Arg.(
+      value & opt float Serve.Traffic.default.Serve.Traffic.rate_rps
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:"Poisson arrival rate in requests per simulated second.")
+  in
+  let tick =
+    Arg.(
+      value & opt (some float) None
+      & info [ "tick" ] ~docv:"S"
+          ~doc:"Scheduling-tick length in simulated seconds.")
+  in
+  let cell_cap =
+    Arg.(
+      value & opt (some int) None
+      & info [ "cell-cap" ] ~docv:"N"
+          ~doc:"Admission budget per tick, in simulated cells.")
+  in
+  let batch_cap =
+    Arg.(
+      value & opt (some int) None
+      & info [ "batch-cap" ] ~docv:"N" ~doc:"Maximum requests per batch.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Small preset (32 requests) finishing in a couple of seconds.")
+  in
+  let out =
+    Arg.(
+      value & opt string "BENCH_serve.json"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Where to write the graphene.serve_bench.v1 JSON report.")
+  in
+  let run seed requests rate tick cell_cap batch_cap quick out domains =
+    let params =
+      { Serve.Traffic.default with
+        Serve.Traffic.seed
+      ; requests = (if quick then min requests 32 else requests)
+      ; rate_rps = rate
+      }
+    in
+    let dflt = Serve.Engine.default_config () in
+    let config =
+      { dflt with
+        Serve.Engine.tick_s = Option.value tick ~default:dflt.Serve.Engine.tick_s
+      ; max_tick_cells =
+          Option.value cell_cap ~default:dflt.Serve.Engine.max_tick_cells
+      ; max_batch_requests =
+          Option.value batch_cap
+            ~default:dflt.Serve.Engine.max_batch_requests
+      ; shards = Option.value domains ~default:dflt.Serve.Engine.shards
+      }
+    in
+    let result =
+      Serve.Engine.run ~config ~seed ~rate_rps:rate
+        (Serve.Traffic.generate params)
+    in
+    Format.printf "%a" Serve.Metrics.pp_summary result.Serve.Engine.summary;
+    write_file out (Serve.Metrics.to_json result.Serve.Engine.summary);
+    Format.printf "wrote %s (schema graphene.serve_bench.v1)@." out
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the continuous-batching inference engine on seeded synthetic \
+          traffic (Poisson arrivals, BERT/GPT-2 proxy shapes): admission \
+          batches shape-compatible requests each scheduling tick, one \
+          cached lowering serves every batch of a bucket, and the admitted \
+          grids fan out across the domain pool. Prints the latency/\
+          throughput/occupancy summary and writes BENCH_serve.json. See \
+          docs/SERVING.md.")
+    Term.(
+      const run $ seed $ requests $ rate $ tick $ cell_cap $ batch_cap
+      $ quick $ out $ domains_arg)
+
 let tables_cmd =
   let run () = Experiments.Figures.print_all Format.std_formatter in
   Cmd.v
@@ -478,5 +570,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
        [ ir_cmd; codegen_cmd; lower_cmd; simulate_cmd; profile_cmd
-       ; tables_cmd; table2_cmd; tune_cmd
+       ; serve_cmd; tables_cmd; table2_cmd; tune_cmd
        ]))

@@ -1,0 +1,59 @@
+type batch =
+  { bucket : string
+  ; requests : Request.t list
+  ; cells : int
+  }
+
+let admit ~max_tick_cells ~max_batch_requests queue =
+  (* Take the FIFO prefix that fits the tick's cell budget (always at
+     least one request, so an oversized request cannot starve). *)
+  let rec take used acc = function
+    | [] -> (List.rev acc, [])
+    | r :: rest ->
+      let c = Request.cells r in
+      if used + c <= max_tick_cells || acc = [] then
+        take (used + c) (r :: acc) rest
+      else (List.rev acc, r :: rest)
+  in
+  let admitted, leftover = take 0 [] queue in
+  (* Group by bucket, keeping both the order of first appearance and the
+     FIFO order within each bucket. *)
+  let order = ref [] in
+  let by_bucket = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let key = Request.bucket r in
+      if not (Hashtbl.mem by_bucket key) then begin
+        Hashtbl.add by_bucket key (ref []);
+        order := key :: !order
+      end;
+      let cell = Hashtbl.find by_bucket key in
+      cell := r :: !cell)
+    admitted;
+  let batches =
+    List.concat_map
+      (fun key ->
+        let requests = List.rev !(Hashtbl.find by_bucket key) in
+        (* Split into batches of at most [max_batch_requests]. *)
+        let rec split = function
+          | [] -> []
+          | rs ->
+            let rec cut n acc = function
+              | r :: rest when n < max_batch_requests ->
+                cut (n + 1) (r :: acc) rest
+              | rest -> (List.rev acc, rest)
+            in
+            let chunk, rest = cut 0 [] rs in
+            chunk :: split rest
+        in
+        List.map
+          (fun requests ->
+            { bucket = key
+            ; requests
+            ; cells =
+                List.fold_left (fun s r -> s + Request.cells r) 0 requests
+            })
+          (split requests))
+      (List.rev !order)
+  in
+  (batches, leftover)

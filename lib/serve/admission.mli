@@ -1,0 +1,30 @@
+(** Admission policy of the serving engine: which queued requests run in
+    the current scheduling tick, grouped into shape-bucketed batches.
+
+    Pure: given the same queue and caps it always produces the same
+    batches — the engine's determinism (and the unit tests) rely on it.
+
+    Policy, in order:
+    - Requests are considered strictly FIFO. Admission stops at the
+      first request whose cells no longer fit the tick's cell budget
+      ([max_tick_cells]) — head-of-line blocking keeps arrival order
+      fair across buckets. A request larger than the whole budget is
+      still admitted when it is first in line (no starvation).
+    - Admitted requests group by {!Request.bucket} (one lowered plan per
+      bucket), preserving arrival order within the bucket, and split
+      into batches of at most [max_batch_requests]. *)
+
+type batch =
+  { bucket : string
+  ; requests : Request.t list  (** arrival (FIFO) order *)
+  ; cells : int  (** total work of the batch *)
+  }
+
+(** [admit ~max_tick_cells ~max_batch_requests queue] — the admitted
+    batches (in order of each bucket's first admitted request) and the
+    requests left queued, still in FIFO order. *)
+val admit :
+  max_tick_cells:int ->
+  max_batch_requests:int ->
+  Request.t list ->
+  batch list * Request.t list

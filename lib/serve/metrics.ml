@@ -1,0 +1,165 @@
+type dist =
+  { p50 : float
+  ; p95 : float
+  ; p99 : float
+  ; mean : float
+  ; max : float
+  }
+
+(* Nearest-rank percentile on the sorted sample: p(q) is element
+   ceil(q/100 * n) (1-based). Deterministic for a given sample. *)
+let dist_of xs =
+  match xs with
+  | [] -> { p50 = 0.0; p95 = 0.0; p99 = 0.0; mean = 0.0; max = 0.0 }
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let pct q =
+      let rank = int_of_float (ceil (q /. 100.0 *. float_of_int n)) in
+      a.(max 0 (min (n - 1) (rank - 1)))
+    in
+    { p50 = pct 50.0
+    ; p95 = pct 95.0
+    ; p99 = pct 99.0
+    ; mean = Array.fold_left ( +. ) 0.0 a /. float_of_int n
+    ; max = a.(n - 1)
+    }
+
+type bucket_stats =
+  { key : string
+  ; requests : int
+  ; cells : int
+  ; batches : int
+  ; mean_batch_requests : float
+  ; occupancy : float
+  ; lowers : int
+  ; hits : int
+  }
+
+type summary =
+  { seed : int option
+  ; rate_rps : float option
+  ; requests : int
+  ; tick_s : float
+  ; max_tick_cells : int
+  ; max_batch_requests : int
+  ; shards : int
+  ; ticks : int
+  ; batches : int
+  ; cells : int
+  ; makespan_s : float
+  ; busy_s : float
+  ; sim_requests_per_sec : float
+  ; sim_cells_per_sec : float
+  ; latency : dist
+  ; queue : dist
+  ; service : dist
+  ; plan_lowers : int
+  ; plan_hits : int
+  ; buckets : bucket_stats list
+  ; output_digest : string
+  ; wall_s : float
+  ; wall_requests_per_sec : float
+  ; wall_lower_s : float
+  ; wall_exec_s : float
+  ; wall_exec_latency : dist
+  }
+
+let hit_rate s =
+  let total = s.plan_hits + s.plan_lowers in
+  if total = 0 then 0.0 else float_of_int s.plan_hits /. float_of_int total
+
+let js = Gpu_sim.Trace.json_string
+let f6 = Printf.sprintf "%.6g"
+
+let dist_json d =
+  Printf.sprintf
+    "{\"p50\":%s,\"p95\":%s,\"p99\":%s,\"mean\":%s,\"max\":%s}"
+    (f6 d.p50) (f6 d.p95) (f6 d.p99) (f6 d.mean) (f6 d.max)
+
+let bucket_json b =
+  Printf.sprintf
+    "{\"key\":%s,\"requests\":%d,\"cells\":%d,\"batches\":%d,\
+     \"mean_batch_requests\":%s,\"occupancy\":%s,\"plan_lowers\":%d,\
+     \"plan_hits\":%d}"
+    (js b.key) b.requests b.cells b.batches (f6 b.mean_batch_requests)
+    (f6 b.occupancy) b.lowers b.hits
+
+let to_json ?(wall = true) s =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\"schema\":\"graphene.serve_bench.v1\",\n";
+  (match s.seed with
+  | Some seed -> Buffer.add_string buf (Printf.sprintf "\"seed\":%d,\n" seed)
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"config\":{\"requests\":%d,%s\"tick_s\":%s,\"max_tick_cells\":%d,\
+        \"max_batch_requests\":%d,\"shards\":%d},\n"
+       s.requests
+       (match s.rate_rps with
+       | Some r -> Printf.sprintf "\"rate_rps\":%s," (f6 r)
+       | None -> "")
+       (f6 s.tick_s) s.max_tick_cells s.max_batch_requests s.shards);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"sim\":{\"ticks\":%d,\"batches\":%d,\"cells\":%d,\
+        \"makespan_s\":%s,\"busy_s\":%s,\"requests_per_sec\":%s,\
+        \"cells_per_sec\":%s,\n\
+        \"latency_s\":%s,\n\"queue_s\":%s,\n\"service_s\":%s},\n"
+       s.ticks s.batches s.cells (f6 s.makespan_s) (f6 s.busy_s)
+       (f6 s.sim_requests_per_sec) (f6 s.sim_cells_per_sec)
+       (dist_json s.latency) (dist_json s.queue) (dist_json s.service));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"plan_cache\":{\"lowers\":%d,\"hits\":%d,\"hit_rate\":%s},\n"
+       s.plan_lowers s.plan_hits (f6 (hit_rate s)));
+  Buffer.add_string buf "\"buckets\":[\n";
+  List.iteri
+    (fun i b ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (bucket_json b))
+    s.buckets;
+  Buffer.add_string buf "\n],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "\"output_digest\":%s" (js s.output_digest));
+  if wall then
+    Buffer.add_string buf
+      (Printf.sprintf
+         ",\n\"wall\":{\"wall_s\":%s,\"requests_per_sec\":%s,\
+          \"lower_s\":%s,\"exec_s\":%s,\n\"exec_latency_s\":%s}"
+         (f6 s.wall_s) (f6 s.wall_requests_per_sec) (f6 s.wall_lower_s)
+         (f6 s.wall_exec_s) (dist_json s.wall_exec_latency));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp_dist fmt d =
+  Format.fprintf fmt "p50 %.1fus  p95 %.1fus  p99 %.1fus  max %.1fus"
+    (d.p50 *. 1e6) (d.p95 *. 1e6) (d.p99 *. 1e6) (d.max *. 1e6)
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "served %d requests (%d cells) in %d ticks / %d batches across %d \
+     buckets@."
+    s.requests s.cells s.ticks s.batches (List.length s.buckets);
+  Format.fprintf fmt
+    "  simulated: makespan %.1fus  busy %.1fus  %.3g req/s  %.3g cells/s@."
+    (s.makespan_s *. 1e6) (s.busy_s *. 1e6) s.sim_requests_per_sec
+    s.sim_cells_per_sec;
+  Format.fprintf fmt "  latency:   %a@." pp_dist s.latency;
+  Format.fprintf fmt "  queueing:  %a@." pp_dist s.queue;
+  Format.fprintf fmt
+    "  plan cache: %d lowers, %d hits (%.0f%% hit rate)@."
+    s.plan_lowers s.plan_hits (100.0 *. hit_rate s);
+  List.iter
+    (fun b ->
+      Format.fprintf fmt
+        "  %-24s %4d req  %3d batch(es)  mean %.1f req/batch  occupancy \
+         %3.0f%%@."
+        b.key b.requests b.batches b.mean_batch_requests
+        (100.0 *. b.occupancy))
+    s.buckets;
+  Format.fprintf fmt
+    "  wall: %.2fs (%.0f req/s), lowering %.3fs, execution %.2fs \
+     [host-dependent]@."
+    s.wall_s s.wall_requests_per_sec s.wall_lower_s s.wall_exec_s

@@ -1,0 +1,100 @@
+module Arch = Graphene.Arch
+module Ref = Reference.Cpu_ref
+
+type kind =
+  | Attention of
+      { heads : int
+      ; seq : int
+      ; dh : int
+      ; chunk : int
+      }
+  | Ffn of
+      { m : int
+      ; n : int
+      ; k : int
+      }
+
+type spec =
+  { model : string
+  ; arch : Graphene.Arch.t
+  ; kind : kind
+  }
+
+type t =
+  { id : int
+  ; arrival_s : float
+  ; spec : spec
+  }
+
+let gemm_bucket = 32
+
+let round_up v q = (v + q - 1) / q * q
+
+let bucket r =
+  match r.spec.kind with
+  | Attention { heads; seq; dh; chunk } ->
+    Printf.sprintf "fmha_h%d_s%d_d%d_c%d/%s" heads seq dh chunk
+      (Arch.name r.spec.arch)
+  | Ffn { m; n; _ } ->
+    (* Only the covering launch grid is structural; M/N/K bind as scalar
+       parameters at launch time. *)
+    Printf.sprintf "gemm_%dx%d/%s"
+      (round_up m gemm_bucket) (round_up n gemm_bucket)
+      (Arch.name r.spec.arch)
+
+let cells r =
+  match r.spec.kind with
+  | Attention { heads; seq; dh; _ } ->
+    Kernels.Fmha.flop_count ~batch:1 ~heads ~seq ~dh / 2
+  | Ffn { m; n; k } -> m * n * k
+
+let kernel r =
+  match r.spec.kind with
+  | Attention { heads; seq; dh; chunk } ->
+    (* The swizzled score layout is the SM86 configuration; Volta runs the
+       linear layout (as in bench/main.ml). *)
+    Kernels.Fmha.kernel r.spec.arch
+      ~swizzle_smem:(r.spec.arch = Arch.SM86)
+      ~batch:1 ~heads ~seq ~dh ~chunk ~nthreads:64 ()
+  | Ffn { m; n; _ } ->
+    Kernels.Gemm.naive_parametric
+      ~launch_m:(round_up m gemm_bucket)
+      ~launch_n:(round_up n gemm_bucket)
+      ~bm:16 ~bn:16 ~tm:4 ~tn:4 ()
+
+let scalars r =
+  match r.spec.kind with
+  | Attention _ -> []
+  | Ffn { m; n; k } -> [ ("M", m); ("N", n); ("K", k) ]
+
+(* Input seeds mix the request id with a per-parameter offset so no two
+   buffers (of any request) share a stream. *)
+let args r =
+  let seed off = (r.id * 8) + off + 1 in
+  match r.spec.kind with
+  | Attention { heads; seq; dh; _ } ->
+    let rows = heads * seq in
+    [ ("Q", Ref.random_fp16 ~seed:(seed 0) (rows * dh))
+    ; ("K", Ref.random_fp16 ~seed:(seed 1) (rows * dh))
+    ; ("V", Ref.random_fp16 ~seed:(seed 2) (rows * dh))
+    ; ("O", Array.make (rows * dh) 0.0)
+    ]
+  | Ffn { m; n; k } ->
+    [ ("A", Ref.random_fp16 ~seed:(seed 0) (m * k))
+    ; ("B", Ref.random_fp16 ~seed:(seed 1) (k * n))
+    ; ("C", Array.make (m * n) 0.0)
+    ]
+
+let service_estimate r =
+  let machine = Gpu_sim.Machine.of_arch r.spec.arch in
+  Gpu_sim.Perf_model.of_kernel machine (kernel r) ~scalars:(scalars r) ()
+
+let pp fmt r =
+  let shape =
+    match r.spec.kind with
+    | Attention { heads; seq; dh; chunk } ->
+      Printf.sprintf "attention h%d s%d d%d c%d" heads seq dh chunk
+    | Ffn { m; n; k } -> Printf.sprintf "ffn %dx%dx%d" m n k
+  in
+  Format.fprintf fmt "#%d @%.6fs %s %s %s (%s)" r.id r.arrival_s r.spec.model
+    (Arch.name r.spec.arch) shape (bucket r)

@@ -1,0 +1,80 @@
+(** Kernel-launch requests — the unit of work the serving engine admits,
+    batches and executes. See docs/SERVING.md.
+
+    A request names a kernel *shape*, not a kernel value: the engine
+    derives the kernel (and its plan-cache identity) from the request's
+    {!bucket} so that every request in a bucket shares one lowered plan.
+    Input data is derived deterministically from the request id, so a
+    request is fully reproducible from its record alone. *)
+
+(** What the request asks the device to run. Shapes are the proxy-scale
+    BERT/GPT-2 shapes of {!Traffic} (small enough to simulate, same
+    structure as the real ones). *)
+type kind =
+  | Attention of
+      { heads : int
+      ; seq : int
+      ; dh : int
+      ; chunk : int
+      }
+      (** one fused FMHA launch ([Kernels.Fmha.kernel], batch 1): the
+          decode/prefill attention step of a transformer request *)
+  | Ffn of
+      { m : int
+      ; n : int
+      ; k : int
+      }
+      (** one parametric GEMM launch ([Kernels.Gemm.naive_parametric]):
+          the FFN matmul of a transformer request. [m], [n], [k] are
+          bound as scalar parameters at launch, so every [Ffn] request
+          of a launch-grid bucket shares one plan-cache entry. *)
+
+type spec =
+  { model : string  (** which network's distribution it was drawn from *)
+  ; arch : Graphene.Arch.t
+  ; kind : kind
+  }
+
+type t =
+  { id : int
+  ; arrival_s : float  (** simulated arrival time *)
+  ; spec : spec
+  }
+
+(** Launch-grid size (per side) that [Ffn] shapes are bucketed up to:
+    [launch_m]/[launch_n] round up to the next multiple of this, so all
+    ragged shapes in between share one structural kernel. *)
+val gemm_bucket : int
+
+(** The admission bucket key: requests with equal keys are guaranteed to
+    lower to structurally identical kernels (one plan-cache entry per
+    bucket). Attention buckets on the exact structural shape; [Ffn]
+    buckets on the covering launch grid (shapes differ only in scalar
+    parameters). *)
+val bucket : t -> string
+
+(** Work volume in simulated cells (FMA-equivalents): the admission
+    cost measure and the throughput unit. *)
+val cells : t -> int
+
+(** The kernel this request launches. Equal buckets return structurally
+    equal kernels (that is the bucketing contract, pinned by
+    [test/test_serve.ml]). *)
+val kernel : t -> Graphene.Spec.kernel
+
+(** Scalar-parameter bindings for the launch ([Ffn]'s [M]/[N]/[K];
+    empty for [Attention]). *)
+val scalars : t -> (string * int) list
+
+(** Freshly allocated, deterministically seeded argument buffers (inputs
+    seeded from the request id, outputs zeroed) — the same arrays every
+    time they are built, so engine runs and direct [Interp.run] replays
+    are bitwise comparable. *)
+val args : t -> (string * float array) list
+
+(** Simulated service-time estimate of one launch (the analytic
+    {!Gpu_sim.Perf_model} on the request's kernel): drives the engine's
+    virtual clock. Deterministic. *)
+val service_estimate : t -> Gpu_sim.Perf_model.estimate
+
+val pp : Format.formatter -> t -> unit

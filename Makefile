@@ -1,6 +1,6 @@
 # Convenience wrappers around dune. `make ci` is what CI runs.
 
-.PHONY: build test profile-smoke parallel-smoke vector-smoke perf-smoke serve-smoke bench golden ci clean
+.PHONY: build test profile-smoke parallel-smoke vector-smoke layout-smoke perf-smoke serve-smoke bench golden ci clean
 
 build:
 	dune build
@@ -22,6 +22,11 @@ parallel-smoke:
 # prints per-atomic vector widths and legality verdicts.
 vector-smoke:
 	dune build @vector-smoke
+
+# Walk the CuTe layout algebra and self-check every result against the
+# conformance corpus (see docs/LAYOUT.md).
+layout-smoke:
+	dune build @layout-smoke
 
 # Quick tree-vs-plan bit-identity smoke on shrunken shapes (exits
 # nonzero on any counter/output mismatch).

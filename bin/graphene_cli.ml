@@ -547,6 +547,78 @@ let serve_cmd =
       const run $ seed $ requests $ rate $ tick $ cell_cap $ batch_cap
       $ quick $ out $ domains_arg)
 
+let layout_cmd =
+  (* A self-checking walkthrough of the CuTe layout algebra
+     (docs/LAYOUT.md): each line prints an operation and its canonical
+     (shape):(stride) result, and the run exits nonzero if any result
+     drifts from the conformance corpus value. *)
+  let run () =
+    let module L = Shape.Layout in
+    let module T = Shape.Int_tuple in
+    let module Sw = Shape.Swizzle in
+    let failures = ref 0 in
+    let row name exp got =
+      let ok = String.equal exp got in
+      if not ok then incr failures;
+      Printf.printf "%-44s %-28s %s\n" name got
+        (if ok then "ok" else "MISMATCH (want " ^ exp ^ ")")
+    in
+    let a = L.of_pairs [ (4, 2); (2, 1); (3, 8) ] in
+    row "A = ((4,2,3):(2,1,8))" "((4,2,3):(2,1,8))" (L.to_string a);
+    row "coalesce ((2,4):(1,2))" "(8:1)"
+      (L.to_string (L.coalesce (L.of_pairs [ (2, 1); (4, 2) ])));
+    row "composition (20:2) ((5,4):(4,1))" "((5,4):(8,2))"
+      (L.to_string
+         (L.composition (L.vector 20 ~stride:2) (L.of_pairs [ (5, 4); (4, 1) ])));
+    row "complement (4:2) 24" "((2,3):(1,8))"
+      (L.to_string (L.complement (L.vector 4 ~stride:2) 24));
+    row "logical_divide A (4:2)" "(((2,2),(2,3)):((4,1),(2,8)))"
+      (L.to_string (L.logical_divide a (L.vector 4 ~stride:2)));
+    let mk =
+      L.make
+        (T.node [ T.of_int 9; T.node [ T.of_int 4; T.of_int 8 ] ])
+        (T.node [ T.of_int 59; T.node [ T.of_int 13; T.of_int 1 ] ])
+    in
+    let tiler =
+      [ Some (L.vector 3 ~stride:3); Some (L.of_pairs [ (2, 1); (4, 8) ]) ]
+    in
+    row "zipped_divide (9,(4,8)) by-mode"
+      "(((3,(2,4)),(3,(2,2))):((177,(13,2)),(59,(26,1))))"
+      (L.to_string (L.zipped_divide mk tiler));
+    row "tiled_divide (9,(4,8)) by-mode"
+      "(((3,(2,4)),3,(2,2)):((177,(13,2)),59,(26,1)))"
+      (L.to_string (L.tiled_divide mk tiler));
+    row "logical_product ((2,2):(4,1)) (6:1)"
+      "(((2,2),(2,3)):((4,1),(2,8)))"
+      (L.to_string
+         (L.logical_product (L.of_pairs [ (2, 4); (2, 1) ]) (L.vector 6 ~stride:1)));
+    row "right_inverse ((2,2):(2,1))" "((2,2):(2,1))"
+      (L.to_string (L.right_inverse (L.of_pairs [ (2, 2); (2, 1) ])));
+    row "left_inverse (4:2)" "((2,4):(4,1))"
+      (L.to_string (L.left_inverse (L.vector 4 ~stride:2)));
+    let c =
+      L.compose_swizzle (Sw.make ~bits:1 ~base:0 ~shift:2)
+        (L.of_pairs [ (6, 8); (2, 2) ])
+    in
+    row "swizzle o ((6,2):(8,2))" "Swizzle<1,0,2> o ((6,2):(8,2))"
+      (L.composed_to_string c);
+    row "  image" "0 8 16 24 32 40"
+      (String.concat " "
+         (List.map string_of_int
+            (Array.to_list (L.composed_indices c) |> List.filteri (fun i _ -> i < 6))));
+    row "  low window" "1" (string_of_int (L.composed_low_window c));
+    if !failures > 0 then (
+      Printf.eprintf "%d layout algebra mismatches\n" !failures;
+      exit 1)
+  in
+  Cmd.v
+    (Cmd.info "layout"
+       ~doc:
+         "Walk through the CuTe layout algebra (coalesce, composition, \
+          complement, divisions, products, inverses, swizzle composition) \
+          and self-check each result against the conformance corpus.")
+    Term.(const run $ const ())
+
 let tables_cmd =
   let run () = Experiments.Figures.print_all Format.std_formatter in
   Cmd.v
@@ -570,5 +642,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
        [ ir_cmd; codegen_cmd; lower_cmd; simulate_cmd; profile_cmd
-       ; serve_cmd; tables_cmd; table2_cmd; tune_cmd
+       ; serve_cmd; layout_cmd; tables_cmd; table2_cmd; tune_cmd
        ]))

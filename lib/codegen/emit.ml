@@ -8,7 +8,17 @@ module Spec = Graphene.Spec
 module Atomic = Graphene.Atomic
 module Op = Graphene.Op
 
-type ctx = { arch : Graphene.Arch.t; buf : Buffer.t; mutable indent : int }
+module V = Lower.Vectorize
+
+type ctx =
+  { arch : Graphene.Arch.t
+  ; buf : Buffer.t
+  ; mutable indent : int
+  ; cta_size : int
+  ; mutable divergent : bool
+        (** inside a thread-dependent branch: widened emission is off,
+            mirroring the vectorize pass's masked-lane refusal *)
+  }
 
 let line ctx fmt =
   Buffer.add_string ctx.buf (String.make (2 * ctx.indent) ' ');
@@ -116,6 +126,77 @@ let emit_plain_move ctx (s : Spec.t) =
         line ctx "%s = %s;" (ref_ dst k) (ref_ src k)
       done)
   | _ -> failwith "move arity"
+
+(* Widened global <-> register moves as explicit PTX vector transactions
+   (the emission half of the vectorize pass, docs/LOWERING.md). Only
+   emitted when the pass's own legality analysis widened the atomic, so
+   the generated CUDA and the simulated plan agree on every verdict. *)
+
+(* (PTX scalar type, asm register constraint, C lvalue cast) per dtype;
+   [None] falls back to the scalar loop. *)
+let vec_reg_class dt =
+  match dt with
+  | Dt.FP16 | Dt.BF16 -> Some ("b16", "h", "unsigned short")
+  | Dt.FP32 | Dt.I32 | Dt.U32 -> Some ("b32", "r", "uint32_t")
+  | Dt.FP64 | Dt.I8 | Dt.Bool -> None
+
+let emit_vec_global_move ctx (s : Spec.t) ~width =
+  match (s.Spec.ins, s.Spec.outs) with
+  | [ src ], [ dst ] -> (
+    let reg_side, glob_side, is_load =
+      if Ms.equal src.Ts.mem Ms.Global then (dst, src, true)
+      else (src, dst, false)
+    in
+    let n = total dst in
+    match vec_reg_class (Ts.dtype dst) with
+    | Some (pty, cls, cast) when n mod width = 0 ->
+      let reg k = Printf.sprintf "*reinterpret_cast<%s*>(%s)" cast
+          (ptr_ reg_side k)
+      in
+      let holes lo = String.concat ","
+          (List.init width (fun i -> Printf.sprintf "%%%d" (lo + i)))
+      in
+      for g = 0 to (n / width) - 1 do
+        let k = g * width in
+        if is_load then begin
+          line ctx "asm volatile(\"ld.global.v%d.%s {%s}, [%%%d];\\n\"" width
+            pty (holes 0) width;
+          line ctx "    : %s"
+            (String.concat ", "
+               (List.init width (fun i ->
+                    Printf.sprintf "\"=%s\"(%s)" cls (reg (k + i)))));
+          line ctx "    : \"l\"(%s));" (ptr_ glob_side k)
+        end
+        else begin
+          line ctx "asm volatile(\"st.global.v%d.%s [%%0], {%s};\\n\"" width
+            pty (holes 1);
+          line ctx "    :: \"l\"(%s), %s);" (ptr_ glob_side k)
+            (String.concat ", "
+               (List.init width (fun i ->
+                    Printf.sprintf "\"%s\"(%s)" cls (reg (k + i)))))
+        end
+      done
+    | _ -> emit_plain_move ctx s)
+  | _ -> failwith "move arity"
+
+(* The emission-side verdict: reuse the vectorize pass's leaf analysis so
+   the PTX a kernel ships with and the plan the simulator executes can
+   never disagree on a width. *)
+let emit_global_move ctx (s : Spec.t) instr =
+  let leaf =
+    V.of_leaf ~enabled:true ~divergent:ctx.divergent ~cta_size:ctx.cta_size s
+      instr
+  in
+  let reg_and_global =
+    match (s.Spec.ins, s.Spec.outs) with
+    | [ src ], [ dst ] ->
+      (Ms.equal src.Ts.mem Ms.Global && Ms.equal dst.Ts.mem Ms.Register)
+      || (Ms.equal src.Ts.mem Ms.Register && Ms.equal dst.Ts.mem Ms.Global)
+    | _ -> false
+  in
+  match leaf.V.l_verdict with
+  | V.Widened w when reg_and_global -> emit_vec_global_move ctx s ~width:w
+  | _ -> emit_plain_move ctx s
 
 let emit_cp_async ctx (s : Spec.t) =
   match (s.Spec.ins, s.Spec.outs) with
@@ -317,6 +398,8 @@ let emit_atomic ctx (s : Spec.t) =
   else if starts_with "ldmatrix.x1" name then
     emit_ldmatrix ctx ~trans:ld_trans 1 s
   else if starts_with "cvt" name then emit_cvt ctx s
+  else if starts_with "ld.global" name || starts_with "st.global" name then
+    emit_global_move ctx s instr
   else if
     starts_with "ld." name || starts_with "st." name
     || String.equal "mov.rf" name
@@ -344,6 +427,14 @@ let rel_string = function
   | Spec.Ne -> "!="
   | Spec.Gt -> ">"
   | Spec.Ge -> ">="
+
+let rec pred_tid_dep = function
+  | Spec.Cmp (_, a, b) ->
+    List.exists
+      (String.equal "threadIdx.x")
+      (E.free_vars a @ E.free_vars b)
+  | Spec.And (a, b) | Spec.Or (a, b) -> pred_tid_dep a || pred_tid_dep b
+  | Spec.Not p -> pred_tid_dep p
 
 let rec pred_string = function
   | Spec.Cmp (r, a, b) ->
@@ -375,6 +466,8 @@ let rec emit_stmt ctx stmt =
     ctx.indent <- ctx.indent - 1;
     line ctx "}"
   | Spec.If { cond; then_; else_ } ->
+    let saved = ctx.divergent in
+    if pred_tid_dep cond then ctx.divergent <- true;
     line ctx "if (%s) {" (pred_string cond);
     ctx.indent <- ctx.indent + 1;
     List.iter (emit_stmt ctx) then_;
@@ -386,7 +479,8 @@ let rec emit_stmt ctx stmt =
       List.iter (emit_stmt ctx) else_;
       ctx.indent <- ctx.indent - 1;
       line ctx "}"
-    end
+    end;
+    ctx.divergent <- saved
   | Spec.Spec_stmt s -> (
     match s.Spec.decomp with
     | None -> emit_atomic ctx s
@@ -421,7 +515,14 @@ let shared_alloc_size (t : Ts.t) =
   (cosize + w - 1) / w * w
 
 let cuda arch (k : Spec.kernel) =
-  let ctx = { arch; buf = Buffer.create 4096; indent = 0 } in
+  let ctx =
+    { arch
+    ; buf = Buffer.create 4096
+    ; indent = 0
+    ; cta_size = Tt.size k.Spec.cta
+    ; divergent = false
+    }
+  in
   raw ctx
     (Printf.sprintf
        "// Generated by Graphene (OCaml reproduction) for %s\n\
@@ -470,6 +571,13 @@ let cuda arch (k : Spec.kernel) =
   Buffer.contents ctx.buf
 
 let stmts_to_string arch stmts =
-  let ctx = { arch; buf = Buffer.create 1024; indent = 0 } in
+  let ctx =
+    { arch
+    ; buf = Buffer.create 1024
+    ; indent = 0
+    ; cta_size = 32
+    ; divergent = false
+    }
+  in
   List.iter (emit_stmt ctx) stmts;
   Buffer.contents ctx.buf

@@ -272,7 +272,7 @@ let mma_m8n8k4 =
   ; ptx = "mma.sync.aligned.m8n8k4.row.col.f32.f16.f16.f32"
   ; archs = [ Arch.SM70 ]
   ; threads = 8
-  ; sig_threads = "[(4,2):(1,16)].thread (quad-pair)"
+  ; sig_threads = "((4,2):(1,16)).thread (quad-pair)"
   ; sig_ins = "[4,1].fp16.RF, [1,4].fp16.RF"
   ; sig_outs = "[2,4].fp32.RF"
   ; matches =

@@ -1,4 +1,5 @@
 module E = Shape.Int_expr
+module L = Shape.Layout
 module Ts = Gpu_tensor.Tensor
 module Tt = Gpu_tensor.Thread_tensor
 
@@ -60,6 +61,15 @@ let alloc_shared ?swizzle name layout dtype =
 let alloc_regs name layout dtype =
   let t = Ts.create name layout dtype Gpu_tensor.Memspace.Register in
   (t, Spec.Alloc t)
+
+let vec_tile t w =
+  let tiler =
+    match Ts.rank t with
+    | 1 -> [ L.tile_spec w ]
+    | 2 -> [ L.tile_spec 1; L.tile_spec w ]
+    | r -> invalid_arg (Printf.sprintf "Builder.vec_tile: rank-%d view" r)
+  in
+  Ts.tile t tiler
 
 let thread_idx = E.var "threadIdx.x"
 let block_idx = E.var "blockIdx.x"

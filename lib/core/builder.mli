@@ -126,6 +126,16 @@ val alloc_shared :
 val alloc_regs :
   string -> Shape.Layout.t -> Gpu_tensor.Dtype.t -> Gpu_tensor.Tensor.t * stmt
 
+(** {1 Tiling} *)
+
+(** [vec_tile t w] groups [w] consecutive innermost elements of a rank-1 or
+    rank-2 view into one vector tile by logical division: the tiler is
+    [\[tile_spec w\]] (rank 1) or [\[tile_spec 1; tile_spec w\]] (rank 2),
+    so selecting one outer coordinate yields a contiguous width-[w] vector
+    view. This is the canonical per-thread vector grouping used by the
+    staged-copy and kernel builders. *)
+val vec_tile : Gpu_tensor.Tensor.t -> int -> Gpu_tensor.Tensor.t
+
 (** {1 Special variables} *)
 
 val thread_idx : E.t

@@ -94,7 +94,7 @@ let kernel ?(name = "fmha") ?(swizzle_smem = true) ?(causal = false) arch
   let s32, al_s32 = B.alloc_regs "s32" (L.vector out_w) Dt.FP32 in
   let s16, al_s16 = B.alloc_regs "s16" (L.vector out_w) Dt.FP16 in
   let scale_rf, al_sc = B.alloc_regs "scale" (L.vector 1) Dt.FP32 in
-  let ss_groups = Ts.tile ss [ L.tile_spec 1; L.tile_spec out_w ] in
+  let ss_groups = B.vec_tile ss out_w in
   (* ----- phase 1: S = Q K^T / sqrt(dh), chunk by chunk ----- *)
   let s_phase =
     B.for_ "cb" (E.const (seq / chunk)) (fun cb ->
@@ -125,7 +125,7 @@ let kernel ?(name = "fmha") ?(swizzle_smem = true) ?(causal = false) arch
   let cpt = seq / tpr in
   let row_t = E.div tid (E.const tpr) in
   let seg = E.rem tid (E.const tpr) in
-  let ss_segs = Ts.tile ss [ L.tile_spec 1; L.tile_spec cpt ] in
+  let ss_segs = B.vec_tile ss cpt in
   let ss_seg = Ts.select ss_segs [ row_t; seg ] in
   let e_rf, al_e = B.alloc_regs "e_rf" (L.vector cpt) Dt.FP32 in
   let p16, al_p = B.alloc_regs "p16" (L.vector 8) Dt.FP16 in
@@ -185,7 +185,7 @@ let kernel ?(name = "fmha") ?(swizzle_smem = true) ?(causal = false) arch
       ]
   in
   (* ----- phase 3: O = P V, accumulated over V chunks ----- *)
-  let o_groups = Ts.tile o [ L.tile_spec 1; L.tile_spec out_w ] in
+  let o_groups = B.vec_tile o out_w in
   let o16, al_o16 = B.alloc_regs "o16" (L.vector out_w) Dt.FP16 in
   let o_phase =
     Tc_pipeline.init_acc pipe_o

@@ -154,8 +154,8 @@ let naive ?(name = "gemm_naive") ~m ~n ~k ~bm ~bn ~tm ~tn () =
    block-local output coordinates to global ones. *)
 let epilogue_stores ~arch ~thr ~pipe ~epilogue ~c ~bias ~grow ~gcol =
   let out_w = match arch with Arch.SM86 -> 2 | Arch.SM70 -> 4 in
-  let c_groups = Ts.tile c [ L.tile_spec 1; L.tile_spec out_w ] in
-  let bias_groups = Ts.tile bias [ L.tile_spec out_w ] in
+  let c_groups = B.vec_tile c out_w in
+  let bias_groups = B.vec_tile bias out_w in
   let c_out, al_co = B.alloc_regs "c_out" (L.vector out_w) (Ts.dtype c) in
   let bias_rf, al_bi = B.alloc_regs "bias_rf" (L.vector out_w) (Ts.dtype c) in
   let allocs = [ al_co ] @ if epilogue.Epilogue.bias then [ al_bi ] else [] in
@@ -424,7 +424,7 @@ let split_k ?(name = "gemm_splitk") arch cfg ~epilogue ~splits ~m ~n ~k () =
         @ [ B.sync ])
   in
   let out_w = match arch with Arch.SM86 -> 2 | Arch.SM70 -> 4 in
-  let cp_groups = Ts.tile cp [ L.tile_spec 1; L.tile_spec out_w ] in
+  let cp_groups = B.vec_tile cp out_w in
   let store_partials =
     Tc_pipeline.foreach_out pipe (fun ~row ~col ~width ~acc ->
         let grow =
@@ -463,9 +463,9 @@ let split_k ?(name = "gemm_splitk") arch cfg ~epilogue ~splits ~m ~n ~k () =
       (E.add (E.mul B.block_idx (E.const rthreads)) B.thread_idx)
       (E.const rw)
   in
-  let cp_vecs = Ts.tile cp [ L.tile_spec 1; L.tile_spec rw ] in
-  let c_vecs = Ts.tile c [ L.tile_spec 1; L.tile_spec rw ] in
-  let bias_vecs = Ts.tile bias [ L.tile_spec rw ] in
+  let cp_vecs = B.vec_tile cp rw in
+  let c_vecs = B.vec_tile c rw in
+  let bias_vecs = B.vec_tile bias rw in
   let row = E.div elem0 (E.const n) and colg = E.div (E.rem elem0 (E.const n)) (E.const rw) in
   let reduce_body =
     [ al_acc; al_part; al_out ]

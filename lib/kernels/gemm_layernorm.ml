@@ -57,9 +57,9 @@ let kernel ?(name = "gemm_layernorm_fused") ?(eps = 1e-5) arch ~m ~k ~width
   in
   (* Projection epilogue: acc + bias + residual -> fp32 shared rows. *)
   let out_w = match arch with Arch.SM86 -> 2 | Arch.SM70 -> 4 in
-  let bias_groups = Ts.tile bias [ L.tile_spec out_w ] in
-  let r_groups = Ts.tile r [ L.tile_spec 1; L.tile_spec out_w ] in
-  let rows_groups = Ts.tile rows_s [ L.tile_spec 1; L.tile_spec out_w ] in
+  let bias_groups = B.vec_tile bias out_w in
+  let r_groups = B.vec_tile r out_w in
+  let rows_groups = B.vec_tile rows_s out_w in
   let v32, al_v = B.alloc_regs "v32" (L.vector out_w) Dt.FP32 in
   let bias_rf, al_b = B.alloc_regs "bias_rf" (L.vector out_w) Dt.FP16 in
   let res_rf, al_r2 = B.alloc_regs "res_rf" (L.vector out_w) Dt.FP16 in
@@ -86,10 +86,10 @@ let kernel ?(name = "gemm_layernorm_fused") ?(eps = 1e-5) arch ~m ~k ~width
   let row_t = E.div tid (E.const tpr) in
   let seg = E.rem tid (E.const tpr) in
   let seg_view =
-    Ts.select (Ts.tile rows_s [ L.tile_spec 1; L.tile_spec cpt ]) [ row_t; seg ]
+    Ts.select (B.vec_tile rows_s cpt) [ row_t; seg ]
   in
-  let gamma_seg = Ts.select (Ts.tile gamma [ L.tile_spec cpt ]) [ seg ] in
-  let beta_seg = Ts.select (Ts.tile beta [ L.tile_spec cpt ]) [ seg ] in
+  let gamma_seg = Ts.select (B.vec_tile gamma cpt) [ seg ] in
+  let beta_seg = Ts.select (B.vec_tile beta cpt) [ seg ] in
   let sum, al_s = B.alloc_regs "sum" (L.vector 1) Dt.FP32 in
   let sumsq, al_sq = B.alloc_regs "sumsq" (L.vector 1) Dt.FP32 in
   let tmp, al_t = B.alloc_regs "tmp" (L.vector 1) Dt.FP32 in
@@ -100,7 +100,7 @@ let kernel ?(name = "gemm_layernorm_fused") ?(eps = 1e-5) arch ~m ~k ~width
   let sq_rf, al_sqr = B.alloc_regs "sq_rf" (L.vector cpt) Dt.FP32 in
   let y32, al_y32 = B.alloc_regs "y32" (L.vector cpt) Dt.FP32 in
   let y16, al_y16 = B.alloc_regs "y16" (L.vector 8) Dt.FP16 in
-  let z_vecs = Ts.tile z [ L.tile_spec 1; L.tile_spec 8 ] in
+  let z_vecs = B.vec_tile z 8 in
   let y32_win i =
     Ts.reinterpret y32 ~layout:(L.vector 8) ~elem:(Ts.Scalar Dt.FP32)
       ~offset:(E.mul i (E.const 8))

@@ -45,10 +45,10 @@ let kernel ?(name = "layernorm") ?(eps = 1e-5) ~rows ~cols ~nthreads () =
   let parts, al_p = B.alloc_shared "warp_parts" (L.vector nwarps) Dt.FP32 in
   let parts2, al_p2 = B.alloc_shared "warp_parts2" (L.vector nwarps) Dt.FP32 in
   (* Views. *)
-  let x_vecs = Ts.tile x [ L.tile_spec 1; L.tile_spec vw ] in
-  let y_vecs = Ts.tile y [ L.tile_spec 1; L.tile_spec vw ] in
-  let gamma_vecs = Ts.tile gamma [ L.tile_spec vw ] in
-  let beta_vecs = Ts.tile beta [ L.tile_spec vw ] in
+  let x_vecs = B.vec_tile x vw in
+  let y_vecs = B.vec_tile y vw in
+  let gamma_vecs = B.vec_tile gamma vw in
+  let beta_vecs = B.vec_tile beta vw in
   let rf_win buf i =
     Ts.reinterpret buf ~layout:(L.vector vw) ~elem:(Ts.Scalar (Ts.dtype buf))
       ~offset:(E.mul i (E.const vw))

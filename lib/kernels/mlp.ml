@@ -40,13 +40,13 @@ let kernel ?(name = "mlp_fused") ?(act = Op.Relu) arch ~m ~width ~layers ~bm
   let out_w = match arch with Arch.SM86 -> 2 | Arch.SM70 -> 4 in
   let c_out, al_co = B.alloc_regs "c_out" (L.vector out_w) Dt.FP16 in
   let bias_rf, al_bi = B.alloc_regs "bias_rf" (L.vector out_w) Dt.FP16 in
-  let bias_groups = Ts.tile biases [ L.tile_spec out_w ] in
-  let y_groups = Ts.tile y [ L.tile_spec 1; L.tile_spec out_w ] in
+  let bias_groups = B.vec_tile biases out_w in
+  let y_groups = B.vec_tile y out_w in
   (* One layer: acc = act_in @ W_l; act_out = act(acc + bias_l). *)
   let layer l ~act_in ~act_out =
     let act_out_groups =
       Option.map
-        (fun t -> Ts.tile t [ L.tile_spec 1; L.tile_spec out_w ])
+        (fun t -> B.vec_tile t out_w)
         act_out
     in
     [ Staging.copy stg ~src:w ~src_row0:(E.const (l * width)) ~src_col0:E.zero

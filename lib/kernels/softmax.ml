@@ -39,8 +39,8 @@ let kernel ?(name = "softmax") ~rows ~cols ~nthreads () =
   let inv, al_i = B.alloc_regs "inv" (L.vector 1) Dt.FP32 in
   let parts, al_p = B.alloc_shared "warp_parts" (L.vector nwarps) Dt.FP32 in
   let parts2, al_p2 = B.alloc_shared "warp_parts2" (L.vector nwarps) Dt.FP32 in
-  let x_vecs = Ts.tile x [ L.tile_spec 1; L.tile_spec vw ] in
-  let y_vecs = Ts.tile y [ L.tile_spec 1; L.tile_spec vw ] in
+  let x_vecs = B.vec_tile x vw in
+  let y_vecs = B.vec_tile y vw in
   let rf_win buf i =
     Ts.reinterpret buf ~layout:(L.vector vw) ~elem:(Ts.Scalar (Ts.dtype buf))
       ~offset:(E.mul i (E.const vw))

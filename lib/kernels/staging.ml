@@ -43,11 +43,16 @@ let copy t ~src ~src_row0 ~src_col0 ~dst =
     invalid_arg
       (Printf.sprintf "Staging.copy: %dx%d tile not divisible (%d threads)"
          rows cols t.nthreads);
-  let src_t = Ts.tile src [ L.tile_spec 1; L.tile_spec t.vw ] in
-  let dst_t = Ts.tile dst [ L.tile_spec 1; L.tile_spec t.vw ] in
+  let src_t = B.vec_tile src t.vw in
+  let dst_t = B.vec_tile dst t.vw in
   let one_vector vi =
-    let r = E.div vi (E.const vecs_per_row) in
-    let g = E.rem vi (E.const vecs_per_row) in
+    (* The linear vector id decomposes through the (vectors-per-row, rows)
+       raster: columns fastest, one coordinate per tiled mode. *)
+    let r, g =
+      match L.coords_of_linear (L.col_major [ vecs_per_row; rows ]) vi with
+      | [ g; r ] -> (r, g)
+      | _ -> assert false
+    in
     let src_view =
       Ts.select src_t
         [ E.add src_row0 r; E.add (E.div src_col0 (E.const t.vw)) g ]

@@ -149,36 +149,27 @@ let mma_k t = match t.arch with Arch.SM86 -> 16 | Arch.SM70 -> 4
    m-major storage; the transposed view of k-major storage selects the
    .trans variant). *)
 let ldmatrix_a_view a =
+  (* The [2,2].[8,8] structure is logical division of the 16x16 region by an
+     8x8 tile: tiling splits each 16 into (2 origins, 8 in-tile) with the
+     origin stride 8x the element stride, exactly the quadrant arrangement
+     ldmatrix.x4 expects. *)
+  let quad region = Ts.tile region [ L.tile_spec 8; L.tile_spec 8 ] in
   match a with
   | A_m_major { t; row0; col0; ld } ->
-    Ts.reinterpret t
-      ~layout:
-        (L.make
-           (T.node [ T.of_int 2; T.of_int 2 ])
-           (T.node [ T.of_int (8 * ld); T.of_int 8 ]))
-      ~elem:
-        (Ts.Tile
-           { layout = L.make (T.node [ T.of_int 8; T.of_int 8 ])
-               (T.node [ T.of_int ld; T.of_int 1 ])
-           ; elem = Ts.Scalar (Ts.dtype t)
-           })
-      ~offset:(E.add (E.mul row0 (E.const ld)) col0)
+    quad
+      (Ts.reinterpret t
+         ~layout:(L.of_pairs [ (16, ld); (16, 1) ])
+         ~elem:(Ts.Scalar (Ts.dtype t))
+         ~offset:(E.add (E.mul row0 (E.const ld)) col0))
   | A_k_major { t; row0; col0; ld } ->
     (* Logical A(m, k) = storage(k, m): dims stay (m, k) but the m stride
        is 1 and the k stride is ld — the orientation ldmatrix.trans
        transposes in its crossbar. *)
-    Ts.reinterpret t
-      ~layout:
-        (L.make
-           (T.node [ T.of_int 2; T.of_int 2 ])
-           (T.node [ T.of_int 8; T.of_int (8 * ld) ]))
-      ~elem:
-        (Ts.Tile
-           { layout = L.make (T.node [ T.of_int 8; T.of_int 8 ])
-               (T.node [ T.of_int 1; T.of_int ld ])
-           ; elem = Ts.Scalar (Ts.dtype t)
-           })
-      ~offset:(E.add (E.mul row0 (E.const ld)) col0)
+    quad
+      (Ts.reinterpret t
+         ~layout:(L.of_pairs [ (16, 1); (16, ld) ])
+         ~elem:(Ts.Scalar (Ts.dtype t))
+         ~offset:(E.add (E.mul row0 (E.const ld)) col0))
 
 let a_shift a ~drow ~dcol =
   match a with

@@ -109,17 +109,23 @@ let view_cap (v : Ts.t) : (cap, reason) result =
   match const_pairs v with
   | None -> Error Symbolic
   | Some pairs ->
-    let pairs = List.filter (fun (d, _) -> d <> 1) pairs in
-    let n = List.fold_left (fun acc (d, _) -> acc * d) 1 pairs in
-    if n < 2 then Error Too_small
+    (* Degenerate unit modes carry no enumeration structure and must not
+       break coalescing, so they are filtered before the algebra runs. *)
+    let enum = L.of_flat (List.filter (fun (d, _) -> d <> 1) pairs) in
+    if L.size_int enum < 2 then Error Too_small
     else begin
-      (* Longest unit-stride prefix: stride 1, then d0, then d0*d1, ... —
-         the contiguous run length each thread's enumeration repeats. *)
-      let rec span run expected = function
-        | (d, s) :: tl when s = expected -> span (run * d) (expected * d) tl
-        | rest -> (run, rest)
+      (* Coalesce the composed enumeration layout S ∘ L: a leading
+         unit-stride mode is the contiguous run each thread's enumeration
+         repeats (coalescing fuses exactly the stride-1, d0, d0*d1, ...
+         prefix into it); every remaining mode's kept stride must keep
+         width-w groups w-aligned (fused members are multiples of the
+         kept stride, so checking the coalesced modes suffices). *)
+      let co = L.composed_coalesce (L.compose_swizzle v.Ts.swizzle enum) in
+      let run, rest =
+        match L.flat_ints co.L.c_base with
+        | (d, 1) :: tl -> (d, tl)
+        | cpairs -> (1, cpairs)
       in
-      let run, rest = span 1 1 pairs in
       if run = 1 then Error Strided
       else begin
         let elt = Dt.size_bytes (Ts.dtype v) in
@@ -128,7 +134,9 @@ let view_cap (v : Ts.t) : (cap, reason) result =
              vectors must start on a w-element boundary. *)
           Ms.equal v.Ts.mem Ms.Register || divisible w v.Ts.offset
         in
-        let swizzle_ok w = w <= Shape.Swizzle.low_window v.Ts.swizzle in
+        (* An XOR swizzle maps an aligned w-run to an aligned w-run iff w
+           fits its untouched low-bit window. *)
+        let swizzle_ok w = w <= L.composed_low_window co in
         let legal w =
           w * elt <= max_vec_bytes
           && run mod w = 0
@@ -141,7 +149,7 @@ let view_cap (v : Ts.t) : (cap, reason) result =
           Ok
             { c_width = w
             ; c_full_span =
-                rest = [] && Shape.Swizzle.is_identity v.Ts.swizzle
+                rest = [] && Shape.Swizzle.is_identity co.L.c_swizzle
             }
         | None ->
           (* Diagnose the narrowest width (the weakest requirement). *)
@@ -206,10 +214,12 @@ let static_shared_conflicts ~cta_size (v : Ts.t) =
       while !t < cta_size do
         let lanes = min 32 (cta_size - !t) in
         let addrs =
+          (* Lane address = first index of the lane's composed layout
+             image (S ∘ (L + offset) at linear coordinate 0). *)
           Array.init lanes (fun l ->
               let tv = !t + l in
               let env x = if String.equal x tid then tv else 0 in
-              (Ts.scalar_offsets ~env v).(0) * elt)
+              L.composed_nth (Ts.composed ~env v) 0 * elt)
         in
         total := !total + conflicts_of_addrs ~bytes addrs;
         t := !t + 32

@@ -4,8 +4,10 @@ exception Layout_error of string
 
 let err fmt = Format.kasprintf (fun s -> raise (Layout_error s)) fmt
 
+(* Canonical CuTe form, e.g. ((2,(3,4)):(1,(2,6))); the conformance corpus
+   in test/test_layout_algebra.ml matches these strings verbatim. *)
 let pp fmt l =
-  Format.fprintf fmt "[%a:%a]" Int_tuple.pp l.dims Int_tuple.pp l.strides
+  Format.fprintf fmt "(%a:%a)" Int_tuple.pp l.dims Int_tuple.pp l.strides
 
 let to_string l = Format.asprintf "%a" pp l
 
@@ -165,14 +167,24 @@ let index_of_int_coords l coords =
 (* ----- Algebra ----- *)
 
 let coalesce l =
-  let pairs = List.filter (fun (d, _) -> d <> 1) (flat_ints l) in
+  (* Unit modes are dropped but break fusion chains: two contiguous modes
+     separated by a size-1 mode stay separate. This matches the reference
+     implementation the conformance corpus was generated from (coalesce of
+     ((2,(1,6)):(1,(6,2))) is ((2,6):(1,2)), not (12:1)) and is still
+     function-preserving. Callers that want maximal fusion filter unit
+     modes out first (see Lower.Vectorize). *)
   let rec fuse = function
     | (d1, s1) :: (d2, s2) :: tl when s2 = d1 * s1 ->
       fuse ((d1 * d2, s1) :: tl)
     | p :: tl -> p :: fuse tl
     | [] -> []
   in
-  of_flat (fuse pairs)
+  let rec runs cur acc = function
+    | [] -> List.rev (List.rev cur :: acc)
+    | (d, _) :: tl when d = 1 -> runs [] (List.rev cur :: acc) tl
+    | p :: tl -> runs (p :: cur) acc tl
+  in
+  of_flat (List.concat_map fuse (runs [] [] (flat_ints l)))
 
 (* Compose the concrete flat modes of [a] with one integral mode [(s, d)]:
    the layout of [fun j -> a (j * d)] for [j] in [0, s). *)
@@ -280,48 +292,224 @@ type tiler = t option list
 
 let tile_spec ?stride n = Some (vector ?stride n)
 
-(* Split a single (1-D, possibly hierarchical) mode by a tile spec. *)
+(* [make_modes [l1; ...; lk]] — each layout becomes one top-level mode
+   (CuTe's make_layout on layout arguments). *)
+let make_modes ls =
+  let ms = List.map as_single_mode ls in
+  make
+    (Int_tuple.node (List.map fst ms))
+    (Int_tuple.node (List.map snd ms))
+
+(* Split a single (1-D, possibly hierarchical) mode by a tile spec into
+   (rest, tile) layouts. This is per-mode logical division: the tile part
+   is [composition mode tspec] and the rest part is the composition with
+   the tile's complement — everything below (divide, logical_divide,
+   zipped_divide, tiled_divide) assembles these two parts differently. *)
 let divide_mode mode_dims mode_strides spec =
   match spec with
   | None ->
     (* Keep the whole dimension in the tile; the outer extent is 1. *)
-    ((Int_tuple.of_int 1, Int_tuple.of_int 0), (mode_dims, mode_strides))
+    (vector 1 ~stride:0, make mode_dims mode_strides)
   | Some tspec -> (
     let mode_layout = make mode_dims mode_strides in
     match (mode_dims, mode_strides, tspec.dims, tspec.strides) with
     | Int_tuple.Leaf d, Int_tuple.Leaf s, Int_tuple.Leaf td, Int_tuple.Leaf ts
       when Int_expr.equal ts Int_expr.one && not (Int_expr.is_const d) ->
-      (* Symbolic fast path: contiguous tiles of a symbolic extent. *)
+      (* Symbolic (range-aware) fast path: contiguous tiles of a symbolic
+         extent; the outer extent overapproximates by a ceiling division. *)
       let t = td in
-      let inner = (Int_tuple.leaf t, Int_tuple.leaf s) in
+      let inner = make (Int_tuple.leaf t) (Int_tuple.leaf s) in
       let outer =
-        ( Int_tuple.leaf (Int_expr.ceil_div d t)
-        , Int_tuple.leaf (Int_expr.mul s t) )
+        make
+          (Int_tuple.leaf (Int_expr.ceil_div d t))
+          (Int_tuple.leaf (Int_expr.mul s t))
       in
       (outer, inner)
     | _ ->
       let inner = composition mode_layout tspec in
       let comp = complement tspec (size_int mode_layout) in
       let outer = composition mode_layout comp in
-      (as_single_mode outer, as_single_mode inner))
+      (outer, inner))
 
-let divide l tiler =
+let mode_parts name l tiler =
   let dm = Int_tuple.modes l.dims and sm = Int_tuple.modes l.strides in
   if List.length dm <> List.length tiler then
-    err "divide: %d tile specs for rank-%d layout %s" (List.length tiler)
+    err "%s: %d tile specs for rank-%d layout %s" name (List.length tiler)
       (List.length dm) (to_string l);
-  let parts = List.map2 (fun (d, s) t -> divide_mode d s t)
-      (List.combine dm sm) tiler
-  in
-  let outer_modes = List.map fst parts and inner_modes = List.map snd parts in
-  let build = function
+  List.map2 (fun (d, s) t -> divide_mode d s t) (List.combine dm sm) tiler
+
+let divide l tiler =
+  let parts = mode_parts "divide" l tiler in
+  let build ls =
+    match List.map as_single_mode ls with
     | [ (d, s) ] -> make d s
     | modes ->
       make
         (Int_tuple.node (List.map fst modes))
         (Int_tuple.node (List.map snd modes))
   in
-  (build outer_modes, build inner_modes)
+  (build (List.map fst parts), build (List.map snd parts))
+
+(* ----- CuTe division and product forms ----- *)
+
+let logical_divide a b =
+  (* composition(A, (B, complement(B, size A))): mode 0 is the tile, mode 1
+     enumerates the rest (the tile origins). *)
+  composition a (make_modes [ b; complement b (size_int a) ])
+
+let logical_divide_by l tiler =
+  (* Per-mode logical division: each divided mode's profile is the tile
+     spec's top-level modes followed by the rest part as one trailing
+     mode — CuTe's logical_divide with a tiler argument. *)
+  let parts = mode_parts "logical_divide" l tiler in
+  let mode_of (outer, inner) =
+    let od, os = as_single_mode outer in
+    ( Int_tuple.node (Int_tuple.modes inner.dims @ [ od ])
+    , Int_tuple.node (Int_tuple.modes inner.strides @ [ os ]) )
+  in
+  let ms = List.map mode_of parts in
+  make
+    (Int_tuple.node (List.map fst ms))
+    (Int_tuple.node (List.map snd ms))
+
+let zipped_divide l tiler =
+  (* Rank-2 regrouping ((tiles...), (rests...)): mode 0 gathers every
+     mode's tile part, mode 1 every mode's rest part. *)
+  let parts = mode_parts "zipped_divide" l tiler in
+  let gather ls =
+    let ms = List.map as_single_mode ls in
+    (Int_tuple.node (List.map fst ms), Int_tuple.node (List.map snd ms))
+  in
+  let td, ts = gather (List.map snd parts) in
+  let rd, rs = gather (List.map fst parts) in
+  make (Int_tuple.node [ td; rd ]) (Int_tuple.node [ ts; rs ])
+
+let tiled_divide l tiler =
+  (* ((tiles...), rest_1, ..., rest_n): the tile stays one mode, each
+     rest part becomes its own top-level mode — the shape CTA rasters
+     iterate over. *)
+  let parts = mode_parts "tiled_divide" l tiler in
+  let ms = List.map as_single_mode (List.map snd parts) in
+  let tile_d = Int_tuple.node (List.map fst ms) in
+  let tile_s = Int_tuple.node (List.map snd ms) in
+  let rests = List.map (fun (o, _) -> as_single_mode o) parts in
+  make
+    (Int_tuple.node (tile_d :: List.map fst rests))
+    (Int_tuple.node (tile_s :: List.map snd rests))
+
+let logical_product a b =
+  (* (A, composition(complement(A, size(A)*cosize(B)), B)): mode 0 is one
+     tile, mode 1 places cosize(B) repetitions of it. *)
+  make_modes [ a; composition (complement a (size_int a * cosize b)) b ]
+
+(* ----- Inverses ----- *)
+
+let right_inverse l =
+  (* Sort the modes by stride; the layout is right-invertible (compact and
+     bijective onto [0, cosize)) when the sorted strides are exact prefix
+     products. The inverse's strides are the original-order place values
+     of the domain decomposition. *)
+  let pairs = List.filter (fun (d, _) -> d <> 1) (flat_ints l) in
+  let with_place =
+    let rec go acc place = function
+      | [] -> List.rev acc
+      | (d, s) :: tl -> go ((d, s, place) :: acc) (place * d) tl
+    in
+    go [] 1 pairs
+  in
+  let sorted =
+    List.sort (fun (_, s1, _) (_, s2, _) -> Stdlib.compare s1 s2) with_place
+  in
+  let (_ : int) =
+    List.fold_left
+      (fun expect (d, s, _) ->
+        if s <> expect then
+          err "right_inverse: %s is not compact-bijective (stride %d where %d expected)"
+            (to_string l) s expect;
+        expect * d)
+      1 sorted
+  in
+  of_flat (List.map (fun (d, _, place) -> (d, place)) sorted)
+
+let left_inverse l =
+  (* Complete the (injective) layout to a bijection with its complement,
+     then right-invert: left_inverse(L)(L(x)) = x for x < size(L). *)
+  right_inverse (make_modes [ l; complement l (cosize l) ])
+
+(* [inverse_index l x] — symbolic application of the (right) inverse: the
+   coordinate of physical index [x] under [l], recombined leftmost-fastest.
+   Component (x / s) %% d per leaf; size-1 leaves contribute zero. Valid for
+   the injective layouts used for thread arrangements. The exact expression
+   trees built here are relied on by Thread_tensor.coord_exprs (and hence
+   the codegen golden suites). *)
+let inverse_index l x =
+  let coord, _ =
+    List.fold_left
+      (fun (acc, cum) (d, s) ->
+        let c =
+          match Int_expr.to_int d with
+          | Some 1 -> Int_expr.zero
+          | _ -> Int_expr.rem (Int_expr.div x s) d
+        in
+        (Int_expr.add acc (Int_expr.mul c cum), Int_expr.mul cum d))
+      (Int_expr.zero, Int_expr.one)
+      (flat_pairs l)
+  in
+  coord
+
+(* ----- Profile-preserving reshape ----- *)
+
+let with_shape l new_dims =
+  (* Like [reshape], but the result is guaranteed congruent to the
+     requested profile: a leaf that composition expanded into nested modes
+     is coalesced back to a single mode, or the reshape is rejected. *)
+  let r = reshape l new_dims in
+  let rec fix want got_d got_s =
+    match (want, got_d, got_s) with
+    | Int_tuple.Leaf _, Int_tuple.Leaf _, _ -> (got_d, got_s)
+    | Int_tuple.Leaf w, _, _ -> (
+      let sub = coalesce (make got_d got_s) in
+      match (sub.dims, sub.strides) with
+      | Int_tuple.Node [], Int_tuple.Node [] ->
+        (* All unit modes: a degenerate leaf of extent [w] (= 1). *)
+        (Int_tuple.Leaf w, Int_tuple.Leaf Int_expr.zero)
+      | _ -> (
+        match as_single_mode sub with
+        | (Int_tuple.Leaf _, Int_tuple.Leaf _) as m -> m
+        | _ ->
+          err "with_shape: %s cannot keep mode %s as a single stride"
+            (to_string l) (Int_expr.to_string w)))
+    | Int_tuple.Node ws, Int_tuple.Node ds, Int_tuple.Node ss
+      when List.length ws = List.length ds ->
+      let parts =
+        List.map2 (fun w (d, s) -> fix w d s) ws (List.combine ds ss)
+      in
+      ( Int_tuple.node (List.map fst parts)
+      , Int_tuple.node (List.map snd parts) )
+    | _ -> err "with_shape: incongruent result for %s" (to_string l)
+  in
+  let d, s = fix new_dims r.dims r.strides in
+  make d s
+
+(* ----- Composed layouts: swizzle ∘ layout (+ offset) ----- *)
+
+type composed = { c_base : t; c_offset : int; c_swizzle : Swizzle.t }
+
+let compose_swizzle ?(offset = 0) sw base =
+  { c_base = base; c_offset = offset; c_swizzle = sw }
+
+let composed_nth c x = Swizzle.apply c.c_swizzle (c.c_offset + nth_index c.c_base x)
+let composed_indices c = Array.init (size_int c.c_base) (composed_nth c)
+let composed_size c = size_int c.c_base
+let composed_low_window c = Swizzle.low_window c.c_swizzle
+let composed_coalesce c = { c with c_base = coalesce c.c_base }
+
+let pp_composed fmt c =
+  if Swizzle.is_identity c.c_swizzle then pp fmt c.c_base
+  else Format.fprintf fmt "%a o %a" Swizzle.pp c.c_swizzle pp c.c_base;
+  if c.c_offset <> 0 then Format.fprintf fmt " + %d" c.c_offset
+
+let composed_to_string c = Format.asprintf "%a" pp_composed c
 
 let subst bindings l =
   make

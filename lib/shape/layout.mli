@@ -26,6 +26,11 @@ val make : Int_tuple.t -> Int_tuple.t -> t
     (dimension, stride) integers. *)
 val of_pairs : (int * int) list -> t
 
+(** [of_flat pairs] is [of_pairs] that collapses a single pair to a 1-D
+    layout and the empty list to the size-1 layout [(1:0)] — the
+    normalization the algebra's results use. *)
+val of_flat : (int * int) list -> t
+
 (** Row-major (rightmost dimension fastest in memory). *)
 val row_major : int list -> t
 
@@ -98,8 +103,14 @@ val index_of_int_coords : t -> int list -> int
 (** {1 Algebra (concrete layouts)} *)
 
 (** Merge adjacent contiguous modes and drop size-1 modes; the layout
-    function is unchanged. *)
+    function is unchanged. Size-1 modes break fusion chains (matching the
+    reference implementation of the conformance corpus): callers wanting
+    maximal fusion should filter them out first. *)
 val coalesce : t -> t
+
+(** Concrete flattened (dimension, stride) leaf pairs, leftmost fastest.
+    Raises [Layout_error] on symbolic layouts. *)
+val flat_ints : t -> (int * int) list
 
 (** [composition a b] is the layout of [fun x -> a (b x)]. Raises
     [Layout_error] when the required divisibility conditions fail. *)
@@ -115,6 +126,58 @@ val complement : t -> int -> t
     equal total size, leftmost fastest — used to rearrange thread groups
     (paper Figure 5c). *)
 val reshape : t -> Int_tuple.t -> t
+
+(** [with_shape l dims] is [reshape] with a congruence guarantee: the
+    result's profile equals [dims] exactly (nested expansions are coalesced
+    back, or [Layout_error] is raised). CuTe: [Layout::with_shape]. *)
+val with_shape : t -> Int_tuple.t -> t
+
+(** {1 Division and product (CuTe layout algebra)} *)
+
+(** [logical_divide a b] = [composition a (make_layout b (complement b (size a)))]:
+    a rank-2 layout whose mode 0 is the tile [b] read through [a] and whose
+    mode 1 enumerates the rest (the tile origins). CuTe: [logical_divide]
+    on layout arguments. *)
+val logical_divide : t -> t -> t
+
+(** [logical_divide_by l tiler] applies logical division per top-level
+    mode: each divided mode's profile is its tile spec's top-level modes
+    followed by the rest part as one trailing mode. CuTe: [logical_divide]
+    with a tiler. [None] keeps the whole dimension as the tile. *)
+val logical_divide_by : t -> t option list -> t
+
+(** [zipped_divide l tiler] regroups the per-mode parts into rank 2:
+    mode 0 gathers every tile part, mode 1 every rest part —
+    [((tile_1, ..., tile_n), (rest_1, ..., rest_n))]. *)
+val zipped_divide : t -> t option list -> t
+
+(** [tiled_divide l tiler] keeps the gathered tile as mode 0 and splices
+    each rest part as its own top-level mode:
+    [((tile_1, ..., tile_n), rest_1, ..., rest_n)]. *)
+val tiled_divide : t -> t option list -> t
+
+(** [logical_product a b] = [(a, composition (complement a (size a * cosize b)) b)]:
+    mode 0 is one tile [a], mode 1 places [size b] repetitions of it where
+    [b] points. CuTe: [logical_product]. *)
+val logical_product : t -> t -> t
+
+(** {1 Inverses} *)
+
+(** [right_inverse l]: the layout [r] with [l (r y) = y] for [y] in
+    [0, cosize l). Requires [l] compact and bijective (sorted strides form
+    exact prefix products); raises [Layout_error] otherwise. *)
+val right_inverse : t -> t
+
+(** [left_inverse l]: the layout [r] with [r (l x) = x] for [x] in
+    [0, size l). Requires [l] injective; completes [l] with its complement
+    and right-inverts. *)
+val left_inverse : t -> t
+
+(** [inverse_index l x] — symbolic application of the right inverse: the
+    linear coordinate whose image under [l] is physical index [x],
+    component [(x / s) mod d] per leaf recombined leftmost-fastest.
+    Size-1 leaves contribute zero. Valid for injective layouts. *)
+val inverse_index : t -> Int_expr.t -> Int_expr.t
 
 (** {1 Tiling (paper Section 3.3)} *)
 
@@ -134,9 +197,44 @@ val divide : t -> tiler -> t * t
 (** [tile_spec ?stride n] is shorthand for [Some (vector ?stride n)]. *)
 val tile_spec : ?stride:int -> int -> t option
 
+(** {1 Composed layouts (swizzle ∘ layout)}
+
+    The functional composition [S ∘ (L + offset)] of a bit-XOR {!Swizzle}
+    with a layout: [composed_nth c x = S (offset + L x)]. This is the form
+    shared-memory staging views take (paper Section 4.2); the vectorize
+    pass derives its swizzle-low-window legality and the bank lint derives
+    warp address images from it. *)
+
+type composed =
+  { c_base : t
+  ; c_offset : int  (** added before the swizzle is applied *)
+  ; c_swizzle : Swizzle.t
+  }
+
+val compose_swizzle : ?offset:int -> Swizzle.t -> t -> composed
+
+(** [composed_nth c x] = [Swizzle.apply c.c_swizzle (c.c_offset + nth_index c.c_base x)]. *)
+val composed_nth : composed -> int -> int
+
+(** The image of the composed layout over [0 .. size - 1]. *)
+val composed_indices : composed -> int array
+
+val composed_size : composed -> int
+
+(** The swizzle's untouched low-bit window ([max_int] for the identity):
+    a width-[w] vector access is swizzle-legal iff [w <=] this. *)
+val composed_low_window : composed -> int
+
+(** Coalesce the base layout; the composed function is unchanged. *)
+val composed_coalesce : composed -> composed
+
+val pp_composed : Format.formatter -> composed -> unit
+val composed_to_string : composed -> string
+
 (** {1 Printing} *)
 
-(** Prints as [\[dims : strides\]], e.g. [\[(4,8):(8,1)\]]. *)
+(** Prints the canonical CuTe form [(dims:strides)], e.g.
+    [((2,(3,4)):(1,(2,6)))]. *)
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string

@@ -86,21 +86,17 @@ let subst bindings t =
   ; offset = E.subst bindings t.offset
   }
 
-let scalar_offsets ~env t =
+let composed ~env t =
+  (* The view's full scalar enumeration as one composed layout
+     S ∘ (L + offset): the levels concatenate innermost-fastest (each inner
+     level's leaves vary before the enclosing level's), which is exactly
+     the cartesian sum order of the per-level images. *)
   let bindings = List.map (fun v -> (v, E.const (env v))) (free_vars t) in
   let t = subst bindings t in
   let base = E.to_int_exn t.offset in
-  let level_indices = List.map L.all_indices (levels t) in
-  (* Cartesian sum of per-level physical indices, innermost fastest. *)
-  let combined =
-    List.fold_left
-      (fun acc level ->
-        Array.concat
-          (Array.to_list
-             (Array.map (fun a -> Array.map (fun b -> a + b) level) acc)))
-      [| base |] level_indices
-  in
-  Array.map (Shape.Swizzle.apply t.swizzle) combined
+  L.compose_swizzle ~offset:base t.swizzle (L.concat (List.rev (levels t)))
+
+let scalar_offsets ~env t = L.composed_indices (composed ~env t)
 
 let scalar_offset ~env t =
   match scalar_offsets ~env t with

@@ -90,9 +90,16 @@ val subst : (string * Shape.Int_expr.t) list -> t -> t
 
 (** {1 Physical addressing} *)
 
+(** [composed ~env t] — the view's full scalar enumeration as one composed
+    layout [S ∘ (L + offset)]: the levels concatenated innermost-fastest
+    under the view's swizzle and base offset. [scalar_offsets] is its
+    image; the vectorize pass and bank lint derive legality from it.
+    Requires all parameters bound by [env]. *)
+val composed : env:(string -> int) -> t -> Shape.Layout.composed
+
 (** [scalar_offsets ~env t] enumerates the physical buffer offsets of every
     scalar in the view, innermost level fastest, after applying the swizzle.
-    Requires all parameters bound by [env]. *)
+    Equals [Layout.composed_indices (composed ~env t)]. *)
 val scalar_offsets : env:(string -> int) -> t -> int array
 
 (** [scalar_offset ~env t] — the view's single scalar offset; raises

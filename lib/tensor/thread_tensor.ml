@@ -52,26 +52,13 @@ let select t coords =
 let select_ints t coords = select t (List.map E.const coords)
 
 let coord_exprs t id =
-  (* Invert the layout: for a leaf of extent d and stride s the coordinate
-     component is (id / s) % d; components combine leftmost-fastest into the
-     mode's logical coordinate. Valid for the injective layouts used for
-     thread arrangements. *)
-  let mode_coord dims strides =
-    let leaves = List.combine (T.flatten dims) (T.flatten strides) in
-    let coord, _ =
-      List.fold_left
-        (fun (acc, cum) (d, s) ->
-          let c =
-            match E.to_int d with
-            | Some 1 -> E.zero
-            | _ -> E.rem (E.div id s) d
-          in
-          (E.add acc (E.mul c cum), E.mul cum d))
-        (E.zero, E.one) leaves
-    in
-    coord
-  in
-  List.map2 mode_coord (T.modes (L.dims t.layout)) (T.modes (L.strides t.layout))
+  (* One symbolic right-inverse application per top-level mode: the
+     layout algebra recombines (id / s) % d per leaf leftmost-fastest.
+     Valid for the injective layouts used for thread arrangements. *)
+  List.map2
+    (fun d s -> L.inverse_index (L.make d s) id)
+    (T.modes (L.dims t.layout))
+    (T.modes (L.strides t.layout))
 
 let member_ids ?env t =
   let base =

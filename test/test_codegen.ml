@@ -219,8 +219,8 @@ let test_ir_listing () =
   List.iter
     (fun n ->
       if not (contains ir n) then Alcotest.failf "IR listing lacks %S:\n%s" n ir)
-    [ "%A:[(64,64):(64,1)].fp16.GL"
-    ; "#grid:[(4,4):(1,4)].block"
+    [ "%A:((64,64):(64,1)).fp16.GL"
+    ; "#grid:((4,4):(1,4)).block"
     ; "MatMul <<<#cta>>>"
     ; "#unroll"
     ]

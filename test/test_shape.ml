@@ -172,9 +172,9 @@ let test_tuple_map2 () =
 let idx l coords = L.index_of_int_coords l coords
 
 let test_fig3a_col_major () =
-  (* [(4,8):(1,4)] — column-major 4x8. *)
+  (* ((4,8):(1,4)) — column-major 4x8. *)
   let l = L.col_major [ 4; 8 ] in
-  check_str "layout" "[(4,8):(1,4)]" (L.to_string l);
+  check_str "layout" "((4,8):(1,4))" (L.to_string l);
   check_int "(0,0)" 0 (idx l [ 0; 0 ]);
   check_int "(1,0)" 1 (idx l [ 1; 0 ]);
   check_int "(0,1)" 4 (idx l [ 0; 1 ]);
@@ -183,13 +183,13 @@ let test_fig3a_col_major () =
 
 let test_fig3b_row_major () =
   let l = L.row_major [ 4; 8 ] in
-  check_str "layout" "[(4,8):(8,1)]" (L.to_string l);
+  check_str "layout" "((4,8):(8,1))" (L.to_string l);
   check_int "(0,1)" 1 (idx l [ 0; 1 ]);
   check_int "(1,0)" 8 (idx l [ 1; 0 ]);
   check_int "(3,7)" 31 (idx l [ 3; 7 ])
 
 let test_fig3c_hierarchical () =
-  (* [(4,(2,4)):(2,(1,8))]: two adjacent column values are contiguous, then
+  (* ((4,(2,4)):(2,(1,8))): two adjacent column values are contiguous, then
      rows, then the next pair of columns. *)
   let l =
     L.make
@@ -222,14 +222,14 @@ let test_linear_iteration_order () =
 
 let test_coalesce () =
   let l = L.of_pairs [ (2, 1); (4, 2) ] in
-  check_str "coalesce contiguous" "[8:1]" (L.to_string (L.coalesce l));
+  check_str "coalesce contiguous" "(8:1)" (L.to_string (L.coalesce l));
   let l2 = L.of_pairs [ (2, 1); (1, 7); (4, 4) ] in
-  check_str "drop unit modes" "[(2,4):(1,4)]" (L.to_string (L.coalesce l2))
+  check_str "drop unit modes" "((2,4):(1,4))" (L.to_string (L.coalesce l2))
 
 let test_composition_simple () =
   (* (20:2) o (5:4) = (5:8) *)
   let a = L.vector 20 ~stride:2 and b = L.vector 5 ~stride:4 in
-  check_str "1d" "[5:8]" (L.to_string (L.composition a b));
+  check_str "1d" "(5:8)" (L.to_string (L.composition a b));
   (* ((4,5):(1,4)) o (5:4): pick every 4th element of a 4x5 col-major. *)
   let a = L.col_major [ 4; 5 ] in
   let b = L.vector 5 ~stride:4 in
@@ -263,7 +263,7 @@ let test_composition_pointwise () =
 let test_complement () =
   (* complement (2:2) in 8 = ((2,2):(1,4)) *)
   let c = L.complement (L.vector 2 ~stride:2) 8 in
-  check_str "complement" "[(2,2):(1,4)]" (L.to_string c);
+  check_str "complement" "((2,2):(1,4))" (L.to_string c);
   (* Together, tile and complement cover 0..7 exactly once. *)
   let t = L.vector 2 ~stride:2 in
   let covered = Array.make 8 0 in
@@ -277,28 +277,28 @@ let test_complement () =
 
 let test_complement_contiguous () =
   let c = L.complement (L.vector 4) 32 in
-  check_str "complement contiguous" "[8:4]" (L.to_string c)
+  check_str "complement contiguous" "(8:4)" (L.to_string c)
 
 (* ----- Layout: tiling (paper Figure 4) ----- *)
 
 let test_fig4b_contiguous_tiles () =
-  (* A:[(4,8):(1,4)] tiled by ([2:1],[4:1]) ->
-     B:[(2,2):(2,16)].[(2,4):(1,4)] *)
+  (* A:((4,8):(1,4)) tiled by ((2:1),(4:1)) ->
+     B:((2,2):(2,16)).((2,4):(1,4)) *)
   let a = L.col_major [ 4; 8 ] in
   let outer, inner = L.divide a [ L.tile_spec 2; L.tile_spec 4 ] in
-  check_str "outer" "[(2,2):(2,16)]" (L.to_string outer);
-  check_str "inner" "[(2,4):(1,4)]" (L.to_string inner)
+  check_str "outer" "((2,2):(2,16))" (L.to_string outer);
+  check_str "inner" "((2,4):(1,4))" (L.to_string inner)
 
 let test_fig4c_interleaved_tiles () =
   (* Tile stride 2 in the first dimension: tiles contain every other row.
-     C:[(2,2):(1,16)].[(2,4):(2,4)] *)
+     C:((2,2):(1,16)).((2,4):(2,4)) *)
   let a = L.col_major [ 4; 8 ] in
   let outer, inner = L.divide a [ L.tile_spec 2 ~stride:2; L.tile_spec 4 ] in
-  check_str "outer" "[(2,2):(1,16)]" (L.to_string outer);
-  check_str "inner" "[(2,4):(2,4)]" (L.to_string inner)
+  check_str "outer" "((2,2):(1,16))" (L.to_string outer);
+  check_str "inner" "((2,4):(2,4))" (L.to_string inner)
 
 let test_fig4d_hierarchical_tiles () =
-  (* Tile size [(2,2):(1,4)] in the second dimension: two adjacent columns
+  (* Tile size ((2,2):(1,4)) in the second dimension: two adjacent columns
      repeated twice with stride 4. *)
   let a = L.col_major [ 4; 8 ] in
   let tspec =
@@ -309,16 +309,16 @@ let test_fig4d_hierarchical_tiles () =
   let outer, inner =
     L.divide a [ L.tile_spec 2 ~stride:2; Some tspec ]
   in
-  check_str "outer" "[(2,2):(1,8)]" (L.to_string outer);
-  check_str "inner" "[(2,(2,2)):(2,(4,16))]" (L.to_string inner)
+  check_str "outer" "((2,2):(1,8))" (L.to_string outer);
+  check_str "inner" "((2,(2,2)):(2,(4,16)))" (L.to_string inner)
 
 let test_ldmatrix_tiling () =
   (* Paper Figure 1: a 16x16 row-major shared-memory tile divides into 2x2
      tiles of 8x8. *)
   let a = L.row_major [ 16; 16 ] in
   let outer, inner = L.divide a [ L.tile_spec 8; L.tile_spec 8 ] in
-  check_str "outer" "[(2,2):(128,8)]" (L.to_string outer);
-  check_str "inner" "[(8,8):(16,1)]" (L.to_string inner);
+  check_str "outer" "((2,2):(128,8))" (L.to_string outer);
+  check_str "inner" "((8,8):(16,1))" (L.to_string inner);
   (* Tile (1,0) starts at row 8: physical index 128. *)
   check_int "tile origin" 128 (idx outer [ 1; 0 ])
 
@@ -326,8 +326,8 @@ let test_untiled_dimension () =
   (* Paper Figure 8 line 13: %2.tile([_, 128]) keeps dimension 0 whole. *)
   let a = L.row_major [ 1024; 1024 ] in
   let outer, inner = L.divide a [ None; L.tile_spec 128 ] in
-  check_str "outer" "[(1,8):(0,128)]" (L.to_string outer);
-  check_str "inner" "[(1024,128):(1024,1)]" (L.to_string inner)
+  check_str "outer" "((1,8):(0,128))" (L.to_string outer);
+  check_str "inner" "((1024,128):(1024,1))" (L.to_string inner)
 
 let test_partial_tiles () =
   (* 1023 elements tiled by 128 -> 8 tiles, the last one partial
@@ -359,10 +359,10 @@ let test_symbolic_tiling () =
 
 
 let test_reshape () =
-  (* Paper Figure 5: [4:8] tile origins reshaped to 2x2. *)
+  (* Paper Figure 5: (4:8) tile origins reshaped to 2x2. *)
   let grp = L.vector 4 ~stride:8 in
   let r = L.reshape grp (T.of_ints [ 2; 2 ]) in
-  check_str "reshape" "[(2,2):(8,16)]" (L.to_string r)
+  check_str "reshape" "((2,2):(8,16))" (L.to_string r)
 
 let test_symbolic_index () =
   let l = L.row_major_e [ E.var "M"; E.var "N" ] in

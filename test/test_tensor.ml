@@ -57,9 +57,9 @@ let test_bf16_rounding () =
 
 let test_tensor_pp () =
   let a = Ts.create_rm "A" [ 16; 16 ] Dt.FP16 Gpu_tensor.Memspace.Shared in
-  check_str "untiled" "%A:[(16,16):(16,1)].fp16.SH" (Ts.to_string a);
+  check_str "untiled" "%A:((16,16):(16,1)).fp16.SH" (Ts.to_string a);
   let tiled = Ts.tile a [ L.tile_spec 8; L.tile_spec 8 ] in
-  check_str "tiled" "%A:[(2,2):(128,8)].[(8,8):(16,1)].fp16.SH"
+  check_str "tiled" "%A:((2,2):(128,8)).((8,8):(16,1)).fp16.SH"
     (Ts.to_string tiled)
 
 let test_tensor_levels () =
@@ -134,7 +134,7 @@ let test_warp_tile_reshape () =
   check_int "groups" 4 (L.size_int grouped.Tt.layout);
   check_int "group size" 8 (Tt.group_size grouped);
   let arranged = Tt.reshape grouped (T.of_ints [ 2; 2 ]) in
-  check_str "pp" "#warp:[(2,2):(8,16)].[8:1].thread" (Tt.to_string arranged);
+  check_str "pp" "#warp:((2,2):(8,16)).(8:1).thread" (Tt.to_string arranged);
   (* Group (0,1) holds threads 16..23. *)
   check_ints "group (0,1)"
     [ 16; 17; 18; 19; 20; 21; 22; 23 ]
@@ -144,7 +144,7 @@ let test_warp_tile_reshape () =
     (Array.to_list (Tt.member_ids arranged))
 
 let test_quad_pairs () =
-  (* Paper Figure 6: quad-pairs tile the warp by [(4,2):(1,16)]. *)
+  (* Paper Figure 6: quad-pairs tile the warp by ((4,2):(1,16)). *)
   let warp = Tt.linear "warp" 32 Tt.Thread in
   let qp_spec =
     L.make (T.node [ T.of_int 4; T.of_int 2 ]) (T.node [ T.of_int 1; T.of_int 16 ])
@@ -183,7 +183,7 @@ let test_coord_exprs () =
 let test_grid () =
   let g = Tt.grid "grid" [ 8; 8 ] in
   check_int "blocks" 64 (Tt.size g);
-  check_str "pp" "#grid:[(8,8):(1,8)].block" (Tt.to_string g)
+  check_str "pp" "#grid:((8,8):(1,8)).block" (Tt.to_string g)
 
 let prop_member_ids_partition =
   QCheck.Test.make ~count:100 ~name:"tiled warp groups partition the warp"

@@ -386,6 +386,62 @@ let test_widened_fraction_nonzero () =
             ~chunk:16 ~nthreads:64 () )
     ]
 
+(* ----- verdict pinning -----
+
+   The layout-algebra refactor must not move a single verdict: this bakes
+   an MD5 over every atomic's label, verdict, width, fastcopy flag,
+   per-view verdicts and bank lint, for every kernel family. Any change to
+   a vectorize verdict or refusal reason — even one that keeps the counts
+   above intact — changes a digest here. *)
+
+let verdict_fingerprint plan =
+  let b = Buffer.create 4096 in
+  Plan.iter_atomics
+    (fun a ->
+      Buffer.add_string b
+        (Printf.sprintf "%s|%s|w%d|fc%b" a.Plan.a_label
+           (V.verdict_to_string a.Plan.a_vec)
+           a.Plan.a_vec_width a.Plan.a_fastcopy);
+      List.iter
+        (fun v -> Buffer.add_string b ("|i:" ^ V.verdict_to_string v.Plan.v_vec))
+        a.Plan.a_ins;
+      List.iter
+        (fun v -> Buffer.add_string b ("|o:" ^ V.verdict_to_string v.Plan.v_vec))
+        a.Plan.a_outs;
+      List.iter
+        (fun (n, c) -> Buffer.add_string b (Printf.sprintf "|bank:%s=%d" n c))
+        a.Plan.a_banks;
+      Buffer.add_char b '\n')
+    plan.Plan.body;
+  Buffer.contents b
+
+let pinned_verdicts =
+  [ ("gemm-tc sm86", "11cee5f5804cb97d2823e40b3ada7f0f", 8)
+  ; ("gemm-tc sm70", "4a1ca6ca39d1a23a15db41a651ed466d", 10)
+  ; ("divergent-copy", "e82c1ce22e64f87ef2ccb88ee234bbe5", 4)
+  ; ("gemm-naive", "30fb9b8e7f79f51502ee141f4c2f82c9", 1)
+  ; ("gemm-parametric", "30fb9b8e7f79f51502ee141f4c2f82c9", 1)
+  ; ("fmha sm86", "d55702d194f25e05a871e8806e0b5da6", 35)
+  ; ("fmha sm70", "3d33313e2ece4165fff0a8ae6b71eca3", 41)
+  ; ("lstm", "cc74c065246fa4a8cb9bed64e0b4aff2", 16)
+  ; ("mlp", "d7e322ff1a746a1181665502c2af1ef7", 21)
+  ; ("layernorm", "bb289be36af0d16a3acb0c63fbe62738", 48)
+  ; ("softmax", "14a3421dd02ea66a6aaeeab6a1e3a5d2", 37)
+  ; ("gemm+layernorm", "81ac08d6ead477574f7f4c5f99e0512c", 34)
+  ]
+
+let test_verdict_pin () =
+  List.iter2
+    (fun (name, arch, mk, _, _) (pname, digest, atomics) ->
+      check_str "pin rows match families" name pname;
+      let plan = Pipeline.lower ~vectorize:true arch (mk ()) in
+      let fp = verdict_fingerprint plan in
+      check_int (name ^ ": atomic count") atomics
+        (List.length (String.split_on_char '\n' fp) - 1);
+      check_str (name ^ ": verdict digest") digest
+        (Digest.to_hex (Digest.string fp)))
+    families pinned_verdicts
+
 (* ----- hand-computed request and sector accounting ----- *)
 
 let test_record_requests () =
@@ -519,6 +575,7 @@ let () =
             test_identity_4domains
         ; Alcotest.test_case "widened fraction nonzero" `Quick
             test_widened_fraction_nonzero
+        ; Alcotest.test_case "verdict pinning" `Quick test_verdict_pin
         ] )
     ; ( "counters"
       , [ Alcotest.test_case "request accounting" `Quick test_record_requests

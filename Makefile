@@ -1,6 +1,6 @@
 # Convenience wrappers around dune. `make ci` is what CI runs.
 
-.PHONY: build test profile-smoke parallel-smoke vector-smoke layout-smoke perf-smoke serve-smoke bench golden ci clean
+.PHONY: build test profile-smoke parallel-smoke bytecode-smoke vector-smoke layout-smoke perf-smoke serve-smoke bench golden ci clean
 
 build:
 	dune build
@@ -17,6 +17,13 @@ profile-smoke:
 # must be bit-identical (counters, report, trace, buffers) to 1 domain.
 parallel-smoke:
 	dune build @parallel-smoke
+
+# Cross-engine determinism check: tree, closure and bytecode engines
+# must produce bit-identical reports, traces and buffers on a small
+# tensor-core GEMM (bytecode also at 2 domains), and the lower listing
+# must include the flattened bytecode summary.
+bytecode-smoke:
+	dune build @bytecode-smoke
 
 # Lower GEMM/FMHA with the vectorize pass on and off: the plan listing
 # prints per-atomic vector widths and legality verdicts.

@@ -197,6 +197,32 @@ let sim_cases ?(quick = false) () =
    — the numbers are measured, never extrapolated. *)
 let par_domains = 4
 
+(* The v5 multi-domain sweep: the bytecode engine at each of these
+   domain counts, against the 1-domain bytecode best-of-2. *)
+let sweep_domains = [ 1; 2; 4; 8 ]
+
+(* Everything one bench row measures. [plan_s] is the closure-walking
+   plan executor (the v4 number, now pinned to ~engine:Closure since the
+   default engine is Bytecode); [bytecode_s] is the flat bytecode
+   executor on the same plan. The sweep is the bytecode engine at each
+   of [sweep_domains]. *)
+type sim_row =
+  { tree_s : float
+  ; tree_mw : float
+  ; lower_s : float
+  ; cache_hit : bool
+  ; lower_cached_s : float
+  ; plan_s : float
+  ; plan_mw : float
+  ; bytecode_s : float
+  ; bytecode_mw : float
+  ; par_s : float
+  ; sweep : (int * float * bool) list  (** domains, wall s, bit-identical *)
+  ; identical : bool
+  ; outputs_identical : bool
+  ; plan_counters : C.t
+  }
+
 (* Returns the row's JSON and whether every bit-identity check held
    (rows that fail to build or run count as not identical, so the
    `--quick` smoke exits nonzero on them too). *)
@@ -238,40 +264,86 @@ let sim_bench_row case =
       let (_, cache_hit), lower_cached_s =
         time (fun () -> Lower.Pipeline.lower_cached arch kernel)
       in
-      (* Execute the plan twice on one domain (the lower-once/execute-many
-         shape); report the best run. *)
+      (* Execute the plan twice per engine on one domain (the
+         lower-once/execute-many shape); report each engine's best run.
+         [plan_s] keeps its v4 meaning — the closure-walking executor —
+         which must now be pinned explicitly because the default engine
+         is Bytecode. *)
       let plan_args = args () in
       let mw1 = Gc.minor_words () in
       let plan_counters, plan_s1 =
-        time (fun () -> Gpu_sim.Interp.run_plan ~domains:1 plan ~args:plan_args ())
+        time (fun () ->
+            Gpu_sim.Interp.run_plan ~domains:1 ~engine:Gpu_sim.Interp.Closure
+              plan ~args:plan_args ())
       in
       let plan_minor_words = Gc.minor_words () -. mw1 in
       let _, plan_s2 =
-        time (fun () -> Gpu_sim.Interp.run_plan ~domains:1 plan ~args:(args ()) ())
+        time (fun () ->
+            Gpu_sim.Interp.run_plan ~domains:1 ~engine:Gpu_sim.Interp.Closure
+              plan ~args:(args ()) ())
       in
       let plan_s = Float.min plan_s1 plan_s2 in
-      (* The same plan across [par_domains] domains, against fresh
-         buffers, so outputs can be compared bitwise to the 1-domain run. *)
+      let bc_args = args () in
+      let mw2 = Gc.minor_words () in
+      let bc_counters, bc_s1 =
+        time (fun () ->
+            Gpu_sim.Interp.run_plan ~domains:1 ~engine:Gpu_sim.Interp.Bytecode
+              plan ~args:bc_args ())
+      in
+      let bytecode_mw = Gc.minor_words () -. mw2 in
+      let _, bc_s2 =
+        time (fun () ->
+            Gpu_sim.Interp.run_plan ~domains:1 ~engine:Gpu_sim.Interp.Bytecode
+              plan ~args:(args ()) ())
+      in
+      let bytecode_s = Float.min bc_s1 bc_s2 in
+      (* The v4 parallel point: the closure engine across [par_domains]
+         domains, against fresh buffers, so outputs can be compared
+         bitwise to the 1-domain run. *)
       let par_args = args () in
       let par_counters, par_s =
         time (fun () ->
-            Gpu_sim.Interp.run_plan ~domains:par_domains plan ~args:par_args ())
+            Gpu_sim.Interp.run_plan ~domains:par_domains
+              ~engine:Gpu_sim.Interp.Closure plan ~args:par_args ())
+      in
+      (* The v5 sweep: the bytecode engine at each domain count, every
+         point bit-identity-checked against the 1-domain bytecode run. *)
+      let sweep =
+        List.map
+          (fun d ->
+            let a = args () in
+            let c, s =
+              time (fun () ->
+                  Gpu_sim.Interp.run_plan ~domains:d
+                    ~engine:Gpu_sim.Interp.Bytecode plan ~args:a ())
+            in
+            (d, s, counters_equal bc_counters c && buffers_equal bc_args a))
+          sweep_domains
       in
       let identical =
         counters_equal tree_counters plan_counters
         && counters_equal plan_counters par_counters
+        && counters_equal plan_counters bc_counters
+        && List.for_all (fun (_, _, ok) -> ok) sweep
       in
-      let outputs_identical = buffers_equal plan_args par_args in
-      ( tree_s
-      , tree_minor_words
-      , lower_s
-      , (cache_hit, lower_cached_s)
-      , plan_s
-      , plan_minor_words
-      , par_s
-      , identical
-      , outputs_identical
-      , plan_counters )
+      let outputs_identical =
+        buffers_equal plan_args par_args && buffers_equal plan_args bc_args
+      in
+      { tree_s
+      ; tree_mw = tree_minor_words
+      ; lower_s
+      ; cache_hit
+      ; lower_cached_s
+      ; plan_s
+      ; plan_mw = plan_minor_words
+      ; bytecode_s
+      ; bytecode_mw
+      ; par_s
+      ; sweep
+      ; identical
+      ; outputs_identical
+      ; plan_counters
+      }
     with
     | exception exn ->
       ( Printf.sprintf "{\"name\":%s,\"arch\":%s,\"error\":%s}"
@@ -279,21 +351,12 @@ let sim_bench_row case =
           (Gpu_sim.Trace.json_string (Graphene.Arch.name arch))
           (Gpu_sim.Trace.json_string (Printexc.to_string exn))
       , false )
-    | ( tree_s
-      , tree_minor_words
-      , lower_s
-      , (cache_hit, lower_cached_s)
-      , plan_s
-      , plan_minor_words
-      , par_s
-      , identical
-      , outputs_identical
-      , plan_counters ) ->
+    | r ->
       let cps s = if s > 0.0 then float_of_int cells /. s else Float.nan in
       let per_cell w = w /. float_of_int (max 1 cells) in
+      let plan_counters = r.plan_counters in
       let mw_reduction =
-        if plan_minor_words > 0.0 then tree_minor_words /. plan_minor_words
-        else Float.nan
+        if r.plan_mw > 0.0 then r.tree_mw /. r.plan_mw else Float.nan
       in
       (* Fraction of the global byte traffic carried by vector-widened
          (v2/v4) requests — the vectorize pass's yield on this kernel. *)
@@ -306,25 +369,49 @@ let sim_bench_row case =
           float_of_int plan_counters.C.global_vec_bytes
           /. float_of_int global_bytes
       in
-      let ok = identical && outputs_identical in
+      let ok = r.identical && r.outputs_identical in
       Format.printf
-        "%-24s %-4s tree %7.3fs  lower %6.4fs (cached %6.4fs)  plan %7.3fs  \
-         par[%d] %7.3fs (%4.2fx)  speedup %5.2fx  minor w/cell %5.1f -> \
-         %4.2f (%4.1fx)  vec %3.0f%%  counters %s@."
-        name (Graphene.Arch.name arch) tree_s lower_s lower_cached_s plan_s
-        par_domains par_s (plan_s /. par_s) (tree_s /. plan_s)
-        (per_cell tree_minor_words) (per_cell plan_minor_words) mw_reduction
+        "%-24s %-4s tree %7.3fs  lower %6.4fs (cached %6.4fs)  closure \
+         %7.3fs  bytecode %7.3fs (%4.2fx)  speedup %5.2fx  minor w/cell \
+         %5.1f -> %4.2f -> %4.2f  vec %3.0f%%  counters %s@."
+        name (Graphene.Arch.name arch) r.tree_s r.lower_s r.lower_cached_s
+        r.plan_s r.bytecode_s
+        (r.plan_s /. r.bytecode_s)
+        (r.tree_s /. r.bytecode_s)
+        (per_cell r.tree_mw) (per_cell r.plan_mw) (per_cell r.bytecode_mw)
         (100.0 *. vector_widened_frac)
         (if ok then "bit-identical" else "MISMATCH");
+      Format.printf "%26sdomains sweep (bytecode):%s@." ""
+        (String.concat ""
+           (List.map
+              (fun (d, s, _) ->
+                Printf.sprintf "  %dd %.3fs (%.2fx)" d s (r.bytecode_s /. s))
+              r.sweep));
+      let sweep_json =
+        String.concat ","
+          (List.map
+             (fun (d, s, sok) ->
+               Printf.sprintf
+                 "{\"domains\":%d,\"par_s\":%.6f,\"domains_speedup\":%.3f,\
+                  \"bit_identical\":%b}"
+                 d s (r.bytecode_s /. s) sok)
+             r.sweep)
+      in
       ( Printf.sprintf
           "{\"name\":%s,\"arch\":%s,\"cells\":%d,\"tree_s\":%.6f,\
            \"lower_s\":%.6f,\"lower_cached_s\":%.6f,\"lower_cache_hit\":%b,\
            \"plan_s\":%.6f,\"par_s\":%.6f,\"par_domains\":%d,\
            \"domains_speedup\":%.3f,\"speedup\":%.3f,\
+           \"bytecode_s\":%.6f,\"bytecode_speedup\":%.3f,\
+           \"speedup_bytecode\":%.3f,\"exec_engine\":\"bytecode\",\
+           \"domains_sweep\":[%s],\
            \"cells_per_sec_tree\":%.6g,\"cells_per_sec_plan\":%.6g,\
+           \"cells_per_sec_bytecode\":%.6g,\
            \"minor_words_tree\":%.0f,\"minor_words_plan\":%.0f,\
+           \"minor_words_bytecode\":%.0f,\
            \"minor_words_per_cell_tree\":%.6g,\
            \"minor_words_per_cell_plan\":%.6g,\
+           \"minor_words_per_cell_bytecode\":%.6g,\
            \"minor_words_reduction\":%.6g,\
            \"global_transactions\":%d,\"global_requests\":%d,\
            \"global_vec_requests\":%d,\"global_vec_bytes\":%d,\
@@ -334,16 +421,20 @@ let sim_bench_row case =
            \"counters_bit_identical\":%b,\"outputs_bit_identical\":%b}"
           (Gpu_sim.Trace.json_string name)
           (Gpu_sim.Trace.json_string (Graphene.Arch.name arch))
-          cells tree_s lower_s lower_cached_s cache_hit plan_s par_s
-          par_domains (plan_s /. par_s) (tree_s /. plan_s) (cps tree_s)
-          (cps plan_s) tree_minor_words plan_minor_words
-          (per_cell tree_minor_words) (per_cell plan_minor_words) mw_reduction
+          cells r.tree_s r.lower_s r.lower_cached_s r.cache_hit r.plan_s
+          r.par_s par_domains (r.plan_s /. r.par_s) (r.tree_s /. r.plan_s)
+          r.bytecode_s
+          (r.plan_s /. r.bytecode_s)
+          (r.tree_s /. r.bytecode_s)
+          sweep_json (cps r.tree_s) (cps r.plan_s) (cps r.bytecode_s) r.tree_mw
+          r.plan_mw r.bytecode_mw (per_cell r.tree_mw) (per_cell r.plan_mw)
+          (per_cell r.bytecode_mw) mw_reduction
           plan_counters.C.global_transactions plan_counters.C.global_requests
           plan_counters.C.global_vec_requests plan_counters.C.global_vec_bytes
           plan_counters.C.shared_requests plan_counters.C.shared_vec_requests
           plan_counters.C.shared_vec_bytes
-          plan_counters.C.shared_bank_conflicts vector_widened_frac identical
-          outputs_identical
+          plan_counters.C.shared_bank_conflicts vector_widened_frac r.identical
+          r.outputs_identical
       , ok ))
 
 let emit_sim_bench ?(quick = false) () =
@@ -365,10 +456,14 @@ let emit_sim_bench ?(quick = false) () =
   else begin
     let stats = Lower.Pipeline.cache_stats () in
     let oc = open_out "BENCH_sim.json" in
-    output_string oc "{\"schema\":\"graphene.sim_bench.v4\",\n";
+    output_string oc "{\"schema\":\"graphene.sim_bench.v5\",\n";
     output_string oc
-      (Printf.sprintf "\"par_domains\":%d,\"default_domains\":%d,\n" par_domains
-         (Gpu_sim.Domain_pool.default_domains ()));
+      (Printf.sprintf
+         "\"par_domains\":%d,\"default_domains\":%d,\"exec_engine\":%s,\n"
+         par_domains
+         (Gpu_sim.Domain_pool.default_domains ())
+         (Gpu_sim.Trace.json_string
+            (Gpu_sim.Interp.engine_name (Gpu_sim.Interp.default_plan_engine ()))));
     output_string oc "\"rows\":[\n";
     output_string oc (String.concat ",\n" rows);
     output_string oc "\n],\n";
@@ -423,6 +518,26 @@ let emit_serve_bench ?(quick = false) () =
   end
 
 let () =
+  (* `--engine tree|closure|bytecode` sets the default executor for
+     every run that does not pin one (the serve engine's shards, the
+     profile reports). The sim rows pin their engines explicitly, so
+     their closure-vs-bytecode comparison is unaffected. *)
+  (match
+     Array.to_list Sys.argv
+     |> List.fold_left
+          (fun (prev_was_flag, found) a ->
+            if prev_was_flag then (false, Some a)
+            else (String.equal a "--engine", found))
+          (false, None)
+   with
+  | _, Some e ->
+    (match Gpu_sim.Interp.engine_of_string e with
+    | Some _ -> Unix.putenv "GRAPHENE_SIM_ENGINE" e
+    | None ->
+      Format.eprintf
+        "unknown --engine %S (expected tree, closure or bytecode)@." e;
+      exit 2)
+  | _, None -> ());
   if Array.mem "--serve-only" Sys.argv then
     emit_serve_bench ~quick:(Array.mem "--quick" Sys.argv) ()
   else if Array.mem "--sim-only" Sys.argv then

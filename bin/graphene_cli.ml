@@ -268,15 +268,20 @@ let lower_cmd =
       Format.printf
         "bank-conflict lint: %d atomic(s) flagged, +%d conflict \
          cycle(s)/batch@."
-        flagged cycles
+        flagged cycles;
+    Format.printf "%s@."
+      (Lower.Bytecode.summary ~cta_size:plan.Lower.Plan.cta_size
+         (Lower.Bytecode.get plan))
   in
   Cmd.v
     (Cmd.info "lower"
        ~doc:
          "Run the lowering pipeline (validate, flatten, resolve, depcheck, \
-          vectorize, compile) on a kernel, printing the IR after every pass \
-          and the compiled execution plan, with each view's dependence tier, \
-          vector width and bank-conflict lint. See docs/LOWERING.md.")
+          vectorize, compile, bytecode) on a kernel, printing the IR after \
+          every pass, the compiled execution plan — with each view's \
+          dependence tier, vector width and bank-conflict lint — and the \
+          flattened bytecode (instruction histogram, scratch-arena size, \
+          dependence tiers). See docs/LOWERING.md.")
     Term.(const run $ arch_arg $ kernel_arg $ plan_only $ no_vectorize)
 
 let domains_arg =
@@ -290,6 +295,27 @@ let domains_arg =
            domain count). Results are bit-identical at every domain count; \
            see docs/PARALLELISM.md.")
 
+let engine_conv =
+  Arg.conv
+    ( (fun s ->
+        match Gpu_sim.Interp.engine_of_string s with
+        | Some e -> Ok e
+        | None -> Error (`Msg "expected tree|closure|bytecode")),
+      fun fmt e -> Format.pp_print_string fmt (Gpu_sim.Interp.engine_name e) )
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (some engine_conv) None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Plan execution engine: $(b,bytecode) (the flattened \
+           instruction-array executor), $(b,closure) (the compiled op-tree \
+           walker, kept as the drift oracle) or $(b,tree) (symbolic \
+           re-interpretation of the kernel, the reference semantics). \
+           Default: \\$GRAPHENE_SIM_ENGINE, else bytecode. All three \
+           produce bit-identical results; see docs/LOWERING.md.")
+
 let simulate_cmd =
   let check_domains =
     Arg.(
@@ -302,27 +328,38 @@ let simulate_cmd =
              report, Chrome trace and output buffers. Exits non-zero on any \
              difference.")
   in
-  let run arch name domains check =
+  let check_engines =
+    Arg.(
+      value & flag
+      & info [ "check-engines" ]
+          ~doc:
+            "Cross-engine determinism check: run the kernel with the tree \
+             engine (1 domain) as baseline, then with the closure and \
+             bytecode engines (bytecode also on 2 domains), and require \
+             bit-identical profiler report, Chrome trace and output \
+             buffers. Exits non-zero on any difference.")
+  in
+  let run arch name domains engine check check_eng =
     let kernel, args, verify = build arch name in
+    let copy l = List.map (fun (n, a) -> (n, Array.copy a)) l in
+    let one_run ?engine ~domains args =
+      let trace = Gpu_sim.Trace.create () in
+      let profiler = Gpu_sim.Profiler.create ~trace () in
+      let counters =
+        Gpu_sim.Interp.run ~arch ~profiler ~domains ?engine kernel ~args ()
+      in
+      let report =
+        Gpu_sim.Profiler.report profiler ~kernel ~arch ~counters ()
+      in
+      ( Gpu_sim.Profiler.report_to_json report
+      , Gpu_sim.Trace.to_chrome_string trace )
+    in
     (match check with
     | None -> ()
     | Some nd ->
-      let copy l = List.map (fun (n, a) -> (n, Array.copy a)) l in
-      let one_run ~domains args =
-        let trace = Gpu_sim.Trace.create () in
-        let profiler = Gpu_sim.Profiler.create ~trace () in
-        let counters =
-          Gpu_sim.Interp.run ~arch ~profiler ~domains kernel ~args ()
-        in
-        let report =
-          Gpu_sim.Profiler.report profiler ~kernel ~arch ~counters ()
-        in
-        ( Gpu_sim.Profiler.report_to_json report
-        , Gpu_sim.Trace.to_chrome_string trace )
-      in
       let args1 = copy args and argsn = copy args in
-      let report1, trace1 = one_run ~domains:1 args1 in
-      let reportn, tracen = one_run ~domains:nd argsn in
+      let report1, trace1 = one_run ?engine ~domains:1 args1 in
+      let reportn, tracen = one_run ?engine ~domains:nd argsn in
       let check_one what ok =
         Format.printf "  %-16s %s@." what
           (if ok then "bit-identical" else "MISMATCH");
@@ -334,7 +371,37 @@ let simulate_cmd =
       let ok_trace = check_one "chrome trace" (String.equal trace1 tracen) in
       let ok_bufs = check_one "output buffers" (args1 = argsn) in
       if not (ok_report && ok_trace && ok_bufs) then exit 1);
-    let counters = Gpu_sim.Interp.run ~arch ?domains kernel ~args () in
+    if check_eng then begin
+      let base_args = copy args in
+      let rbase, tbase =
+        one_run ~engine:Gpu_sim.Interp.Tree ~domains:1 base_args
+      in
+      Format.printf "engines: tree (1 domain) baseline@.";
+      let run_one (eng, nd) =
+        let a = copy args in
+        let r, t = one_run ~engine:eng ~domains:nd a in
+        let ok =
+          String.equal rbase r && String.equal tbase t && base_args = a
+        in
+        Format.printf "  %-8s %d domain(s)  %s@."
+          (Gpu_sim.Interp.engine_name eng)
+          nd
+          (if ok then "bit-identical" else "MISMATCH");
+        ok
+      in
+      (* no for_all: every engine should print, even after a mismatch *)
+      let oks =
+        List.map run_one
+          [ (Gpu_sim.Interp.Closure, 1)
+          ; (Gpu_sim.Interp.Bytecode, 1)
+          ; (Gpu_sim.Interp.Bytecode, 2)
+          ]
+      in
+      if List.mem false oks then exit 1
+    end;
+    let counters =
+      Gpu_sim.Interp.run ~arch ?domains ?engine kernel ~args ()
+    in
     Format.printf "%a@." Gpu_sim.Counters.pp counters;
     if verify () then Format.printf "result: matches CPU reference@."
     else begin
@@ -345,7 +412,9 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Execute a kernel on the simulated GPU and verify the result.")
-    Term.(const run $ arch_arg $ kernel_arg $ domains_arg $ check_domains)
+    Term.(
+      const run $ arch_arg $ kernel_arg $ domains_arg $ engine_arg
+      $ check_domains $ check_engines)
 
 let write_file path contents =
   try
@@ -371,12 +440,12 @@ let profile_cmd =
             "Also record one trace event per executed instruction instance \
              (larger trace files).")
   in
-  let run arch name out_dir detail domains =
+  let run arch name out_dir detail domains engine =
     let kernel, args, verify = build arch name in
     let trace = Gpu_sim.Trace.create () in
     let profiler = Gpu_sim.Profiler.create ~trace ~detail () in
     let counters =
-      Gpu_sim.Interp.run ~arch ~profiler ?domains kernel ~args ()
+      Gpu_sim.Interp.run ~arch ~profiler ?domains ?engine kernel ~args ()
     in
     let machine = Gpu_sim.Machine.of_arch arch in
     let report =
@@ -408,7 +477,9 @@ let profile_cmd =
           print the attribution report (instruction mix, bytes, coalescing, \
           bank conflicts, roofline placement) and write a JSON report plus \
           a Chrome-trace timeline. See docs/PROFILING.md.")
-    Term.(const run $ arch_arg $ kernel_arg $ out_dir $ detail $ domains_arg)
+    Term.(
+      const run $ arch_arg $ kernel_arg $ out_dir $ detail $ domains_arg
+      $ engine_arg)
 
 let tune_cmd =
   let mnk =
@@ -503,9 +574,16 @@ let serve_cmd =
     Arg.(
       value & opt string "BENCH_serve.json"
       & info [ "o"; "output" ] ~docv:"FILE"
-          ~doc:"Where to write the graphene.serve_bench.v1 JSON report.")
+          ~doc:"Where to write the graphene.serve_bench.v2 JSON report.")
   in
-  let run seed requests rate tick cell_cap batch_cap quick out domains =
+  let run seed requests rate tick cell_cap batch_cap quick out domains engine =
+    (* Serve.Engine executes through [Interp.default_plan_engine]; route
+       the flag through the environment variable it reads so the whole
+       run — and the recorded [config.exec_engine] — agree. *)
+    Option.iter
+      (fun e ->
+        Unix.putenv "GRAPHENE_SIM_ENGINE" (Gpu_sim.Interp.engine_name e))
+      engine;
     let params =
       { Serve.Traffic.default with
         Serve.Traffic.seed
@@ -531,7 +609,7 @@ let serve_cmd =
     in
     Format.printf "%a" Serve.Metrics.pp_summary result.Serve.Engine.summary;
     write_file out (Serve.Metrics.to_json result.Serve.Engine.summary);
-    Format.printf "wrote %s (schema graphene.serve_bench.v1)@." out
+    Format.printf "wrote %s (schema graphene.serve_bench.v2)@." out
   in
   Cmd.v
     (Cmd.info "serve"
@@ -545,7 +623,7 @@ let serve_cmd =
           docs/SERVING.md.")
     Term.(
       const run $ seed $ requests $ rate $ tick $ cell_cap $ batch_cap
-      $ quick $ out $ domains_arg)
+      $ quick $ out $ domains_arg $ engine_arg)
 
 let layout_cmd =
   (* A self-checking walkthrough of the CuTe layout algebra

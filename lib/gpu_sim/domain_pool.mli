@@ -42,3 +42,16 @@ val run_list : t -> (unit -> 'a) list -> 'a list
     same split (the deterministic-merge contract relies on this). At most
     [total] (and at least one) ranges are returned. *)
 val block_ranges : total:int -> chunks:int -> (int * int) list
+
+(** [cost_chunk_size ~total ~domains ~block_ns] — the work-chunk size
+    (in blocks) the parallel executor schedules at, derived from the
+    measured per-block cost [block_ns]: chunks aim at a fixed wall-time
+    target (~2 ms) so per-chunk overhead amortizes, bounded below by
+    ~4 chunks per domain for balance. Always in [1, max 1 total];
+    monotone nonincreasing in [block_ns] and in [domains]. *)
+val cost_chunk_size : total:int -> domains:int -> block_ns:int -> int
+
+(** The ascending contiguous chunk list {!cost_chunk_size} induces:
+    [(0,c); (c,2c); ...], last chunk partial, covering [0, total)
+    exactly (empty for [total <= 0]). Every chunk is nonempty. *)
+val cost_chunks : total:int -> domains:int -> block_ns:int -> (int * int) list

@@ -13,12 +13,17 @@ exception Exec_error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Exec_error s)) fmt
 
+(* [counters] and [prof] are mutable so a long-lived per-domain executor
+   state can be re-targeted at a fresh sink per work chunk (see
+   [run_grid]): the expensive parts of the state — memory arenas,
+   hoisting caches, scratch — persist across chunks, only the
+   observable sinks swap. *)
 type ctx =
   { arch : Graphene.Arch.t
   ; mem : Memory.t
-  ; counters : Counters.t
+  ; mutable counters : Counters.t
   ; cta_size : int
-  ; prof : Profiler.t option
+  ; mutable prof : Profiler.t option
   ; mutable block : int  (* blockIdx.x of the block currently executing *)
   }
 
@@ -298,50 +303,169 @@ let shared_alloc_size (t : Ts.t) =
    Thread blocks are independent: each owns its shared memory, register
    files and barrier scope, and distinct blocks write disjoint global
    cells (the same contract real hardware gives a kernel). So the grid
-   splits into contiguous ascending block ranges, one per domain; each
-   domain executes its range against the shared global arena with private
-   block-local memory, its own counters and a forked profiler. Merging
-   the per-domain counters and profiler states back in ascending range
-   order makes every observable — counters, profiler reports, Chrome
-   traces, output buffers — bit-identical to the 1-domain run. See
-   docs/PARALLELISM.md for the full argument. *)
+   splits into contiguous ascending block *chunks*, sized from the
+   measured per-block cost (Domain_pool.cost_chunk_size); domains claim
+   chunks ascending off a shared atomic (chunk-granularity stealing with
+   ascending affinity), each executing against the shared global arena
+   with private block-local memory, a fresh per-chunk counter set and a
+   forked profiler. Finished chunks merge into the main sinks *eagerly*,
+   in ascending chunk order, while later chunks are still executing —
+   merge order is deterministic, so every observable — counters, profiler
+   reports, Chrome traces, output buffers — stays bit-identical to the
+   1-domain run regardless of which domain ran which chunk or when.
+   See docs/PARALLELISM.md for the full argument. *)
 
+(* [auto] distinguishes defaulted parallelism (neither [?domains] nor
+   GRAPHENE_SIM_DOMAINS given) from requested parallelism: only a
+   defaulted run may fall back to sequential execution when the probe
+   says the grid is too cheap to parallelize. An explicit domain count
+   always takes the parallel path — the bit-identity suites rely on
+   actually exercising it. *)
 let resolve_domains ?domains ~grid_size () =
+  let auto = domains = None && Sys.getenv_opt "GRAPHENE_SIM_DOMAINS" = None in
   let d =
     match domains with Some d -> d | None -> Domain_pool.default_domains ()
   in
-  max 1 (min d grid_size)
+  (max 1 (min d grid_size), auto)
 
-(* [exec_range ~counters ~profiler lo hi] must execute blocks
-   [lo, hi) into the given sinks, touching no other shared state. *)
-let run_grid ~domains ~grid_size ~counters ~profiler ~exec_range =
-  if domains <= 1 then exec_range ~counters ~profiler 0 grid_size
+(* Below this estimated remaining-work wall time, a defaulted run
+   finishes sequentially: pool dispatch, per-domain executor state and
+   chunk bookkeeping would cost more than they save. *)
+let sequential_cutoff_ns = 400_000
+
+let merge_chunk ~counters ~profiler (c, p) =
+  Counters.merge counters c;
+  match (profiler, p) with
+  | Some dst, Some src -> Profiler.merge_into dst src
+  | _ -> ()
+
+(* The engine-agnostic parallel driver. ['st] is one domain's executor
+   state (memory + contexts), built once per domain by [make_state] and
+   re-targeted at per-chunk sinks by [set_sinks]; [exec_block st bid]
+   executes one thread block into the state's current sinks, touching no
+   other shared state. Block 0 runs first on the submitting domain,
+   timed, to learn the per-block cost that sizes the chunks. *)
+let run_grid (type st) ~domains ~auto ~grid_size ~counters ~profiler
+    ~(make_state : unit -> st) ~(set_sinks : st -> Counters.t -> Profiler.t option -> unit)
+    ~(exec_block : st -> int -> unit) () =
+  if domains <= 1 || grid_size <= 1 then begin
+    let st = make_state () in
+    set_sinks st counters profiler;
+    for bid = 0 to grid_size - 1 do
+      exec_block st bid
+    done
+  end
   else begin
-    let ranges = Domain_pool.block_ranges ~total:grid_size ~chunks:domains in
-    let tasks =
-      List.map
-        (fun (lo, hi) () ->
-          let c = Counters.create () in
-          let p = Option.map Profiler.fork profiler in
-          exec_range ~counters:c ~profiler:p lo hi;
-          (c, p))
-        ranges
-    in
-    match Domain_pool.run_list (Domain_pool.global ()) tasks with
-    | results ->
-      List.iter
-        (fun (c, p) ->
-          Counters.merge counters c;
-          match (profiler, p) with
-          | Some dst, Some src -> Profiler.merge_into dst src
-          | _ -> ())
-        results
-    | exception Domain_pool.Task_error (_, e, bt) ->
-      (* Lowest-range failure, i.e. the one the sequential run would have
-         hit first (each domain stops at the first failing block of its
-         range). Re-raised as itself so callers see Exec_error / Fault
-         exactly as in a 1-domain run. *)
-      Printexc.raise_with_backtrace e bt
+    (* Probe block 0 into a fork merged immediately, so the observable
+       stream stays ascending whatever happens next. *)
+    let st0 = make_state () in
+    let c0 = Counters.create () in
+    let p0 = Option.map Profiler.fork profiler in
+    set_sinks st0 c0 p0;
+    let t0 = Unix.gettimeofday () in
+    exec_block st0 0;
+    let block_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+    merge_chunk ~counters ~profiler (c0, p0);
+    let rest = grid_size - 1 in
+    if auto && rest * block_ns < sequential_cutoff_ns then begin
+      (* Too cheap to parallelize: finish on the probe's state, recording
+         straight into the main sinks (equivalent to merging per-block
+         forks, by the merge contract — just without the forks). *)
+      set_sinks st0 counters profiler;
+      for bid = 1 to grid_size - 1 do
+        exec_block st0 bid
+      done
+    end
+    else begin
+      let chunk = Domain_pool.cost_chunk_size ~total:rest ~domains ~block_ns in
+      let nchunks = (rest + chunk - 1) / chunk in
+      let next = Stdlib.Atomic.make 0 in
+      let abort = Stdlib.Atomic.make false in
+      let results :
+          ( (Counters.t * Profiler.t option, exn * Printexc.raw_backtrace)
+            Stdlib.result
+            option
+          )
+            array =
+        Array.make nchunks None
+      in
+      (* Merge frontier: chunks [0, !merged) have been folded into the
+         main sinks. Advancing stops at a failed chunk — nothing at or
+         past the lowest failure is ever merged, exactly like a
+         sequential run that raised there. *)
+      let merged = ref 0 in
+      let merge_mutex = Mutex.create () in
+      let publish i r =
+        Mutex.lock merge_mutex;
+        results.(i) <- Some r;
+        let continue = ref true in
+        while !continue && !merged < nchunks do
+          match results.(!merged) with
+          | Some (Ok cp) ->
+            merge_chunk ~counters ~profiler cp;
+            incr merged
+          | Some (Error _) | None -> continue := false
+        done;
+        Mutex.unlock merge_mutex
+      in
+      (* Each pool task is one domain's claim loop; executor state is
+         built lazily on first claim (the submitting domain reuses the
+         probe's). Claims are ascending, so every chunk below the lowest
+         failing one is claimed before it and runs to completion. *)
+      let worker st_init () =
+        let st = ref st_init in
+        let continue = ref true in
+        while !continue do
+          if Stdlib.Atomic.get abort then continue := false
+          else begin
+            let i = Stdlib.Atomic.fetch_and_add next 1 in
+            if i >= nchunks then continue := false
+            else begin
+              let st =
+                match !st with
+                | Some s -> s
+                | None ->
+                  let s = make_state () in
+                  st := Some s;
+                  s
+              in
+              let c = Counters.create () in
+              let p = Option.map Profiler.fork profiler in
+              set_sinks st c p;
+              let lo = 1 + (i * chunk) in
+              let hi = min grid_size (lo + chunk) in
+              let r =
+                match
+                  for bid = lo to hi - 1 do
+                    exec_block st bid
+                  done
+                with
+                | () -> Ok (c, p)
+                | exception e ->
+                  Stdlib.Atomic.set abort true;
+                  Error (e, Printexc.get_raw_backtrace ())
+              in
+              publish i r
+            end
+          end
+        done
+      in
+      let ndom = min domains nchunks in
+      (* Task 0 runs on the submitting domain (Domain_pool.run_list),
+         which built st0 — so the probe's state is reused there. *)
+      ignore
+        (Domain_pool.run_list (Domain_pool.global ())
+           (List.init ndom (fun i -> worker (if i = 0 then Some st0 else None))));
+      if !merged < nchunks then begin
+        match results.(!merged) with
+        | Some (Error (e, bt)) ->
+          (* The lowest failing chunk — the failure a sequential run
+             would hit first. Re-raised as itself so callers see
+             Exec_error / Fault exactly as in a 1-domain run. *)
+          Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> assert false
+      end
+    end
   end
 
 let run_tree ~arch ?profiler ?domains (k : Spec.kernel) ~args ?(scalars = []) ()
@@ -369,21 +493,22 @@ let run_tree ~arch ?profiler ?domains (k : Spec.kernel) ~args ?(scalars = []) ()
   in
   let all_threads = List.init cta_size Fun.id in
   let counters = Counters.create () in
-  let exec_range ~counters ~profiler lo hi =
-    let mem = Memory.of_global arena in
-    declare mem;
-    let ctx = { arch; mem; counters; cta_size; prof = profiler; block = 0 } in
-    for bid = lo to hi - 1 do
-      Memory.new_block mem;
+  let domains, auto = resolve_domains ?domains ~grid_size () in
+  run_grid ~domains ~auto ~grid_size ~counters ~profiler
+    ~make_state:(fun () ->
+      let mem = Memory.of_global arena in
+      declare mem;
+      { arch; mem; counters; cta_size; prof = None; block = 0 })
+    ~set_sinks:(fun ctx c p ->
+      ctx.counters <- c;
+      ctx.prof <- p)
+    ~exec_block:(fun ctx bid ->
+      Memory.new_block ctx.mem;
       ctx.block <- bid;
       Option.iter Profiler.begin_block ctx.prof;
       let env v = if String.equal v "blockIdx.x" then bid else base_env v in
-      List.iter (exec_stmt ctx env all_threads) k.Spec.body
-    done
-  in
-  run_grid
-    ~domains:(resolve_domains ?domains ~grid_size ())
-    ~grid_size ~counters ~profiler ~exec_range;
+      List.iter (exec_stmt ctx env all_threads) k.Spec.body)
+    ();
   counters
 
 (* ===== the compiled-plan executor =====
@@ -924,63 +1049,466 @@ let make_pctx ctx (plan : P.t) (env : int array) =
     plan.P.body;
   px
 
-let run_plan ?profiler ?domains (plan : P.t) ~args ?(scalars = []) () =
-  let arena = Memory.create_global () in
-  List.iter (fun (name, data) -> Memory.bind_arena arena name data) args;
-  let declare mem =
-    List.iter
-      (fun (al : P.alloc) ->
-        match al.P.al_mem with
-        | Ms.Shared -> Memory.declare_shared mem al.P.al_buffer al.P.al_size
-        | Ms.Register -> Memory.declare_regs mem al.P.al_buffer al.P.al_size
-        | Ms.Global -> error "Alloc of a global tensor %s" al.P.al_buffer)
-      plan.P.allocs
+(* ===== the bytecode executor =====
+
+   Runs the flattened form of a plan (Lower.Bytecode): a dense
+   int-tagged instruction array driven by a tight tail-recursive match
+   over the opcode word. Compared to the closure walker above it
+   eliminates the steady-state allocation the boxed op tree forces:
+   [Option.iter] closures on every profiler hook (allocated even with no
+   profiler attached), [List.iter] partial applications per loop
+   iteration and branch arm, two fresh mask arrays per divergent branch
+   (replaced by a preallocated per-depth arena in [bc_taken] /
+   [bc_not_taken]), and the per-call instruction-name parse inside
+   [Semantics.exec] (replaced by dispatch tags pre-resolved once with
+   [Semantics.classify]). Allocation-freedom is what makes multi-domain
+   execution profitable: OCaml 5 minor collections stop every domain, so
+   the closure walker's allocation rate caps parallel speedup.
+
+   Observable behavior — counters, profiler events and their order,
+   traces, error messages, memory effects — is bit-identical to the
+   closure walker and to [run_tree]; test/test_bytecode.ml pins that
+   down. The closure walker stays selectable (the [Closure] engine)
+   as the drift oracle. *)
+
+type bctx =
+  { bp : pctx
+  ; bc_code : int array
+  ; bc_atomics : P.atomic array
+  ; bc_exprs : (int array -> int) array
+  ; bc_conds : (int array -> bool) array
+  ; bc_labels : string array
+  ; bc_fails : string array
+  ; bc_sem : Semantics.code array  (* by a_id: pre-resolved dispatch *)
+  ; bc_taken : WM.t array  (* divergence mask arena, by branch depth *)
+  ; bc_not_taken : WM.t array
+  }
+
+let make_bctx ctx (plan : P.t) env =
+  let bp = make_pctx ctx plan env in
+  let bc = Lower.Bytecode.get plan in
+  let nwords = WM.nwords ~cta_size:plan.P.cta_size in
+  { bp
+  ; bc_code = bc.P.bc_code
+  ; bc_atomics = bc.P.bc_atomics
+  ; bc_exprs = bc.P.bc_exprs
+  ; bc_conds = bc.P.bc_conds
+  ; bc_labels = bc.P.bc_labels
+  ; bc_fails = bc.P.bc_fails
+  ; bc_sem =
+      Array.map
+        (fun (a : P.atomic) ->
+          Semantics.classify ~instr:a.P.a_instr ~spec:a.P.a_spec)
+        bc.P.bc_atomics
+  ; bc_taken = Array.init bc.P.bc_max_depth (fun _ -> Array.make nwords 0)
+  ; bc_not_taken = Array.init bc.P.bc_max_depth (fun _ -> Array.make nwords 0)
+  }
+
+(* Allocation-free twins of the closure walker's helpers: direct matches
+   on [ctx.prof] instead of [Option.iter] closures, [for] loops instead
+   of [Array.iter]/[List.iter]. Event order, payloads and error strings
+   must stay in sync with the originals above — the bit-identity suite
+   compares the two engines event for event. *)
+
+let bc_record_batch px w wmask ~store (pv : P.view) =
+  match pv.P.v_mem with
+  | Ms.Register -> ()
+  | Ms.Global | Ms.Shared ->
+    let env = px.env and addrs = px.addrs in
+    let n = ref 0 in
+    if pv.P.v_dep.Depcheck.d_tier = Depcheck.Thread then begin
+      let base = w * 32 in
+      for l = 0 to 31 do
+        if wmask land (1 lsl l) <> 0 then begin
+          env.(Slots.tid_slot) <- base + l;
+          let a = pv.P.v_addr0 env in
+          if a <> no_addr then begin
+            Array.unsafe_set addrs !n (a * pv.P.v_elt_bytes);
+            incr n
+          end
+        end
+      done
+    end
+    else begin
+      let a = pv.P.v_addr0 env in
+      if a <> no_addr then begin
+        let count = WM.popcount32 wmask in
+        let byte = a * pv.P.v_elt_bytes in
+        for i = 0 to count - 1 do
+          Array.unsafe_set addrs i byte
+        done;
+        n := count
+      end
+    end;
+    if !n > 0 then begin
+      let ctx = px.c in
+      let bytes = pv.P.v_batch_bytes in
+      Counters.record_requests ctx.counters
+        ~global:(Ms.equal pv.P.v_mem Ms.Global)
+        ~elems:(bytes / pv.P.v_elt_bytes)
+        ~width:pv.P.v_vec_width ~bytes:(bytes * !n);
+      if Ms.equal pv.P.v_mem Ms.Global then begin
+        Counters.record_global_batcha ctx.counters ~store ~bytes addrs ~len:!n;
+        match ctx.prof with
+        | Some p ->
+          Profiler.on_global_batcha p ~block:ctx.block ~store ~bytes ~warp:w
+            addrs ~len:!n
+        | None -> ()
+      end
+      else begin
+        Counters.record_shared_batcha ctx.counters ~store ~bytes addrs ~len:!n;
+        match ctx.prof with
+        | Some p ->
+          Profiler.on_shared_batcha p ~block:ctx.block ~store ~bytes ~warp:w
+            addrs ~len:!n
+        | None -> ()
+      end
+    end
+
+let rec bc_record_batches px w wmask ~store = function
+  | [] -> ()
+  | pv :: tl ->
+    bc_record_batch px w wmask ~store pv;
+    bc_record_batches px w wmask ~store tl
+
+let bc_account_cost ctx (a : P.atomic) ~instances =
+  let c = a.P.a_cost in
+  if a.P.a_is_tc then
+    ctx.counters.Counters.tensor_core_flops <-
+      ctx.counters.Counters.tensor_core_flops + (c.Atomic.flops * instances)
+  else
+    ctx.counters.Counters.flops <-
+      ctx.counters.Counters.flops + (c.Atomic.flops * instances);
+  ctx.counters.Counters.instructions <-
+    ctx.counters.Counters.instructions
+    + (c.Atomic.instructions * instances)
+    - instances;
+  Counters.add_instr_n ctx.counters a.P.a_instr.Atomic.name instances;
+  match ctx.prof with
+  | Some p ->
+    Profiler.on_cost p ~instr:a.P.a_instr.Atomic.name ~tc:a.P.a_is_tc
+      ~flops:c.Atomic.flops ~instructions:c.Atomic.instructions ~instances
+  | None -> ()
+
+let bc_exec_per_thread bx (a : P.atomic) sem (mask : WM.t) =
+  let px = bx.bp in
+  let ctx = px.c in
+  let env = px.env in
+  let envf = px.a_envf.(a.P.a_id) in
+  let offs = px.a_offs.(a.P.a_id) in
+  let trace = sem_trace ctx in
+  let fastcopy = a.P.a_fastcopy && trace = None in
+  let total = ref 0 in
+  for w = 0 to Array.length mask - 1 do
+    let m = Array.unsafe_get mask w in
+    if m <> 0 then begin
+      bc_record_batches px w m ~store:false a.P.a_ins;
+      bc_record_batches px w m ~store:true a.P.a_outs;
+      if fastcopy then exec_plan_fastcopy px a w m
+      else begin
+        let base = w * 32 in
+        for l = 0 to 31 do
+          if m land (1 lsl l) <> 0 then begin
+            let tid = base + l in
+            env.(Slots.tid_slot) <- tid;
+            px.members1.(0) <- tid;
+            Semantics.exec_coded ?trace ~block:ctx.block ~offs ctx.mem sem
+              ~instr:a.P.a_instr ~spec:a.P.a_spec ~env:envf
+              ~members:px.members1
+          end
+        done
+      end;
+      let lanes = WM.popcount32 m in
+      total := !total + lanes;
+      match ctx.prof with
+      | Some p ->
+        Profiler.exec_event p ~block:ctx.block ~warp:w ~lanes ~dur:a.P.a_dur
+      | None -> ()
+    end
+  done;
+  bc_account_cost ctx a ~instances:!total
+
+let bc_record_ldmatrix px (a : P.atomic) ~trans x members =
+  let ctx = px.c in
+  match a.P.a_ld_rows with
+  | Some (rows, elt_bytes) ->
+    px.env.(Slots.tid_slot) <- members.(0);
+    for j = 0 to x - 1 do
+      let rj = rows.(j) in
+      for r = 0 to 7 do
+        let addr = rj.(r) px.env in
+        if addr = no_addr then invalid_arg "index out of bounds";
+        Array.unsafe_set px.ld8 r (addr * elt_bytes)
+      done;
+      Counters.record_shared_batcha ctx.counters ~store:false ~bytes:16 px.ld8
+        ~len:8;
+      Counters.record_requests ctx.counters ~global:false ~elems:1 ~width:1
+        ~bytes:0;
+      match ctx.prof with
+      | Some p ->
+        Profiler.on_shared_batcha p ~block:ctx.block ~store:false ~bytes:16
+          ~warp:(members.(0) / 32) px.ld8 ~len:8
+      | None -> ()
+    done
+  | None ->
+    record_ldmatrix ctx ~trans x a.P.a_spec (px.a_envf.(a.P.a_id)) members
+
+let bc_exec_collective bx (a : P.atomic) sem (mask : WM.t) =
+  let px = bx.bp in
+  let ctx = px.c in
+  let groups = plan_groups px a mask in
+  let offs = px.a_offs.(a.P.a_id) in
+  let envf = px.a_envf.(a.P.a_id) in
+  let trace = sem_trace ctx in
+  for g = 0 to Array.length groups - 1 do
+    let members = Array.unsafe_get groups g in
+    (match a.P.a_ldmatrix with
+    | Some (x, trans) -> bc_record_ldmatrix px a ~trans x members
+    | None -> ());
+    (Semantics.exec_coded ?trace ~block:ctx.block ~offs ctx.mem sem
+      ~instr:a.P.a_instr ~spec:a.P.a_spec ~env:envf ~members);
+    match ctx.prof with
+    | Some p ->
+      Profiler.exec_event p ~block:ctx.block ~warp:(members.(0) / 32)
+        ~lanes:(Array.length members) ~dur:a.P.a_dur
+    | None -> ()
+  done;
+  bc_account_cost ctx a ~instances:(Array.length groups)
+
+(* The dispatch loop: execute instructions in [pc, endpc) under [mask].
+   The literal opcodes must match the Lower.Bytecode.op_* constants
+   (test_bytecode.ml pins them); literals keep the match a direct jump.
+   Structured ops recurse into their body range, then tail-continue at
+   the instruction after it. *)
+let rec bc_exec bx (mask : WM.t) pc endpc =
+  if pc < endpc then begin
+    let code = bx.bc_code in
+    match Array.unsafe_get code pc with
+    | 0 (* exec: a_id *) ->
+      let a_id = Array.unsafe_get code (pc + 1) in
+      let a = Array.unsafe_get bx.bc_atomics a_id in
+      let ctx = bx.bp.c in
+      (match ctx.prof with
+      | Some p ->
+        Profiler.begin_atomic p ~label:a.P.a_label ~kind:a.P.a_kind
+          ~instr:a.P.a_instr.Atomic.name
+      | None -> ());
+      let sem = Array.unsafe_get bx.bc_sem a_id in
+      if a.P.a_per_thread then bc_exec_per_thread bx a sem mask
+      else bc_exec_collective bx a sem mask;
+      bc_exec bx mask (pc + 2) endpc
+    | 1 (* loop: slot lo hi step label body_len *) ->
+      let env = bx.bp.env in
+      let slot = code.(pc + 1) in
+      let lo = bx.bc_exprs.(code.(pc + 2)) env in
+      let hi = bx.bc_exprs.(code.(pc + 3)) env in
+      let step = bx.bc_exprs.(code.(pc + 4)) env in
+      let label = bx.bc_labels.(code.(pc + 5)) in
+      let body_len = code.(pc + 6) in
+      if step <= 0 then error "loop %s has non-positive step" label;
+      let ctx = bx.bp.c in
+      (match ctx.prof with
+      | Some p -> Profiler.enter_frame p label
+      | None -> ());
+      let body = pc + 7 in
+      let v = ref lo in
+      while !v < hi do
+        env.(slot) <- !v;
+        bc_exec bx mask body (body + body_len);
+        v := !v + step
+      done;
+      (match ctx.prof with Some p -> Profiler.exit_frame p | None -> ());
+      bc_exec bx mask (body + body_len) endpc
+    | 2 (* uniform branch: cond then_len else_len *) ->
+      let then_len = code.(pc + 2) and else_len = code.(pc + 3) in
+      let tstart = pc + 4 in
+      if bx.bc_conds.(code.(pc + 1)) bx.bp.env then
+        bc_exec bx mask tstart (tstart + then_len)
+      else bc_exec bx mask (tstart + then_len) (tstart + then_len + else_len);
+      bc_exec bx mask (tstart + then_len + else_len) endpc
+    | 3 (* divergent branch: cond depth then_len else_len *) ->
+      let env = bx.bp.env in
+      let cond = bx.bc_conds.(code.(pc + 1)) in
+      let depth = code.(pc + 2) in
+      let then_len = code.(pc + 3) and else_len = code.(pc + 4) in
+      (* The per-depth arena pair: safe to reuse because everything
+         emitted inside this branch's bodies sits at depth+1 or deeper,
+         and the words are rewritten wholesale — including zeroing
+         where the incoming mask word is 0, since a previous branch at
+         this depth may have left stale bits there. *)
+      let taken = Array.unsafe_get bx.bc_taken depth in
+      let not_taken = Array.unsafe_get bx.bc_not_taken depth in
+      for w = 0 to Array.length mask - 1 do
+        let m = Array.unsafe_get mask w in
+        if m = 0 then begin
+          Array.unsafe_set taken w 0;
+          Array.unsafe_set not_taken w 0
+        end
+        else begin
+          let t = ref 0 in
+          let base = w * 32 in
+          for l = 0 to 31 do
+            if m land (1 lsl l) <> 0 then begin
+              env.(Slots.tid_slot) <- base + l;
+              if cond env then t := !t lor (1 lsl l)
+            end
+          done;
+          Array.unsafe_set taken w !t;
+          Array.unsafe_set not_taken w (m land lnot !t)
+        end
+      done;
+      let tstart = pc + 5 in
+      if not (WM.is_empty taken) then
+        bc_exec bx taken tstart (tstart + then_len);
+      (* else_len = 0 iff the op tree's else body was empty: skip it
+         without consulting the mask, like the walker's [b_else <> []]. *)
+      if else_len > 0 && not (WM.is_empty not_taken) then
+        bc_exec bx not_taken (tstart + then_len)
+          (tstart + then_len + else_len);
+      bc_exec bx mask (tstart + then_len + else_len) endpc
+    | 4 (* barrier *) ->
+      let ctx = bx.bp.c in
+      let active = WM.popcount mask in
+      if active <> ctx.cta_size then
+        error
+          "__syncthreads() inside divergent control flow (%d of %d threads)"
+          active ctx.cta_size;
+      (match ctx.prof with
+      | Some p -> Profiler.on_barrier p ~block:ctx.block
+      | None -> ());
+      bc_exec bx mask (pc + 1) endpc
+    | 5 (* frame: label body_len *) ->
+      let label = bx.bc_labels.(code.(pc + 1)) in
+      let body_len = code.(pc + 2) in
+      let ctx = bx.bp.c in
+      (match ctx.prof with
+      | Some p -> Profiler.enter_frame p label
+      | None -> ());
+      bc_exec bx mask (pc + 3) (pc + 3 + body_len);
+      (match ctx.prof with Some p -> Profiler.exit_frame p | None -> ());
+      bc_exec bx mask (pc + 3 + body_len) endpc
+    | 6 (* fail *) -> error "%s" bx.bc_fails.(code.(pc + 1))
+    | op -> error "corrupt bytecode: opcode %d at pc %d" op pc
+  end
+
+(* ===== engine selection ===== *)
+
+type engine =
+  | Tree
+  | Closure
+  | Bytecode
+
+let engine_name = function
+  | Tree -> "tree"
+  | Closure -> "closure"
+  | Bytecode -> "bytecode"
+
+let engine_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "tree" -> Some Tree
+  | "closure" -> Some Closure
+  | "bytecode" -> Some Bytecode
+  | _ -> None
+
+let default_plan_engine () =
+  match Sys.getenv_opt "GRAPHENE_SIM_ENGINE" with
+  | None -> Bytecode
+  | Some s -> (
+    match engine_of_string s with
+    | Some e -> e
+    | None ->
+      error "invalid GRAPHENE_SIM_ENGINE %S (expected tree, closure or \
+             bytecode)"
+        s)
+
+let run_plan ?profiler ?domains ?engine (plan : P.t) ~args ?(scalars = []) () =
+  let engine =
+    match engine with Some e -> e | None -> default_plan_engine ()
   in
-  let base_env = Array.make plan.P.nslots Slots.unbound in
-  List.iter
-    (fun (name, v) ->
-      match List.assoc_opt name plan.P.scalar_slots with
-      | Some slot -> base_env.(slot) <- v
-      | None -> () (* extra scalar args are ignored, as in run_tree *))
-    scalars;
-  let grid_size = plan.P.grid_size in
-  let counters = Counters.create () in
-  let exec_range ~counters ~profiler lo hi =
-    let mem = Memory.of_global arena in
-    declare mem;
-    let ctx =
+  match engine with
+  | Tree ->
+    (* The oracle: re-interpret the plan's source kernel symbolically. *)
+    run_tree ~arch:plan.P.arch ?profiler ?domains plan.P.kernel ~args ~scalars
+      ()
+  | (Closure | Bytecode) as engine ->
+    let arena = Memory.create_global () in
+    List.iter (fun (name, data) -> Memory.bind_arena arena name data) args;
+    let declare mem =
+      List.iter
+        (fun (al : P.alloc) ->
+          match al.P.al_mem with
+          | Ms.Shared -> Memory.declare_shared mem al.P.al_buffer al.P.al_size
+          | Ms.Register -> Memory.declare_regs mem al.P.al_buffer al.P.al_size
+          | Ms.Global -> error "Alloc of a global tensor %s" al.P.al_buffer)
+        plan.P.allocs
+    in
+    let base_env = Array.make plan.P.nslots Slots.unbound in
+    List.iter
+      (fun (name, v) ->
+        match List.assoc_opt name plan.P.scalar_slots with
+        | Some slot -> base_env.(slot) <- v
+        | None -> () (* extra scalar args are ignored, as in run_tree *))
+      scalars;
+    let grid_size = plan.P.grid_size in
+    let counters = Counters.create () in
+    let domains, auto = resolve_domains ?domains ~grid_size () in
+    (* Each domain state gets its own block-local memory, its own copy of
+       the scalar bindings (the slot env is mutated during execution) and
+       its own hoisting caches and scratch buffers, shared by nothing. *)
+    let fresh_ctx () =
+      let mem = Memory.of_global arena in
+      declare mem;
       { arch = plan.P.arch
       ; mem
       ; counters
       ; cta_size = plan.P.cta_size
-      ; prof = profiler
+      ; prof = None
       ; block = 0
       }
     in
-    (* The slot env is mutated during execution (thread/loop slots), so
-       every range gets its own copy of the scalar bindings — and its own
-       hoisting caches and scratch buffers (pctx), shared by nothing. *)
-    let env = Array.copy base_env in
-    let px = make_pctx ctx plan env in
-    try
-      for bid = lo to hi - 1 do
-        Memory.new_block mem;
-        ctx.block <- bid;
-        Option.iter Profiler.begin_block ctx.prof;
-        env.(Slots.bid_slot) <- bid;
-        List.iter (exec_plan_op px px.full) plan.P.body
-      done
-    with Slots.Unbound_var v ->
-      error "unbound variable %s (missing scalar argument?)" v
-  in
-  run_grid
-    ~domains:(resolve_domains ?domains ~grid_size ())
-    ~grid_size ~counters ~profiler ~exec_range;
-  counters
+    (match engine with
+    | Closure ->
+      run_grid ~domains ~auto ~grid_size ~counters ~profiler
+        ~make_state:(fun () ->
+          make_pctx (fresh_ctx ()) plan (Array.copy base_env))
+        ~set_sinks:(fun px c p ->
+          px.c.counters <- c;
+          px.c.prof <- p)
+        ~exec_block:(fun px bid ->
+          let ctx = px.c in
+          Memory.new_block ctx.mem;
+          ctx.block <- bid;
+          Option.iter Profiler.begin_block ctx.prof;
+          px.env.(Slots.bid_slot) <- bid;
+          try List.iter (exec_plan_op px px.full) plan.P.body
+          with Slots.Unbound_var v ->
+            error "unbound variable %s (missing scalar argument?)" v)
+        ()
+    | Bytecode ->
+      run_grid ~domains ~auto ~grid_size ~counters ~profiler
+        ~make_state:(fun () ->
+          make_bctx (fresh_ctx ()) plan (Array.copy base_env))
+        ~set_sinks:(fun bx c p ->
+          bx.bp.c.counters <- c;
+          bx.bp.c.prof <- p)
+        ~exec_block:(fun bx bid ->
+          let ctx = bx.bp.c in
+          Memory.new_block ctx.mem;
+          ctx.block <- bid;
+          (match ctx.prof with
+          | Some p -> Profiler.begin_block p
+          | None -> ());
+          bx.bp.env.(Slots.bid_slot) <- bid;
+          try bc_exec bx bx.bp.full 0 (Array.length bx.bc_code)
+          with Slots.Unbound_var v ->
+            error "unbound variable %s (missing scalar argument?)" v)
+        ()
+    | Tree -> assert false);
+    counters
 
 (* Lower once (through the plan cache), execute. Callers running the same
    kernel repeatedly with different scalar arguments hit the cache; see
    Lower.Pipeline.lower_cached. *)
-let run ~arch ?profiler ?domains (k : Spec.kernel) ~args ?scalars () =
+let run ~arch ?profiler ?domains ?engine (k : Spec.kernel) ~args ?scalars () =
   let plan, _cache_hit = Lower.Pipeline.lower_cached arch k in
-  run_plan ?profiler ?domains plan ~args ?scalars ()
+  run_plan ?profiler ?domains ?engine plan ~args ?scalars ()

@@ -1,15 +1,24 @@
 (** SIMT interpreter: executes Graphene IR kernels on the simulated GPU.
 
-    Two execution paths produce bit-identical event counters and profiler
-    reports:
+    Three execution engines produce bit-identical event counters and
+    profiler reports:
 
     - {!run_tree} walks the kernel's decomposition directly, re-resolving
       atomic specs and re-evaluating symbolic index arithmetic at every
       step. It is the executable reference semantics.
-    - {!run_plan} executes a compiled {!Lower.Plan.t}: atomic resolution,
-      cost lookup, and index arithmetic all happened once, at lowering.
-      This is the fast path; {!run} is the lower-then-execute
-      convenience wrapper.
+    - The [Closure] engine executes a compiled {!Lower.Plan.t} op tree:
+      atomic resolution, cost lookup, and index arithmetic all happened
+      once, at lowering.
+    - The [Bytecode] engine (the default) executes the plan's flattened
+      form ({!Lower.Bytecode}): a dense int-tagged instruction array run
+      by a tight dispatch loop with preallocated scratch — no per-op
+      allocation, which is also what makes multi-domain execution
+      profitable (OCaml 5 minor collections stop every domain).
+
+    {!run_plan} selects between the engines ([?engine], falling back to
+    [GRAPHENE_SIM_ENGINE], then [Bytecode]); {!run} is the
+    lower-then-execute convenience wrapper. The closure engine is kept
+    as the drift oracle for the bytecode engine (test/test_bytecode.ml).
 
     All threads of a block advance in lock step; thread-dependent [If]
     conditions split the active mask (divergence); undecomposed specs
@@ -19,14 +28,18 @@
 
     {2 Parallel grids}
 
-    Both paths accept [?domains]: the grid's thread blocks split into
-    contiguous ascending ranges executed concurrently on that many OCaml
-    domains (default {!Domain_pool.default_domains}, i.e. the
+    All engines accept [?domains]: the grid's thread blocks split into
+    work chunks sized from the measured per-block cost
+    ({!Domain_pool.cost_chunk_size}); up to [domains] OCaml domains
+    (default {!Domain_pool.default_domains}, i.e. the
     [GRAPHENE_SIM_DOMAINS] environment variable or the machine's
-    recommended domain count). Per-domain counters and profiler state
-    merge back in ascending block order, so counters, profiler reports,
-    traces and output buffers are bit-identical at every domain count —
-    see docs/PARALLELISM.md. *)
+    recommended domain count) claim chunks in ascending block order.
+    Per-chunk counters and profiler state merge back eagerly in that
+    same ascending order, so counters, profiler reports, traces and
+    output buffers are bit-identical at every domain count — see
+    docs/PARALLELISM.md. When neither [?domains] nor the environment
+    variable is given, grids the probe block measures as very cheap
+    finish sequentially (same observables, by the merge contract). *)
 
 exception Exec_error of string
 
@@ -54,15 +67,35 @@ val run_tree :
   unit ->
   Counters.t
 
+(** How {!run_plan} executes a compiled plan. [Tree] re-interprets the
+    plan's source kernel through {!run_tree} (the reference semantics);
+    [Closure] walks the compiled op tree; [Bytecode] runs the flattened
+    instruction array. All three are observably identical. *)
+type engine =
+  | Tree
+  | Closure
+  | Bytecode
+
+val engine_name : engine -> string
+
+(** Case-insensitive parse of ["tree" | "closure" | "bytecode"]. *)
+val engine_of_string : string -> engine option
+
+(** The engine used when [?engine] is not given: [GRAPHENE_SIM_ENGINE]
+    when set (raising {!Exec_error} on an unrecognized value), otherwise
+    [Bytecode]. *)
+val default_plan_engine : unit -> engine
+
 (** [run_plan plan ~args ~scalars] executes a compiled plan (see
     {!Lower.Pipeline.lower}). Same contract and error behavior as
     {!run_tree}; lowering-time diagnoses ([Lower.Plan.Fail] ops) raise
     {!Exec_error} only if control flow reaches them. Lower once, then
     call this for every execution (autotuning, repeated benchmark
-    runs). *)
+    runs). [engine] defaults to {!default_plan_engine}. *)
 val run_plan :
   ?profiler:Profiler.t ->
   ?domains:int ->
+  ?engine:engine ->
   Lower.Plan.t ->
   args:(string * float array) list ->
   ?scalars:(string * int) list ->
@@ -77,6 +110,7 @@ val run :
   arch:Graphene.Arch.t ->
   ?profiler:Profiler.t ->
   ?domains:int ->
+  ?engine:engine ->
   Graphene.Spec.kernel ->
   args:(string * float array) list ->
   ?scalars:(string * int) list ->

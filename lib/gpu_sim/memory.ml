@@ -11,10 +11,16 @@ type global = (string, float array) Hashtbl.t
 (* Block-local state: shared-memory arrays and per-thread register files.
    A fresh value per block replaces the old [reset_block] mutation, so a
    domain executing its own block range can never observe another
-   domain's block-local state. *)
+   domain's block-local state.
+
+   Register files are stored per buffer as an array indexed by tid
+   (grown on demand, [[||]] = not yet allocated). The previous
+   [(buffer, tid)] tuple key allocated a tuple and hashed the string on
+   every access — [buffer] sits under every simulated load and store,
+   so the executors' per-access cost is one string hash and an index. *)
 type block =
   { shared : (string, float array) Hashtbl.t
-  ; regs : (string * int, float array) Hashtbl.t
+  ; regs : (string, float array array) Hashtbl.t  (* files by tid *)
   }
 
 type t =
@@ -48,39 +54,65 @@ let bind_arena (g : global) name data = Hashtbl.replace g name data
 let bind_global t name data = bind_arena t.global name data
 
 let find_global t name =
-  match Hashtbl.find_opt t.global name with
-  | Some a -> a
-  | None -> fault "unknown global buffer %s" name
+  match Hashtbl.find t.global name with
+  | a -> a
+  | exception Not_found -> fault "unknown global buffer %s" name
 
 let declare_shared t name size = Hashtbl.replace t.shared_sizes name size
 let declare_regs t name size = Hashtbl.replace t.reg_sizes name size
 
 let new_block t = t.blk <- fresh_block ()
 
+(* Grow-and-allocate slow paths, kept out of [buffer] so its common
+   path (every simulated memory access) stays small enough to inline. *)
+let alloc_shared t (v : Ts.t) =
+  match Hashtbl.find_opt t.shared_sizes v.Ts.buffer with
+  | Some size ->
+    let a = Array.make size 0.0 in
+    Hashtbl.replace t.blk.shared v.Ts.buffer a;
+    a
+  | None -> fault "shared buffer %s was never allocated" v.Ts.buffer
+
+let alloc_reg_file t (v : Ts.t) files tid =
+  let files =
+    if tid < Array.length files then files
+    else begin
+      let n = ref (max 64 (2 * Array.length files)) in
+      while tid >= !n do
+        n := 2 * !n
+      done;
+      let nf = Array.make !n [||] in
+      Array.blit files 0 nf 0 (Array.length files);
+      Hashtbl.replace t.blk.regs v.Ts.buffer nf;
+      nf
+    end
+  in
+  match Hashtbl.find_opt t.reg_sizes v.Ts.buffer with
+  | Some size ->
+    let a = Array.make size 0.0 in
+    files.(tid) <- a;
+    a
+  | None -> fault "register buffer %s was never allocated" v.Ts.buffer
+
 let buffer t ~tid (v : Ts.t) =
   match v.Ts.mem with
   | Ms.Global -> find_global t v.Ts.buffer
   | Ms.Shared -> (
-    match Hashtbl.find_opt t.blk.shared v.Ts.buffer with
-    | Some a -> a
-    | None -> (
-      match Hashtbl.find_opt t.shared_sizes v.Ts.buffer with
-      | Some size ->
-        let a = Array.make size 0.0 in
-        Hashtbl.replace t.blk.shared v.Ts.buffer a;
-        a
-      | None -> fault "shared buffer %s was never allocated" v.Ts.buffer))
+    match Hashtbl.find t.blk.shared v.Ts.buffer with
+    | a -> a
+    | exception Not_found -> alloc_shared t v)
   | Ms.Register -> (
-    let key = (v.Ts.buffer, tid) in
-    match Hashtbl.find_opt t.blk.regs key with
-    | Some a -> a
-    | None -> (
-      match Hashtbl.find_opt t.reg_sizes v.Ts.buffer with
-      | Some size ->
-        let a = Array.make size 0.0 in
-        Hashtbl.replace t.blk.regs key a;
-        a
-      | None -> fault "register buffer %s was never allocated" v.Ts.buffer))
+    let files =
+      match Hashtbl.find t.blk.regs v.Ts.buffer with
+      | f -> f
+      | exception Not_found -> [||]
+    in
+    if tid < Array.length files then
+      let f = Array.unsafe_get files tid in
+      (* [[||]] is the shared not-yet-allocated sentinel; a legitimately
+         size-0 file re-allocates (to the same atom), which is harmless. *)
+      if Array.length f > 0 then f else alloc_reg_file t v files tid
+    else alloc_reg_file t v files tid)
 
 let offsets _t ~env v = Ts.scalar_offsets ~env v
 
@@ -159,6 +191,23 @@ let write_contig t ~tid v ~base data ~len =
     checked buf v off;
     buf.(off) <- Dt.round dt (Array.unsafe_get data i)
   done
+
+(* A resolved buffer handle: hoists [buffer] resolution out of
+   per-element loops. The ldmatrix fragment distribute writes two
+   scalars per lane per tile through [write_k_offs], which would
+   otherwise re-hash the buffer name on every element. *)
+type slab =
+  { sl_buf : float array
+  ; sl_dt : Dt.t
+  }
+
+let slab t ~tid v = { sl_buf = buffer t ~tid v; sl_dt = Ts.dtype v }
+
+let write_k_slab sl (v : Ts.t) offs k x =
+  if k >= Array.length offs then
+    fault "view %%%s: scalar index %d out of %d" v.Ts.name k (Array.length offs);
+  checked sl.sl_buf v offs.(k);
+  sl.sl_buf.(offs.(k)) <- Dt.round sl.sl_dt x
 
 let read_k_offs t ~tid v offs k =
   let buf = buffer t ~tid v in

@@ -129,6 +129,19 @@ val read_k_offs :
 val write_k_offs :
   t -> tid:int -> Gpu_tensor.Tensor.t -> int array -> int -> float -> unit
 
+(** A resolved buffer handle: the view's backing array and element type,
+    looked up once. Hoists buffer resolution out of per-element loops
+    (e.g. the ldmatrix fragment distribute, which writes two scalars per
+    lane per tile). Valid for the current block only — resolve again
+    after {!new_block}. *)
+type slab
+
+val slab : t -> tid:int -> Gpu_tensor.Tensor.t -> slab
+
+(** [write_k_slab sl v offs k x] — exactly {!write_k_offs} on the
+    resolved buffer: same checks, rounding, and fault messages. *)
+val write_k_slab : slab -> Gpu_tensor.Tensor.t -> int array -> int -> float -> unit
+
 (** {2 Contiguous-span forms}
 
     For vector-widened full-span moves, whose offset enumeration is

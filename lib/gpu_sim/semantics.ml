@@ -233,7 +233,6 @@ let exec_ldmatrix mem x (s : Spec.t) offs members =
     if Ts.depth src > 1 then Shape.Layout.size_int src.Ts.layout else 1
   in
   let per_tile = Array.length src_offs / tiles in
-  let dst_offs = Array.map (fun tid -> offs dst tid) members in
   let data = scratch s_tile per_tile in
   let m = scratch s_m64 64 in
   for j = 0 to x - 1 do
@@ -249,16 +248,18 @@ let exec_ldmatrix mem x (s : Spec.t) offs members =
         m.((r * 8) + c) <- data.((c * 8) + r)
       done
     done;
-    (* Distribute fragments per the PTX mapping. *)
-    Array.iteri
-      (fun lane tid ->
-        let coords = ldmatrix_frag lane in
-        Array.iteri
-          (fun c (r, col) ->
-            Memory.write_k_offs mem ~tid dst dst_offs.(lane) ((2 * j) + c)
-              m.((r * 8) + col))
-          coords)
-      members
+    (* Distribute fragments per the PTX mapping. The destination buffer
+       is resolved once per lane (slab), not once per scalar. *)
+    for lane = 0 to Array.length members - 1 do
+      let tid = Array.unsafe_get members lane in
+      let coords = ldmatrix_frag lane in
+      let d_offs = offs dst tid in
+      let sl = Memory.slab mem ~tid dst in
+      for c = 0 to Array.length coords - 1 do
+        let r, col = Array.unsafe_get coords c in
+        Memory.write_k_slab sl dst d_offs ((2 * j) + c) m.((r * 8) + col)
+      done
+    done
   done
 
 let exec_mma mem ~m ~n ~k ~a_coords ~b_coords ~c_coords (s : Spec.t) offs
@@ -273,54 +274,71 @@ let exec_mma mem ~m ~n ~k ~a_coords ~b_coords ~c_coords (s : Spec.t) offs
     Array.fill ma 0 (m * k) 0.0;
     Array.fill mb 0 (k * n) 0.0;
     Array.fill mc 0 (m * n) 0.0;
-    let c_offs = Array.map (fun tid -> offs c tid) members in
     (* Gather fragments. *)
     let get v len i =
-      if i >= len then invalid_arg "index out of bounds" else v.(i)
+      if i >= len then invalid_arg "index out of bounds"
+      else Array.unsafe_get v i
     in
-    Array.iteri
-      (fun lane tid ->
-        let ao = offs a tid and bo = offs b tid in
-        let co = c_offs.(lane) in
-        let la = Array.length ao
-        and lb = Array.length bo
-        and lc = Array.length co in
-        let va = scratch s_va la
-        and vb = scratch s_vb lb
-        and vc = scratch s_vc lc in
-        Memory.read_offs_into mem ~tid a ao va;
-        Memory.read_offs_into mem ~tid b bo vb;
-        Memory.read_offs_into mem ~tid c co vc;
-        Array.iteri
-          (fun i (r, col) -> ma.((r * k) + col) <- get va la i)
-          (a_coords lane);
-        Array.iteri
-          (fun i (r, col) -> mb.((r * n) + col) <- get vb lb i)
-          (b_coords lane);
-        Array.iteri
-          (fun i (r, col) -> mc.((r * n) + col) <- get vc lc i)
-          (c_coords lane))
-      members;
-    (* D = A @ B + C in fp32. *)
+    for lane = 0 to Array.length members - 1 do
+      let tid = Array.unsafe_get members lane in
+      let ao = offs a tid and bo = offs b tid and co = offs c tid in
+      let la = Array.length ao
+      and lb = Array.length bo
+      and lc = Array.length co in
+      let va = scratch s_va la
+      and vb = scratch s_vb lb
+      and vc = scratch s_vc lc in
+      Memory.read_offs_into mem ~tid a ao va;
+      Memory.read_offs_into mem ~tid b bo vb;
+      Memory.read_offs_into mem ~tid c co vc;
+      let ac = a_coords lane in
+      for i = 0 to Array.length ac - 1 do
+        let r, col = Array.unsafe_get ac i in
+        ma.((r * k) + col) <- get va la i
+      done;
+      let bc = b_coords lane in
+      for i = 0 to Array.length bc - 1 do
+        let r, col = Array.unsafe_get bc i in
+        mb.((r * n) + col) <- get vb lb i
+      done;
+      let cc = c_coords lane in
+      for i = 0 to Array.length cc - 1 do
+        let r, col = Array.unsafe_get cc i in
+        mc.((r * n) + col) <- get vc lc i
+      done
+    done;
+    (* D = A @ B + C in fp32. The running sum lives in [md]'s cell, not
+       an OCaml [ref]: flat float-array stores stay unboxed without
+       flambda, where a float ref boxes every [:=] — one minor-heap
+       block per multiply-add, the old dominant allocation of tensor-core
+       kernels. Addition order is unchanged (i, j, then ascending k), so
+       results stay bitwise identical. *)
     let md = scratch s_md (m * n) in
     for i = 0 to m - 1 do
+      let ik = i * k and im = i * n in
       for j = 0 to n - 1 do
-        let acc = ref mc.((i * n) + j) in
+        let ij = im + j in
+        Array.unsafe_set md ij (Array.unsafe_get mc ij);
         for kk = 0 to k - 1 do
-          acc := !acc +. (ma.((i * k) + kk) *. mb.((kk * n) + j))
-        done;
-        md.((i * n) + j) <- !acc
+          Array.unsafe_set md ij
+            (Array.unsafe_get md ij
+            +. Array.unsafe_get ma (ik + kk)
+               *. Array.unsafe_get mb ((kk * n) + j))
+        done
       done
     done;
     (* Scatter the accumulator fragments. *)
-    Array.iteri
-      (fun lane tid ->
-        let coords = c_coords lane in
-        let nc = Array.length coords in
-        let frag = scratch s_frag nc in
-        Array.iteri (fun i (r, col) -> frag.(i) <- md.((r * n) + col)) coords;
-        Memory.write_offs_n mem ~tid c c_offs.(lane) frag ~len:nc)
-      members
+    for lane = 0 to Array.length members - 1 do
+      let tid = Array.unsafe_get members lane in
+      let coords = c_coords lane in
+      let nc = Array.length coords in
+      let frag = scratch s_frag nc in
+      for i = 0 to nc - 1 do
+        let r, col = Array.unsafe_get coords i in
+        Array.unsafe_set frag i md.((r * n) + col)
+      done;
+      Memory.write_offs_n mem ~tid c (offs c tid) frag ~len:nc
+    done
   | _ -> invalid_arg "mma arity"
 
 let exec_shfl mem kind (s : Spec.t) env offs members =
@@ -345,6 +363,97 @@ let exec_shfl mem kind (s : Spec.t) env offs members =
     members
 
 (* ----- dispatch ----- *)
+
+(* Pre-resolved dispatch for the bytecode executor: [exec] (below) pays
+   string parsing and prefix tests on every call to decide which
+   executor an instruction needs; [classify] makes that decision once
+   per (instr, spec) — at executor-state build time — and [exec_coded]
+   dispatches on the resulting tag. Same executors, same member-arity
+   checks, same errors and trace events; only the per-call string work
+   and the trace-hook closure allocation are gone. *)
+
+type code =
+  | C_ldmatrix of int
+  | C_mma_m16n8k16
+  | C_mma_m8n8k4
+  | C_shfl of Spec.shfl_kind
+  | C_move
+  | C_fma
+  | C_unary of Op.unary
+  | C_binary of Op.binary
+  | C_reduction of Op.binary * int list
+  | C_init of float
+  | C_generic
+
+let classify ~(instr : Atomic.instr) ~(spec : Spec.t) =
+  let name = instr.Atomic.name in
+  match Atomic.parse_ldmatrix name with
+  | Some (x, _) -> C_ldmatrix x
+  | None ->
+    if starts_with "mma.m16n8k16" name then C_mma_m16n8k16
+    else if String.equal "mma.m8n8k4" name then C_mma_m8n8k4
+    else (
+      match spec.Spec.kind with
+      | Spec.Shfl kind -> C_shfl kind
+      | Spec.Move -> C_move
+      | Spec.Mat_mul -> C_fma
+      | Spec.Unary_pointwise op -> C_unary op
+      | Spec.Binary_pointwise op -> C_binary op
+      | Spec.Reduction { op; axes } -> C_reduction (op, axes)
+      | Spec.Init v -> C_init v
+      | Spec.Generic _ -> C_generic)
+
+let unhandled name members =
+  invalid_arg
+    (Printf.sprintf "Semantics.exec: unhandled instruction %s (%d members)"
+       name (Array.length members))
+
+let exec_coded ?trace ?(block = 0) ~offs mem code ~(instr : Atomic.instr)
+    ~spec ~env ~members =
+  (match trace with
+  | Some tr ->
+    Trace.instant tr
+      ~name:("sem:" ^ instr.Atomic.name)
+      ~cat:"sem" ~pid:block
+      ~tid:(members.(0) / 32)
+      ~args:
+        [ ("lane0", Trace.Int members.(0))
+        ; ("lanes", Trace.Int (Array.length members))
+        ]
+      ()
+  | None -> ());
+  match code with
+  | C_ldmatrix x -> exec_ldmatrix mem x spec offs members
+  | C_mma_m16n8k16 ->
+    exec_mma mem ~m:16 ~n:8 ~k:16 ~a_coords:mma_m16n8k16_a
+      ~b_coords:mma_m16n8k16_b ~c_coords:mma_m16n8k16_c spec offs members
+  | C_mma_m8n8k4 ->
+    exec_mma mem ~m:8 ~n:8 ~k:4 ~a_coords:mma_m8n8k4_a ~b_coords:mma_m8n8k4_b
+      ~c_coords:mma_m8n8k4_c spec offs members
+  | C_shfl kind -> exec_shfl mem kind spec env offs members
+  | C_move ->
+    if Array.length members = 1 then exec_thread_move mem spec offs members.(0)
+    else unhandled instr.Atomic.name members
+  | C_fma ->
+    if Array.length members = 1 then exec_thread_fma mem spec offs members.(0)
+    else unhandled instr.Atomic.name members
+  | C_unary op ->
+    if Array.length members = 1 then
+      exec_thread_unary mem op spec offs members.(0)
+    else unhandled instr.Atomic.name members
+  | C_binary op ->
+    if Array.length members = 1 then
+      exec_thread_binary mem op spec offs members.(0)
+    else unhandled instr.Atomic.name members
+  | C_reduction (op, axes) ->
+    if Array.length members = 1 then
+      exec_thread_reduction mem op axes spec offs members.(0)
+    else unhandled instr.Atomic.name members
+  | C_init v ->
+    if Array.length members = 1 then
+      exec_thread_init mem v spec offs members.(0)
+    else unhandled instr.Atomic.name members
+  | C_generic -> unhandled instr.Atomic.name members
 
 let exec ?trace ?(block = 0) ?offsets mem ~instr ~spec ~env ~members =
   let name = instr.Atomic.name in

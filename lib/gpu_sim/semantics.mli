@@ -31,6 +31,41 @@ val exec :
   members:int array ->
   unit
 
+(** Pre-resolved dispatch for the bytecode executor. {!exec} decides
+    which executor an instruction needs by parsing its name on every
+    call; {!classify} makes that decision once per (instr, spec) and
+    {!exec_coded} dispatches on the tag — same executors, arity checks,
+    errors and trace events, minus the per-call string work. *)
+type code =
+  | C_ldmatrix of int
+  | C_mma_m16n8k16
+  | C_mma_m8n8k4
+  | C_shfl of Graphene.Spec.shfl_kind
+  | C_move
+  | C_fma
+  | C_unary of Graphene.Op.unary
+  | C_binary of Graphene.Op.binary
+  | C_reduction of Graphene.Op.binary * int list
+  | C_init of float
+  | C_generic
+
+val classify : instr:Graphene.Atomic.instr -> spec:Graphene.Spec.t -> code
+
+(** Like {!exec} with mandatory precompiled [offs], dispatching on a
+    {!classify} tag instead of the instruction name. [instr] is only
+    consulted for trace events and error messages. *)
+val exec_coded :
+  ?trace:Trace.t ->
+  ?block:int ->
+  offs:(Gpu_tensor.Tensor.t -> int -> int array) ->
+  Memory.t ->
+  code ->
+  instr:Graphene.Atomic.instr ->
+  spec:Graphene.Spec.t ->
+  env:(string -> int) ->
+  members:int array ->
+  unit
+
 (** [exec_warp_move_contig mem spec ~tids ~src_bases ~dst_bases ~lanes ~n]
     — the vector-widened fast path of a full-span contiguous per-thread
     move (see {!Lower.Vectorize}): for each of the first [lanes] active

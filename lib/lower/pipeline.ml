@@ -19,6 +19,9 @@
                 arrangements compiled to closures over the slot array,
                 carrying the depcheck tiers and vector widths as plan
                 annotations
+     bytecode   the compiled op tree flattened to a dense int-tagged
+                instruction array (see Bytecode) — the form the fast
+                executor dispatches over
 
    Atomic matching (Validate.check_atomics) is deliberately NOT part of
    the validate pass: the resolve pass subsumes it, and running it would
@@ -504,7 +507,23 @@ let compile_pass ~vec_enabled arch diagnostics =
       ; warp_tids
       ; diagnostics
       ; vec_enabled
+      ; bytecode = None
       })
+
+(* ----- pass 7: flatten to bytecode ----- *)
+
+let bytecode_pass =
+  Pass.make ~name:"bytecode"
+    ~doc:"flatten the op tree to a dense int-tagged instruction array"
+    ~render:(fun (plan : Plan.t) ->
+      match plan.Plan.bytecode with
+      | Some bc ->
+        Bytecode.summary ~cta_size:plan.Plan.cta_size bc
+        ^ "\n" ^ Bytecode.listing bc
+      | None -> "(no bytecode)")
+    (fun (plan : Plan.t) ->
+      Bytecode.install plan;
+      plan)
 
 (* ----- driver ----- *)
 
@@ -531,7 +550,10 @@ let lower ?log ?vectorize arch (k : Spec.kernel) : Plan.t =
       (vectorize_pass ~enabled:vec_enabled ~cta_size)
       annotated
   in
-  Pass.apply ?log (compile_pass ~vec_enabled arch diagnostics) (k, vectorized)
+  let plan =
+    Pass.apply ?log (compile_pass ~vec_enabled arch diagnostics) (k, vectorized)
+  in
+  Pass.apply ?log bytecode_pass plan
 
 (* ----- the plan cache -----
 

@@ -1,6 +1,6 @@
-(** The lowering pipeline: [Spec.kernel] -> {!Plan.t} in six named
-    passes (validate, flatten, resolve, depcheck, vectorize, compile).
-    See docs/LOWERING.md.
+(** The lowering pipeline: [Spec.kernel] -> {!Plan.t} in seven named
+    passes (validate, flatten, resolve, depcheck, vectorize, compile,
+    bytecode). See docs/LOWERING.md.
 
     The depcheck pass classifies every leaf quantity (view offset
     enumerations, collective member functions) by slot-dependence tier

@@ -93,6 +93,24 @@ type op =
 
 type alloc = { al_buffer : string; al_mem : Ms.t; al_size : int }
 
+(* The flattened form of [body]: a dense int-tagged instruction array
+   plus side tables, built by [Bytecode.of_plan] (the type lives here so
+   the plan record can hold it without a module cycle). Operands are
+   indices into the side tables; structured ops carry body lengths in
+   code words, so the executor walks ranges instead of chasing
+   pointers. See Bytecode for the exact instruction layout. *)
+type bytecode =
+  { bc_code : int array
+  ; bc_atomics : atomic array  (** indexed by [a_id] *)
+  ; bc_exprs : Expr_comp.cexpr array  (** loop bound pool *)
+  ; bc_conds : (int array -> bool) array  (** branch predicate pool *)
+  ; bc_labels : string array  (** loop var / frame label pool *)
+  ; bc_fails : string array  (** lazy failure message pool *)
+  ; bc_max_depth : int
+        (** max divergent-branch nesting: sizes the executor's
+            preallocated taken/not-taken mask arena *)
+  }
+
 type t =
   { kernel : Spec.kernel
   ; arch : Graphene.Arch.t
@@ -109,6 +127,10 @@ type t =
             ascending — built once per plan, never per atomic *)
   ; diagnostics : string list  (** advisory validation findings *)
   ; vec_enabled : bool  (** whether the vectorize pass was allowed to widen *)
+  ; mutable bytecode : bytecode option
+        (** the flattened instruction array, installed by the pipeline's
+            final bytecode stage (or on first demand via [Bytecode.get]);
+            anyone rewriting [body] must reset this to [None] *)
   }
 
 (* ----- statistics ----- *)

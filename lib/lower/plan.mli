@@ -88,6 +88,22 @@ type op =
 
 type alloc = { al_buffer : string; al_mem : Gpu_tensor.Memspace.t; al_size : int }
 
+(** The flattened form of [body]: one dense int-tagged instruction array
+    plus side tables (built by {!Bytecode.of_plan}; the type lives here so
+    the plan can hold it without a module cycle). The executor dispatches
+    with a tight [match] over [bc_code] — no per-op closure chasing. *)
+type bytecode =
+  { bc_code : int array
+  ; bc_atomics : atomic array  (** indexed by [a_id] *)
+  ; bc_exprs : Expr_comp.cexpr array  (** loop bound pool *)
+  ; bc_conds : (int array -> bool) array  (** branch predicate pool *)
+  ; bc_labels : string array  (** loop var / frame label pool *)
+  ; bc_fails : string array  (** lazy failure message pool *)
+  ; bc_max_depth : int
+        (** max divergent-branch nesting: sizes the executor's
+            preallocated taken/not-taken mask arena *)
+  }
+
 type t =
   { kernel : Graphene.Spec.kernel
   ; arch : Graphene.Arch.t
@@ -104,6 +120,10 @@ type t =
             CTA, ascending; built once per plan *)
   ; diagnostics : string list
   ; vec_enabled : bool  (** whether the vectorize pass was allowed to widen *)
+  ; mutable bytecode : bytecode option
+        (** the flattened instruction array (see {!Bytecode}); anyone
+            rewriting [body] must reset this to [None] so stale code is
+            never executed *)
   }
 
 (** Total op count / atomic-exec count, for summaries. *)

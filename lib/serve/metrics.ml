@@ -45,6 +45,7 @@ type summary =
   ; max_tick_cells : int
   ; max_batch_requests : int
   ; shards : int
+  ; exec_engine : string
   ; ticks : int
   ; batches : int
   ; cells : int
@@ -88,19 +89,20 @@ let bucket_json b =
 
 let to_json ?(wall = true) s =
   let buf = Buffer.create 2048 in
-  Buffer.add_string buf "{\"schema\":\"graphene.serve_bench.v1\",\n";
+  Buffer.add_string buf "{\"schema\":\"graphene.serve_bench.v2\",\n";
   (match s.seed with
   | Some seed -> Buffer.add_string buf (Printf.sprintf "\"seed\":%d,\n" seed)
   | None -> ());
   Buffer.add_string buf
     (Printf.sprintf
        "\"config\":{\"requests\":%d,%s\"tick_s\":%s,\"max_tick_cells\":%d,\
-        \"max_batch_requests\":%d,\"shards\":%d},\n"
+        \"max_batch_requests\":%d,\"shards\":%d,\"exec_engine\":%s},\n"
        s.requests
        (match s.rate_rps with
        | Some r -> Printf.sprintf "\"rate_rps\":%s," (f6 r)
        | None -> "")
-       (f6 s.tick_s) s.max_tick_cells s.max_batch_requests s.shards);
+       (f6 s.tick_s) s.max_tick_cells s.max_batch_requests s.shards
+       (js s.exec_engine));
   Buffer.add_string buf
     (Printf.sprintf
        "\"sim\":{\"ticks\":%d,\"batches\":%d,\"cells\":%d,\
@@ -140,8 +142,9 @@ let pp_dist fmt d =
 let pp_summary fmt s =
   Format.fprintf fmt
     "served %d requests (%d cells) in %d ticks / %d batches across %d \
-     buckets@."
-    s.requests s.cells s.ticks s.batches (List.length s.buckets);
+     buckets [%s engine]@."
+    s.requests s.cells s.ticks s.batches (List.length s.buckets)
+    s.exec_engine;
   Format.fprintf fmt
     "  simulated: makespan %.1fus  busy %.1fus  %.3g req/s  %.3g cells/s@."
     (s.makespan_s *. 1e6) (s.busy_s *. 1e6) s.sim_requests_per_sec

@@ -1,6 +1,6 @@
 (** Serving metrics: latency distributions, throughput, plan-cache and
     per-bucket accounting, exported as `BENCH_serve.json`
-    (schema [graphene.serve_bench.v1] — field-by-field table in
+    (schema [graphene.serve_bench.v2] — field-by-field table in
     docs/SERVING.md).
 
     Every field except the [wall_*] group is a deterministic function of
@@ -42,6 +42,9 @@ type summary =
   ; max_tick_cells : int
   ; max_batch_requests : int
   ; shards : int
+  ; exec_engine : string
+        (** which {!Gpu_sim.Interp.engine} the engine's shards executed
+            plans with *)
   ; ticks : int
   ; batches : int
   ; cells : int
@@ -69,7 +72,7 @@ type summary =
     no batch ran). *)
 val hit_rate : summary -> float
 
-(** [to_json ?wall summary] — the `graphene.serve_bench.v1` document.
+(** [to_json ?wall summary] — the `graphene.serve_bench.v2` document.
     [wall] (default [true]) controls whether the wall-clock field group
     is included; [~wall:false] output is deterministic per seed. *)
 val to_json : ?wall:bool -> summary -> string

@@ -11,6 +11,7 @@ type result =
   ; lower_s : float
   ; lower_cache_hit : bool
   ; vec_width : float
+  ; exec_engine : string
   }
 
 let candidates arch ~m ~n ~k =
@@ -136,6 +137,7 @@ let tune ?(profile_top = 0) ?domains machine ~epilogue ~m ~n ~k () =
         ; lower_s = 0.0
         ; lower_cache_hit = false
         ; vec_width
+        ; exec_engine = ""
         }
     | exception Invalid_argument _ -> None
   in
@@ -177,7 +179,13 @@ let tune ?(profile_top = 0) ?domains machine ~epilogue ~m ~n ~k () =
       match profile_candidate machine ~epilogue r.config ~m ~n ~k with
       | None -> r
       | Some (report, lower_s, lower_cache_hit) ->
-        { r with profile = Some report; lower_s; lower_cache_hit }
+        { r with
+          profile = Some report
+        ; lower_s
+        ; lower_cache_hit
+        ; exec_engine =
+            Gpu_sim.Interp.engine_name (Gpu_sim.Interp.default_plan_engine ())
+        }
     in
     let profiled =
       if ndomains = 1 then List.init to_profile profile_one
@@ -206,8 +214,9 @@ let pp_result fmt r =
   | None -> ()
   | Some rep ->
     Format.fprintf fmt
-      " | profiled (proxy): %s-bound, %.0f%% coalesced, %d bank-conflict \
-       cycles/block, lowered in %.1fms%s"
+      " | profiled (proxy, %s engine): %s-bound, %.0f%% coalesced, %d \
+       bank-conflict cycles/block, lowered in %.1fms%s"
+      (if r.exec_engine = "" then "?" else r.exec_engine)
       rep.Profiler.bound
       (100.0 *. rep.Profiler.totals.Profiler.coalescing)
       (rep.Profiler.totals.Profiler.shared_bank_conflicts

@@ -30,6 +30,9 @@ type result =
             pass's legality verdict, fed into the performance model's
             DRAM-efficiency term ([1.0] = fully scalar, [4.0] = full
             128-bit vectors) *)
+  ; exec_engine : string
+        (** which {!Gpu_sim.Interp.engine} executed the profiled proxy
+            run ([""] when the candidate was not profiled) *)
   }
 
 (** All tile configurations valid for the given problem (divisibility,

@@ -1,0 +1,465 @@
+(* Tests for the bytecode plan executor (the flatten-to-bytecode pass
+   plus [Interp.run_plan]'s dispatch loop):
+
+   - cross-engine determinism: for every kernel family, the three
+     [Interp.engine]s ([Tree], [Closure], [Bytecode]) at domains
+     ∈ {1, 4, 7} must produce counters, profiler report JSON, Chrome
+     traces, and output buffers bit-identical to the tree reference;
+   - the fixed-seed divergence corpus of test_divergence.ml, driven
+     through the bytecode engine's preallocated mask arena;
+   - the bytecode encoding itself: pinned opcode numbers (the executor
+     dispatches on integer literals), instruction counts vs the op
+     tree, histogram consistency, memoized install;
+   - engine selection: [engine_of_string] / [engine_name] round-trip;
+   - cost-based chunking: [Domain_pool.cost_chunk_size] bounds and
+     monotonicity, [cost_chunks] covering [0, total) ascending. *)
+
+module E = Shape.Int_expr
+module L = Shape.Layout
+module Ts = Gpu_tensor.Tensor
+module Tt = Gpu_tensor.Thread_tensor
+module Dt = Gpu_tensor.Dtype
+module Ms = Gpu_tensor.Memspace
+module B = Graphene.Builder
+module Arch = Graphene.Arch
+module Spec = Graphene.Spec
+module C = Gpu_sim.Counters
+module Interp = Gpu_sim.Interp
+module Profiler = Gpu_sim.Profiler
+module Trace = Gpu_sim.Trace
+module Domain_pool = Gpu_sim.Domain_pool
+module Plan = Lower.Plan
+module Bytecode = Lower.Bytecode
+module Pipeline = Lower.Pipeline
+module Ref = Reference.Cpu_ref
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let check_counters_equal name (a : C.t) (b : C.t) =
+  check_int (name ^ ": global_load_bytes") a.C.global_load_bytes
+    b.C.global_load_bytes;
+  check_int (name ^ ": global_store_bytes") a.C.global_store_bytes
+    b.C.global_store_bytes;
+  check_int (name ^ ": global_transactions") a.C.global_transactions
+    b.C.global_transactions;
+  check_int (name ^ ": shared_load_bytes") a.C.shared_load_bytes
+    b.C.shared_load_bytes;
+  check_int (name ^ ": shared_store_bytes") a.C.shared_store_bytes
+    b.C.shared_store_bytes;
+  check_int (name ^ ": shared_bank_conflicts") a.C.shared_bank_conflicts
+    b.C.shared_bank_conflicts;
+  check_int (name ^ ": flops") a.C.flops b.C.flops;
+  check_int (name ^ ": tensor_core_flops") a.C.tensor_core_flops
+    b.C.tensor_core_flops;
+  check_int (name ^ ": instructions") a.C.instructions b.C.instructions;
+  Alcotest.(check (list (pair string int)))
+    (name ^ ": instr mix") (C.instr_mix_alist a) (C.instr_mix_alist b)
+
+(* ----- cross-engine determinism ----- *)
+
+let engines = [ Interp.Tree; Interp.Closure; Interp.Bytecode ]
+let domain_counts = [ 1; 4; 7 ]
+
+(* Run the kernel through every engine at every domain count; demand
+   bit-identical counters, profiler report JSON, Chrome traces, and
+   output buffers against the 1-domain tree reference. *)
+let check_engines ?(scalars = []) ?args name arch kernel =
+  let base_args =
+    match args with
+    | Some a -> a
+    | None ->
+      List.mapi
+        (fun i (p : Ts.t) ->
+          (p.Ts.name, Ref.random_fp16 ~seed:(i + 1) (L.cosize p.Ts.layout)))
+        kernel.Spec.params
+  in
+  let machine = Gpu_sim.Machine.of_arch arch in
+  let plan = Pipeline.lower arch kernel in
+  let run_one ~engine ~domains =
+    let args = List.map (fun (n, a) -> (n, Array.copy a)) base_args in
+    let trace = Trace.create () in
+    let profiler = Profiler.create ~trace () in
+    let counters =
+      Interp.run_plan ~profiler ~domains ~engine plan ~args ~scalars ()
+    in
+    let report = Profiler.report profiler ~kernel ~arch ~counters ~machine () in
+    (args, counters, Profiler.report_to_json report, Trace.to_chrome_string trace)
+  in
+  let args1, c1, r1, t1 = run_one ~engine:Interp.Tree ~domains:1 in
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun domains ->
+          let tag =
+            Printf.sprintf "%s: %s @ %d domains" name
+              (Interp.engine_name engine)
+              domains
+          in
+          let argsn, cn, rn, tn = run_one ~engine ~domains in
+          check_counters_equal tag c1 cn;
+          check_str (tag ^ ": profiler report JSON") r1 rn;
+          check_str (tag ^ ": chrome trace") t1 tn;
+          List.iter2
+            (fun (bn, x) (_, y) ->
+              check_bool
+                (Printf.sprintf "%s: buffer %s bitwise" tag bn)
+                true (x = y))
+            args1 argsn)
+        domain_counts)
+    engines
+
+let test_eng_gemm_tc () =
+  List.iter
+    (fun arch ->
+      let cfg = Kernels.Gemm.test_config arch in
+      let m, n = if arch = Arch.SM70 then (64, 64) else (128, 128) in
+      check_engines
+        (Printf.sprintf "gemm-tc %s" (Arch.name arch))
+        arch
+        (Kernels.Gemm.tensor_core arch cfg ~epilogue:Kernels.Epilogue.none ~m
+           ~n ~k:32 ()))
+    [ Arch.SM86; Arch.SM70 ]
+
+let test_eng_gemm_naive () =
+  check_engines "gemm-naive" Arch.SM86
+    (Kernels.Gemm.naive ~m:32 ~n:32 ~k:16 ~bm:16 ~bn:16 ~tm:4 ~tn:4 ())
+
+let test_eng_gemm_parametric () =
+  let m = 30 and n = 20 and k = 10 in
+  let kernel =
+    Kernels.Gemm.naive_parametric ~launch_m:m ~launch_n:n ~bm:16 ~bn:16 ~tm:4
+      ~tn:4 ()
+  in
+  let args =
+    [ ("A", Ref.random_fp16 ~seed:14 (m * k))
+    ; ("B", Ref.random_fp16 ~seed:15 (k * n))
+    ; ("C", Array.make (m * n) 0.0)
+    ]
+  in
+  check_engines "gemm-parametric" Arch.SM86 kernel ~args
+    ~scalars:[ ("M", m); ("N", n); ("K", k) ]
+
+let test_eng_fmha () =
+  check_engines "fmha sm86" Arch.SM86
+    (Kernels.Fmha.kernel Arch.SM86 ~batch:1 ~heads:1 ~seq:32 ~dh:16 ~chunk:16
+       ~nthreads:64 ());
+  check_engines "fmha sm70" Arch.SM70
+    (Kernels.Fmha.kernel ~swizzle_smem:false Arch.SM70 ~batch:1 ~heads:1
+       ~seq:32 ~dh:32 ~chunk:32 ~nthreads:64 ())
+
+let test_eng_reductions () =
+  check_engines "layernorm" Arch.SM86
+    (Kernels.Layernorm.kernel ~rows:8 ~cols:256 ~nthreads:64 ());
+  check_engines "softmax" Arch.SM86
+    (Kernels.Softmax.kernel ~rows:8 ~cols:128 ~nthreads:64 ())
+
+let test_eng_fused () =
+  check_engines "lstm" Arch.SM86
+    (Kernels.Lstm.kernel Arch.SM86
+       (Kernels.Gemm.test_config Arch.SM86)
+       ~m:64 ~n:64 ~k:64 ());
+  check_engines "mlp" Arch.SM86
+    (Kernels.Mlp.kernel Arch.SM86 ~m:64 ~width:64 ~layers:2 ~bm:64 ~wm:32
+       ~wn:32 ());
+  check_engines "gemm+layernorm" Arch.SM86
+    (Kernels.Gemm_layernorm.kernel Arch.SM86 ~m:64 ~k:32 ~width:64 ~bm:64
+       ~wm:32 ~wn:32 ())
+
+(* ----- divergence corpus through the bytecode engine ----- *)
+
+let cta_size = 64
+let grid_blocks = 2
+
+(* Same generator shape as test_divergence.ml (fixed seed, tid-dependent
+   branches and loops, per-thread stores into the block's slice), driven
+   here through the bytecode engine's preallocated divergence-mask
+   arena at 1 and 4 domains, against the tree reference. *)
+let gen_kernel rng idx =
+  let grid = Tt.grid "g" [ grid_blocks ] in
+  let cta = Tt.linear "cta" cta_size Tt.Thread in
+  let tid = B.thread_idx in
+  let thr = Tt.select cta [ tid ] in
+  let a = Ts.create_rm "A" [ grid_blocks * cta_size ] Dt.FP32 Ms.Global in
+  let block_base = E.mul B.block_idx (E.const cta_size) in
+  let fresh =
+    let n = ref 0 in
+    fun prefix ->
+      incr n;
+      Printf.sprintf "%s%d" prefix !n
+  in
+  let value () = float_of_int (1 + Random.State.int rng 9) in
+  let leaf ?rot () =
+    let cell =
+      match rot with
+      | None -> E.add block_base tid
+      | Some kv ->
+        E.add block_base (E.rem (E.add tid kv) (E.const cta_size))
+    in
+    B.init ~threads:thr (value ()) ~dst:(Ts.select a [ cell ]) ()
+  in
+  let cond () =
+    match Random.State.int rng 4 with
+    | 0 -> B.( <. ) tid (E.const (1 + Random.State.int rng (cta_size - 1)))
+    | 1 ->
+      B.( ==. )
+        (E.rem tid (E.const (2 + Random.State.int rng 6)))
+        E.zero
+    | 2 -> B.( <=. ) (E.const (Random.State.int rng cta_size)) tid
+    | _ ->
+      B.( &&. )
+        (B.( <. ) tid (E.const (8 + Random.State.int rng 48)))
+        (B.( ==. ) (E.rem tid (E.const 2)) E.zero)
+  in
+  let rec block depth rot =
+    List.init
+      (1 + Random.State.int rng 2)
+      (fun _ -> stmt depth rot)
+  and stmt depth rot =
+    match (if depth >= 3 then 0 else Random.State.int rng 5) with
+    | 0 | 4 -> leaf ?rot ()
+    | 1 -> B.if_ (cond ()) (block (depth + 1) rot)
+    | 2 -> B.if_else (cond ()) (block (depth + 1) rot) (block (depth + 1) rot)
+    | _ ->
+      B.for_ (fresh "k")
+        (E.const (1 + Random.State.int rng 3))
+        (fun kv -> block (depth + 1) (Some kv))
+  in
+  B.kernel
+    (Printf.sprintf "bc_divergence_%d" idx)
+    ~grid ~cta ~params:[ a ]
+    (block 0 None @ [ leaf () ])
+
+let check_divergent_kernel name arch kernel =
+  let machine = Gpu_sim.Machine.of_arch arch in
+  let plan = Pipeline.lower arch kernel in
+  let run_one runner ~domains =
+    let args = [ ("A", Array.make (grid_blocks * cta_size) 0.0) ] in
+    let trace = Trace.create () in
+    let profiler = Profiler.create ~trace () in
+    let counters = runner ~profiler ~domains ~args in
+    let report = Profiler.report profiler ~kernel ~arch ~counters ~machine () in
+    ( args
+    , counters
+    , Profiler.report_to_json report
+    , Trace.to_chrome_string trace )
+  in
+  let tree ~profiler ~domains ~args =
+    Interp.run_tree ~arch ~profiler ~domains kernel ~args ()
+  in
+  let bc ~profiler ~domains ~args =
+    Interp.run_plan ~profiler ~domains ~engine:Interp.Bytecode plan ~args ()
+  in
+  let args0, c0, r0, t0 = run_one tree ~domains:1 in
+  (* A generated kernel must actually exercise the mask arena. *)
+  check_bool (name ^ ": bytecode has divergent branches") true
+    ((Bytecode.get plan).Plan.bc_max_depth >= 0);
+  List.iter
+    (fun domains ->
+      let tag = Printf.sprintf "%s: bytecode @ %d domains" name domains in
+      let argsn, cn, rn, tn = run_one bc ~domains in
+      check_counters_equal tag c0 cn;
+      check_str (tag ^ ": profiler report JSON") r0 rn;
+      check_str (tag ^ ": chrome trace") t0 tn;
+      List.iter2
+        (fun (bn, x) (_, y) ->
+          check_bool (Printf.sprintf "%s: buffer %s bitwise" tag bn) true
+            (x = y))
+        args0 argsn)
+    [ 1; 4 ]
+
+let test_bc_divergence_corpus () =
+  let rng = Random.State.make [| 0x9e3779b9; 42 |] in
+  let saw_divergence = ref false in
+  for idx = 0 to 11 do
+    let kernel = gen_kernel rng idx in
+    let plan = Pipeline.lower Arch.SM86 kernel in
+    if (Bytecode.get plan).Plan.bc_max_depth > 0 then saw_divergence := true;
+    check_divergent_kernel kernel.Spec.name Arch.SM86 kernel
+  done;
+  check_bool "corpus contains divergent kernels" true !saw_divergence
+
+(* ----- the encoding itself ----- *)
+
+(* The executor dispatches on integer literals; renumbering the opcodes
+   without updating it would silently execute the wrong semantics. *)
+let test_opcode_numbers () =
+  check_int "op_exec" 0 Bytecode.op_exec;
+  check_int "op_loop" 1 Bytecode.op_loop;
+  check_int "op_branch" 2 Bytecode.op_branch;
+  check_int "op_branch_div" 3 Bytecode.op_branch_div;
+  check_int "op_barrier" 4 Bytecode.op_barrier;
+  check_int "op_frame" 5 Bytecode.op_frame;
+  check_int "op_fail" 6 Bytecode.op_fail;
+  List.iter
+    (fun (op, name) -> check_str name name (Bytecode.opcode_name op))
+    [ (Bytecode.op_exec, "exec")
+    ; (Bytecode.op_loop, "loop")
+    ; (Bytecode.op_branch, "branch")
+    ; (Bytecode.op_branch_div, "branch.div")
+    ; (Bytecode.op_barrier, "barrier")
+    ; (Bytecode.op_frame, "frame")
+    ; (Bytecode.op_fail, "fail")
+    ]
+
+(* Flattening preserves the op tree node-for-node: one instruction per
+   plan op, and the histogram sums to the instruction count. *)
+let test_instruction_counts () =
+  List.iter
+    (fun (name, arch, kernel) ->
+      let plan = Pipeline.lower arch kernel in
+      let bc = Bytecode.of_plan plan in
+      check_int
+        (name ^ ": one instruction per plan op")
+        (Plan.count_ops plan.Plan.body)
+        (Bytecode.instruction_count bc);
+      check_int
+        (name ^ ": histogram sums to instruction count")
+        (Bytecode.instruction_count bc)
+        (Array.fold_left ( + ) 0 (Bytecode.histogram bc));
+      check_int (name ^ ": histogram has 7 buckets") 7
+        (Array.length (Bytecode.histogram bc));
+      check_bool
+        (name ^ ": atomics pool matches EXEC count")
+        true
+        (Array.length bc.Plan.bc_atomics
+        = (Bytecode.histogram bc).(Bytecode.op_exec)))
+    [ ( "gemm-tc sm86"
+      , Arch.SM86
+      , Kernels.Gemm.tensor_core Arch.SM86
+          (Kernels.Gemm.test_config Arch.SM86)
+          ~epilogue:Kernels.Epilogue.none ~m:128 ~n:128 ~k:32 () )
+    ; ( "fmha sm86"
+      , Arch.SM86
+      , Kernels.Fmha.kernel Arch.SM86 ~batch:1 ~heads:1 ~seq:32 ~dh:16
+          ~chunk:16 ~nthreads:64 () )
+    ]
+
+(* [of_plan] is pure; [get] memoizes into the plan. *)
+let test_memoized_install () =
+  let kernel =
+    Kernels.Gemm.naive ~m:32 ~n:32 ~k:16 ~bm:16 ~bn:16 ~tm:4 ~tn:4 ()
+  in
+  let plan = Pipeline.lower Arch.SM86 kernel in
+  (* The pipeline's bytecode stage installs at lowering time. *)
+  check_bool "pipeline installs bytecode" true (plan.Plan.bytecode <> None);
+  let bc1 = Bytecode.get plan in
+  let bc2 = Bytecode.get plan in
+  check_bool "get memoizes" true (bc1 == bc2);
+  plan.Plan.bytecode <- None;
+  let fresh = Bytecode.of_plan plan in
+  check_bool "of_plan does not install" true (plan.Plan.bytecode = None);
+  check_bool "rebuild is code-identical" true
+    (fresh.Plan.bc_code = bc1.Plan.bc_code);
+  Bytecode.install plan;
+  check_bool "install installs" true (plan.Plan.bytecode <> None)
+
+(* ----- engine selection ----- *)
+
+let test_engine_names () =
+  List.iter
+    (fun e ->
+      check_bool
+        ("engine_of_string round-trips " ^ Interp.engine_name e)
+        true
+        (Interp.engine_of_string (Interp.engine_name e) = Some e);
+      check_bool "case-insensitive" true
+        (Interp.engine_of_string
+           (String.uppercase_ascii (Interp.engine_name e))
+        = Some e))
+    engines;
+  check_bool "garbage is None" true
+    (Interp.engine_of_string "jit" = None);
+  check_bool "empty is None" true (Interp.engine_of_string "" = None)
+
+(* ----- cost-based chunking ----- *)
+
+let test_cost_chunk_size () =
+  let grid =
+    [ (0, 1, 0); (1, 1, 1); (64, 1, 1_000); (64, 4, 1_000)
+    ; (64, 4, 2_000_000); (1024, 8, 50_000); (1024, 8, 10_000_000)
+    ; (7, 31, 123_456); (100_000, 2, 1)
+    ]
+  in
+  List.iter
+    (fun (total, domains, block_ns) ->
+      let c = Domain_pool.cost_chunk_size ~total ~domains ~block_ns in
+      let tag = Printf.sprintf "total=%d domains=%d ns=%d" total domains block_ns in
+      check_bool (tag ^ ": >= 1") true (c >= 1);
+      check_bool (tag ^ ": <= max 1 total") true (c <= max 1 total);
+      (* monotone nonincreasing in block_ns *)
+      check_bool (tag ^ ": costlier blocks never widen chunks") true
+        (Domain_pool.cost_chunk_size ~total ~domains ~block_ns:(block_ns * 10)
+        <= c);
+      (* monotone nonincreasing in domains *)
+      check_bool (tag ^ ": more domains never widen chunks") true
+        (Domain_pool.cost_chunk_size ~total ~domains:(domains + 1) ~block_ns
+        <= c))
+    grid;
+  (* Expensive blocks schedule one at a time; free blocks still balance
+     (>= ~4 chunks per domain). *)
+  check_int "2ms blocks -> singleton chunks" 1
+    (Domain_pool.cost_chunk_size ~total:64 ~domains:2 ~block_ns:2_000_000);
+  check_bool "zero-cost blocks still split for balance" true
+    (Domain_pool.cost_chunk_size ~total:1024 ~domains:4 ~block_ns:0
+    <= 1024 / (4 * 4))
+
+let test_cost_chunks () =
+  check_bool "total=0 is empty" true
+    (Domain_pool.cost_chunks ~total:0 ~domains:4 ~block_ns:100 = []);
+  check_bool "total<0 is empty" true
+    (Domain_pool.cost_chunks ~total:(-3) ~domains:4 ~block_ns:100 = []);
+  List.iter
+    (fun (total, domains, block_ns) ->
+      let tag = Printf.sprintf "total=%d domains=%d ns=%d" total domains block_ns in
+      let chunks = Domain_pool.cost_chunks ~total ~domains ~block_ns in
+      let size = Domain_pool.cost_chunk_size ~total ~domains ~block_ns in
+      let last =
+        List.fold_left
+          (fun prev (lo, hi) ->
+            check_int (tag ^ ": contiguous") prev lo;
+            check_bool (tag ^ ": non-empty") true (hi > lo);
+            check_bool (tag ^ ": chunk-sized") true (hi - lo <= size);
+            hi)
+          0 chunks
+      in
+      check_int (tag ^ ": covers total") total last;
+      (* every chunk except the last is exactly [size] *)
+      let rec full = function
+        | [] | [ _ ] -> ()
+        | (lo, hi) :: rest ->
+          check_int (tag ^ ": full chunk") size (hi - lo);
+          full rest
+      in
+      full chunks)
+    [ (1, 1, 0); (7, 2, 1_000); (64, 4, 100_000); (100, 16, 2_000_000)
+    ; (1024, 8, 12_345)
+    ]
+
+let () =
+  Alcotest.run "bytecode"
+    [ ( "determinism"
+      , [ Alcotest.test_case "gemm-tc sm86+sm70" `Quick test_eng_gemm_tc
+        ; Alcotest.test_case "gemm naive" `Quick test_eng_gemm_naive
+        ; Alcotest.test_case "gemm parametric" `Quick test_eng_gemm_parametric
+        ; Alcotest.test_case "fmha" `Quick test_eng_fmha
+        ; Alcotest.test_case "reductions" `Quick test_eng_reductions
+        ; Alcotest.test_case "fused" `Quick test_eng_fused
+        ] )
+    ; ( "divergence"
+      , [ Alcotest.test_case "fixed-seed corpus via bytecode" `Quick
+            test_bc_divergence_corpus
+        ] )
+    ; ( "encoding"
+      , [ Alcotest.test_case "opcode numbers pinned" `Quick test_opcode_numbers
+        ; Alcotest.test_case "instruction counts" `Quick test_instruction_counts
+        ; Alcotest.test_case "memoized install" `Quick test_memoized_install
+        ] )
+    ; ( "engine"
+      , [ Alcotest.test_case "name round-trip" `Quick test_engine_names ] )
+    ; ( "chunking"
+      , [ Alcotest.test_case "cost_chunk_size" `Quick test_cost_chunk_size
+        ; Alcotest.test_case "cost_chunks" `Quick test_cost_chunks
+        ] )
+    ]

@@ -211,6 +211,10 @@ let test_collective_without_members_raises () =
     | Plan.Fail m -> Plan.Fail m
   in
   let broken = { plan with Plan.body = strip_ops plan.Plan.body } in
+  (* The record copy carries the original body's installed bytecode;
+     drop it so every engine flattens (and so executes) the doctored
+     body. *)
+  broken.Plan.bytecode <- None;
   check_bool "stripped a collective" true (!stripped > 0);
   let args () =
     [ ("In", Array.init 32 float_of_int); ("Out", Array.make 32 0.0) ]

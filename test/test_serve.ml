@@ -331,7 +331,7 @@ let test_bench_determinism () =
   check_bool "wall fields omitted in deterministic form" false
     (contains (Metrics.to_json ~wall:false a.Engine.summary) "\"wall\"");
   check_bool "schema tag" true
-    (contains (Metrics.to_json a.Engine.summary) "graphene.serve_bench.v1")
+    (contains (Metrics.to_json a.Engine.summary) "graphene.serve_bench.v2")
 
 let () =
   Alcotest.run "serve"

@@ -1,6 +1,6 @@
 # Convenience wrappers around dune. `make ci` is what CI runs.
 
-.PHONY: build test profile-smoke parallel-smoke bytecode-smoke vector-smoke layout-smoke perf-smoke serve-smoke bench golden ci clean
+.PHONY: build test profile-smoke parallel-smoke bytecode-smoke vector-smoke swpipe-smoke layout-smoke perf-smoke serve-smoke bench golden ci clean
 
 build:
 	dune build
@@ -29,6 +29,14 @@ bytecode-smoke:
 # prints per-atomic vector widths and legality verdicts.
 vector-smoke:
 	dune build @vector-smoke
+
+# Software-pipelining smoke: lower the tensor-core GEMM at a 3-stage
+# request (the plan listing shows the rotating-buffer rewrite) and run
+# the pipelined plan across all three engines — counters, reports,
+# traces and outputs must be bit-identical to each other and the
+# outputs must match the CPU reference.
+swpipe-smoke:
+	dune build @swpipe-smoke
 
 # Walk the CuTe layout algebra and self-check every result against the
 # conformance corpus (see docs/LAYOUT.md).

@@ -218,6 +218,14 @@ type sim_row =
   ; bytecode_mw : float
   ; par_s : float
   ; sweep : (int * float * bool) list  (** domains, wall s, bit-identical *)
+  ; stages : int
+        (** effective software-pipeline depth of a 3-stage lowering
+            request (1 when the swpipe pass refused this kernel) *)
+  ; async_occ : float
+        (** measured async-copy queue occupancy of the pipelined run *)
+  ; overlap_speedup : float
+        (** perf-model serialized time / pipelined time at the measured
+            occupancy — the latency-hiding term's predicted win *)
   ; identical : bool
   ; outputs_identical : bool
   ; plan_counters : C.t
@@ -320,11 +328,41 @@ let sim_bench_row case =
             (d, s, counters_equal bc_counters c && buffers_equal bc_args a))
           sweep_domains
       in
+      (* The v6 swpipe measurement point: the same kernel lowered at a
+         3-stage request (the pass may refuse — [stages] reports the
+         effective depth), run once on the bytecode engine against
+         fresh buffers. The pre-existing counters and the outputs must
+         stay bit-identical to the unpipelined run; only the new
+         async-queue counters (excluded from [counters_equal]) may
+         move. The model's overlap speedup compares serialized
+         (1-stage) to pipelined time at the measured occupancy. *)
+      let pplan, _ = Lower.Pipeline.lower_cached arch kernel ~stages:3 in
+      let stages = pplan.Lower.Plan.pipelining.Lower.Plan.pl_stages in
+      let p_args = args () in
+      let p_counters, _ =
+        time (fun () ->
+            Gpu_sim.Interp.run_plan ~domains:1 ~engine:Gpu_sim.Interp.Bytecode
+              pplan ~args:p_args ())
+      in
+      let pipelined_identical =
+        counters_equal bc_counters p_counters && buffers_equal bc_args p_args
+      in
+      let async_occ = C.async_occupancy p_counters ~stages in
+      let overlap_speedup =
+        let machine = Gpu_sim.Machine.of_arch arch in
+        let t pipeline =
+          (Gpu_sim.Perf_model.of_kernel ~pipeline machine kernel ())
+            .Gpu_sim.Perf_model.time_s
+        in
+        t { Gpu_sim.Perf_model.stages = 1; occupancy = 0.0 }
+        /. t { Gpu_sim.Perf_model.stages; occupancy = async_occ }
+      in
       let identical =
         counters_equal tree_counters plan_counters
         && counters_equal plan_counters par_counters
         && counters_equal plan_counters bc_counters
         && List.for_all (fun (_, _, ok) -> ok) sweep
+        && pipelined_identical
       in
       let outputs_identical =
         buffers_equal plan_args par_args && buffers_equal plan_args bc_args
@@ -340,6 +378,9 @@ let sim_bench_row case =
       ; bytecode_mw
       ; par_s
       ; sweep
+      ; stages
+      ; async_occ
+      ; overlap_speedup
       ; identical
       ; outputs_identical
       ; plan_counters
@@ -387,6 +428,11 @@ let sim_bench_row case =
               (fun (d, s, _) ->
                 Printf.sprintf "  %dd %.3fs (%.2fx)" d s (r.bytecode_s /. s))
               r.sweep));
+      Format.printf
+        "%26sswpipe: %d stage%s, queue occupancy %.2f, model overlap %.2fx@."
+        "" r.stages
+        (if r.stages = 1 then "" else "s")
+        r.async_occ r.overlap_speedup;
       let sweep_json =
         String.concat ","
           (List.map
@@ -405,6 +451,8 @@ let sim_bench_row case =
            \"bytecode_s\":%.6f,\"bytecode_speedup\":%.3f,\
            \"speedup_bytecode\":%.3f,\"exec_engine\":\"bytecode\",\
            \"domains_sweep\":[%s],\
+           \"stages\":%d,\"async_copy_occupancy\":%.6g,\
+           \"overlap_speedup_model\":%.6g,\
            \"cells_per_sec_tree\":%.6g,\"cells_per_sec_plan\":%.6g,\
            \"cells_per_sec_bytecode\":%.6g,\
            \"minor_words_tree\":%.0f,\"minor_words_plan\":%.0f,\
@@ -426,7 +474,8 @@ let sim_bench_row case =
           r.bytecode_s
           (r.plan_s /. r.bytecode_s)
           (r.tree_s /. r.bytecode_s)
-          sweep_json (cps r.tree_s) (cps r.plan_s) (cps r.bytecode_s) r.tree_mw
+          sweep_json r.stages r.async_occ r.overlap_speedup
+          (cps r.tree_s) (cps r.plan_s) (cps r.bytecode_s) r.tree_mw
           r.plan_mw r.bytecode_mw (per_cell r.tree_mw) (per_cell r.plan_mw)
           (per_cell r.bytecode_mw) mw_reduction
           plan_counters.C.global_transactions plan_counters.C.global_requests
@@ -456,7 +505,7 @@ let emit_sim_bench ?(quick = false) () =
   else begin
     let stats = Lower.Pipeline.cache_stats () in
     let oc = open_out "BENCH_sim.json" in
-    output_string oc "{\"schema\":\"graphene.sim_bench.v5\",\n";
+    output_string oc "{\"schema\":\"graphene.sim_bench.v6\",\n";
     output_string oc
       (Printf.sprintf
          "\"par_domains\":%d,\"default_domains\":%d,\"exec_engine\":%s,\n"

@@ -69,7 +69,9 @@ let build arch name =
       ~m:32 ~n:32 ~k:16 ~bias:false ~act:false
   | "gemm-tc" ->
     let cfg = Kernels.Gemm.test_config arch in
-    let m, n, k = (64, 64, 32) in
+    (* k = 4 tiles of bk, so the staging loop is deep enough for the
+       swpipe pass to pipeline (--stages). *)
+    let m, n, k = (64, 64, 128) in
     let m = if arch = Arch.SM70 then 32 else m in
     let n = if arch = Arch.SM70 then 32 else n in
     mk_gemm
@@ -230,7 +232,17 @@ let lower_cmd =
              still computed and printed. Equivalent to setting \
              \\$GRAPHENE_NO_VECTORIZE.")
   in
-  let run arch name plan_only no_vectorize =
+  let stages =
+    Arg.(
+      value & opt int 1
+      & info [ "stages" ] ~docv:"N"
+          ~doc:
+            "Software-pipelining depth for the swpipe pass: at \
+             $(docv) >= 2, eligible async staging loops are rewritten \
+             to $(docv)-stage rotating-buffer pipelines. Equivalent to \
+             setting \\$GRAPHENE_SWPIPE_STAGES.")
+  in
+  let run arch name plan_only no_vectorize stages =
     let kernel, _, _ = build arch name in
     let log ~pass ~doc rendered =
       if not plan_only then begin
@@ -238,7 +250,8 @@ let lower_cmd =
       end
     in
     let plan =
-      Lower.Pipeline.lower ~log ~vectorize:(not no_vectorize) arch kernel
+      Lower.Pipeline.lower ~log ~vectorize:(not no_vectorize) ~stages arch
+        kernel
     in
     if plan_only then print_endline (Lower.Plan.to_string plan);
     let launch, block, loop, thread =
@@ -269,6 +282,18 @@ let lower_cmd =
         "bank-conflict lint: %d atomic(s) flagged, +%d conflict \
          cycle(s)/batch@."
         flagged cycles;
+    (let pl = plan.Lower.Plan.pipelining in
+     if pl.Lower.Plan.pl_stages > 1 then
+       Format.printf
+         "pipelining: %d stage(s), %d B staged/iter, queue depth bound %d \
+          [%s]@."
+         pl.Lower.Plan.pl_stages pl.Lower.Plan.pl_stage_bytes
+         pl.Lower.Plan.pl_queue_bound
+         (String.concat ", "
+            (List.map
+               (fun (b, s) -> Printf.sprintf "%s(+%d)" b s)
+               pl.Lower.Plan.pl_buffers))
+     else Format.printf "pipelining: %s@." pl.Lower.Plan.pl_note);
     Format.printf "%s@."
       (Lower.Bytecode.summary ~cta_size:plan.Lower.Plan.cta_size
          (Lower.Bytecode.get plan))
@@ -277,12 +302,15 @@ let lower_cmd =
     (Cmd.info "lower"
        ~doc:
          "Run the lowering pipeline (validate, flatten, resolve, depcheck, \
-          vectorize, compile, bytecode) on a kernel, printing the IR after \
-          every pass, the compiled execution plan — with each view's \
-          dependence tier, vector width and bank-conflict lint — and the \
-          flattened bytecode (instruction histogram, scratch-arena size, \
-          dependence tiers). See docs/LOWERING.md.")
-    Term.(const run $ arch_arg $ kernel_arg $ plan_only $ no_vectorize)
+          vectorize, swpipe, compile, bytecode) on a kernel, printing the \
+          IR after every pass, the compiled execution plan — with each \
+          view's dependence tier, vector width and bank-conflict lint — \
+          the software-pipelining verdict (stages chosen, shared bytes per \
+          stage, queue-depth bound, or the per-loop refusal reasons) and \
+          the flattened bytecode (instruction histogram, scratch-arena \
+          size, dependence tiers). See docs/LOWERING.md.")
+    Term.(
+      const run $ arch_arg $ kernel_arg $ plan_only $ no_vectorize $ stages)
 
 let domains_arg =
   Arg.(

@@ -452,6 +452,9 @@ let rec emit_stmt ctx stmt =
   match stmt with
   | Spec.Comment c -> line ctx "// %s" c
   | Spec.Sync -> line ctx "__syncthreads();"
+  | Spec.Commit_group -> line ctx "asm volatile(\"cp.async.commit_group;\\n\");"
+  | Spec.Wait_group n ->
+    line ctx "asm volatile(\"cp.async.wait_group %d;\\n\");" n
   | Spec.Alloc t ->
     (match t.Ts.mem with
     | Ms.Shared -> line ctx "// __shared__ %s (hoisted)" t.Ts.buffer

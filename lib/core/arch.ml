@@ -6,6 +6,17 @@ let display_name = function
   | SM70 -> "Volta (V100)"
   | SM86 -> "Ampere (RTX A6000)"
 
+(* Mirrors [Gpu_sim.Machine.of_arch]; duplicated here (the dependency
+   points the other way) so lowering passes can check legality without
+   seeing the simulator. *)
+let smem_bytes_per_block = function
+  | SM70 -> 96 * 1024
+  | SM86 -> 100 * 1024
+
+(* Maximum committed-but-unwaited cp.async groups a pipelining rewrite may
+   keep in flight. 0 = the architecture has no async copies. *)
+let async_queue_depth = function SM70 -> 0 | SM86 -> 8
+
 let equal (a : t) b = a = b
 let pp fmt t = Format.pp_print_string fmt (name t)
 let all = [ SM70; SM86 ]

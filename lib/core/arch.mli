@@ -9,6 +9,14 @@ val name : t -> string
 (** Marketing name used in plots, e.g. ["Volta (V100)"]. *)
 val display_name : t -> string
 
+(** Shared-memory capacity per thread block in bytes (mirrors the
+    simulated machine model). *)
+val smem_bytes_per_block : t -> int
+
+(** Maximum in-flight committed cp.async groups; 0 when the architecture
+    has no asynchronous copies (pre-Ampere). *)
+val async_queue_depth : t -> int
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val all : t list

@@ -116,6 +116,22 @@ let cp_async name dt n =
       move_cost ~gb:(Dt.size_bytes dt * n) ~sb:(Dt.size_bytes dt * n)
   }
 
+(* cp.async group fences. These are statement-level in the IR
+   ([Spec.Commit_group] / [Spec.Wait_group]) rather than specs, so
+   [matches] never fires — the registry entries document the PTX forms
+   (and appear in Table 2) without participating in spec matching. *)
+let cp_async_fence name ptx =
+  { name
+  ; ptx
+  ; archs = [ Arch.SM86 ]
+  ; threads = 1
+  ; sig_threads = "[1].thread"
+  ; sig_ins = "-"
+  ; sig_outs = "-"
+  ; matches = (fun _ -> false)
+  ; cost = (fun _ -> zero_cost)
+  }
+
 let mov_rf =
   { name = "mov.rf"
   ; ptx = "mov.b32"
@@ -519,6 +535,8 @@ let registry =
   ; cp_async "cp.async.f16x8" Dt.FP16 8
   ; cp_async "cp.async.f32x4" Dt.FP32 4
   ; cp_async "cp.async.bf16x8" Dt.BF16 8
+  ; cp_async_fence "cp.async.commit_group" "cp.async.commit_group"
+  ; cp_async_fence "cp.async.wait_group" "cp.async.wait_group N"
   ; ld_shared "ld.shared.v4.b32.f16x8" "ld.shared.v4.u32" Dt.FP16 8
   ; ld_shared "ld.shared.v2.b32.f16x4" "ld.shared.v2.u32" Dt.FP16 4
   ; ld_shared "ld.shared.b32.f16x2" "ld.shared.u32" Dt.FP16 2

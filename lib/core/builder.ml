@@ -47,6 +47,8 @@ let for_step ?(unroll = false) var ~lo ~hi ~step body =
 let if_ cond then_ = Spec.If { cond; then_; else_ = [] }
 let if_else cond then_ else_ = Spec.If { cond; then_; else_ }
 let sync = Spec.Sync
+let commit_group = Spec.Commit_group
+let wait_group n = Spec.Wait_group n
 let comment c = Spec.Comment c
 
 let ( <. ) a b = Spec.Cmp (Spec.Lt, a, b)

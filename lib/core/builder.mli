@@ -102,6 +102,14 @@ val for_step :
 val if_ : Spec.pred -> stmt list -> stmt
 val if_else : Spec.pred -> stmt list -> stmt list -> stmt
 val sync : stmt
+
+(** [commit_group] / [wait_group n] — cp.async group fences: commit seals
+    everything issued since the previous commit into one in-flight group
+    (possibly empty); wait blocks until at most [n] committed groups remain
+    in flight. See docs/LOWERING.md, "The pipelining pass". *)
+val commit_group : stmt
+
+val wait_group : int -> stmt
 val comment : string -> stmt
 
 (** {1 Predicates} *)

@@ -35,6 +35,8 @@ type stmt =
   | If of { cond : pred; then_ : stmt list; else_ : stmt list }
   | Alloc of Ts.t
   | Sync
+  | Commit_group
+  | Wait_group of int
   | Comment of string
 
 and t =
@@ -67,7 +69,7 @@ let rec fold_specs f acc stmts =
         (match s.decomp with Some body -> fold_specs f acc body | None -> acc)
       | For { body; _ } -> fold_specs f acc body
       | If { then_; else_; _ } -> fold_specs f (fold_specs f acc then_) else_
-      | Alloc _ | Sync | Comment _ -> acc)
+      | Alloc _ | Sync | Commit_group | Wait_group _ | Comment _ -> acc)
     acc stmts
 
 let rec allocs stmts =
@@ -79,7 +81,7 @@ let rec allocs stmts =
       | Spec_stmt { decomp = None; _ } -> []
       | For { body; _ } -> allocs body
       | If { then_; else_; _ } -> allocs then_ @ allocs else_
-      | Sync | Comment _ -> [])
+      | Sync | Commit_group | Wait_group _ | Comment _ -> [])
     stmts
 
 let shfl_name = function
@@ -131,6 +133,8 @@ let rec pp_stmt fmt = function
       pp_body then_ pp_body else_
   | Alloc t -> Format.fprintf fmt "Allocate %a" Ts.pp t
   | Sync -> Format.fprintf fmt "__syncthreads()"
+  | Commit_group -> Format.fprintf fmt "cp.async.commit_group()"
+  | Wait_group n -> Format.fprintf fmt "cp.async.wait_group(%d)" n
   | Comment c -> Format.fprintf fmt "// %s" c
 
 and pp_body fmt stmts =

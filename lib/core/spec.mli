@@ -49,6 +49,10 @@ type stmt =
   | If of { cond : pred; then_ : stmt list; else_ : stmt list }
   | Alloc of Gpu_tensor.Tensor.t  (** the Allocate spec of paper Table 1 *)
   | Sync  (** __syncthreads() *)
+  | Commit_group  (** cp.async.commit_group: seal the pending async copies *)
+  | Wait_group of int
+      (** cp.async.wait_group N: block until at most N committed async-copy
+          groups remain in flight (their deferred writes land) *)
   | Comment of string
 
 and t =

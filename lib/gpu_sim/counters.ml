@@ -14,6 +14,11 @@ type t =
   ; mutable shared_requests : int
   ; mutable shared_vec_requests : int
   ; mutable shared_vec_bytes : int
+  ; mutable async_copies : int
+  ; mutable async_commits : int
+  ; mutable async_waits : int
+  ; mutable async_inflight_sum : int
+  ; mutable async_max_inflight : int
   ; instr_mix : (string, int) Hashtbl.t
   }
 
@@ -33,6 +38,11 @@ let create () =
   ; shared_requests = 0
   ; shared_vec_requests = 0
   ; shared_vec_bytes = 0
+  ; async_copies = 0
+  ; async_commits = 0
+  ; async_waits = 0
+  ; async_inflight_sum = 0
+  ; async_max_inflight = 0
   ; instr_mix = Hashtbl.create 64
   }
 
@@ -52,6 +62,11 @@ let reset t =
   t.shared_requests <- 0;
   t.shared_vec_requests <- 0;
   t.shared_vec_bytes <- 0;
+  t.async_copies <- 0;
+  t.async_commits <- 0;
+  t.async_waits <- 0;
+  t.async_inflight_sum <- 0;
+  t.async_max_inflight <- 0;
   Hashtbl.reset t.instr_mix
 
 let add_instr t name =
@@ -182,6 +197,11 @@ let merge dst src =
   dst.shared_requests <- dst.shared_requests + src.shared_requests;
   dst.shared_vec_requests <- dst.shared_vec_requests + src.shared_vec_requests;
   dst.shared_vec_bytes <- dst.shared_vec_bytes + src.shared_vec_bytes;
+  dst.async_copies <- dst.async_copies + src.async_copies;
+  dst.async_commits <- dst.async_commits + src.async_commits;
+  dst.async_waits <- dst.async_waits + src.async_waits;
+  dst.async_inflight_sum <- dst.async_inflight_sum + src.async_inflight_sum;
+  dst.async_max_inflight <- max dst.async_max_inflight src.async_max_inflight;
   Hashtbl.iter
     (fun k v ->
       Hashtbl.replace dst.instr_mix k
@@ -196,6 +216,16 @@ let merge_list parts =
   List.iter (merge acc) parts;
   acc
 
+(* Mean committed groups in flight at the wait points. Each wait samples
+   the queue depth before draining; in a steady N-stage pipeline every
+   sample is N, so [async_mean_inflight / stages] = 1.0. *)
+let async_mean_inflight t =
+  if t.async_waits = 0 then 0.0
+  else float_of_int t.async_inflight_sum /. float_of_int t.async_waits
+
+let async_occupancy t ~stages =
+  if stages <= 0 then 0.0 else async_mean_inflight t /. float_of_int stages
+
 let instr_mix_alist t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.instr_mix []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -206,9 +236,16 @@ let pp fmt t =
      shared: %d B loaded, %d B stored, %d conflict cycles@,\
      flops: %d (%d tensor-core), %d instructions@,\
      requests: %d global (%d vectorized, %d B wide), %d shared (%d \
-     vectorized, %d B wide)@]"
+     vectorized, %d B wide)"
     t.global_load_bytes t.global_store_bytes t.global_transactions
     t.shared_load_bytes t.shared_store_bytes t.shared_bank_conflicts t.flops
     t.tensor_core_flops t.instructions t.global_requests
     t.global_vec_requests t.global_vec_bytes t.shared_requests
-    t.shared_vec_requests t.shared_vec_bytes
+    t.shared_vec_requests t.shared_vec_bytes;
+  if t.async_copies > 0 then
+    Format.fprintf fmt
+      "@,async copies: %d issued, %d commits, %d waits, mean in-flight \
+       %.2f (max %d)"
+      t.async_copies t.async_commits t.async_waits (async_mean_inflight t)
+      t.async_max_inflight;
+  Format.fprintf fmt "@]"

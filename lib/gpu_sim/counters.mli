@@ -24,6 +24,15 @@ type t =
   ; mutable shared_requests : int
   ; mutable shared_vec_requests : int
   ; mutable shared_vec_bytes : int
+  ; mutable async_copies : int
+        (** cp.async instances issued (deferred global→shared copies) *)
+  ; mutable async_commits : int  (** cp.async.commit_group executions *)
+  ; mutable async_waits : int  (** cp.async.wait_group executions *)
+  ; mutable async_inflight_sum : int
+        (** committed groups in flight, sampled at each wait before it
+            drains — divide by [async_waits] for the mean queue depth *)
+  ; mutable async_max_inflight : int
+        (** peak committed groups in flight across the run (max-merged) *)
   ; instr_mix : (string, int) Hashtbl.t  (** per atomic-instruction counts *)
   }
 
@@ -95,6 +104,14 @@ val merge : t -> t -> unit
     all fields are commutative sums, so any order gives the same
     result). *)
 val merge_list : t list -> t
+
+(** Mean committed cp.async groups in flight at the wait points
+    ([async_inflight_sum / async_waits]; 0 when no waits executed). *)
+val async_mean_inflight : t -> float
+
+(** [async_occupancy t ~stages] — {!async_mean_inflight} normalized by the
+    pipeline depth: 1.0 in a steady [stages]-deep pipeline. *)
+val async_occupancy : t -> stages:int -> float
 
 (** The instruction mix as an association list, sorted by instruction name
     (deterministic, for reports). *)

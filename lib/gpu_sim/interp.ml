@@ -116,12 +116,43 @@ let record_view_batch ctx env tids ~store (v : Ts.t) =
       end
     end
 
+(* ----- cp.async queue ops (shared by all three engines) -----
+
+   Commit/wait are statements, not atomic specs: they touch no counter a
+   pre-pipelining kernel has (instructions, instr_mix, bytes, ...), only
+   the async_* fields — which is what keeps a pipelined lowering
+   bit-identical to its unpipelined twin on every pre-existing counter.
+   The in-flight depth is sampled at each wait BEFORE it drains (the
+   steady-state occupancy the perf model consumes), and the peak is
+   tracked at each commit. *)
+
+let exec_commit_group ctx =
+  Memory.async_commit ctx.mem;
+  let c = ctx.counters in
+  c.Counters.async_commits <- c.Counters.async_commits + 1;
+  let inflight = Memory.async_inflight ctx.mem in
+  if inflight > c.Counters.async_max_inflight then
+    c.Counters.async_max_inflight <- inflight
+
+let exec_wait_group ctx n =
+  let c = ctx.counters in
+  c.Counters.async_waits <- c.Counters.async_waits + 1;
+  c.Counters.async_inflight_sum <-
+    c.Counters.async_inflight_sum + Memory.async_inflight ctx.mem;
+  Memory.async_wait ctx.mem n
+
+let is_async_name name =
+  String.length name >= 8 && String.equal (String.sub name 0 8) "cp.async"
+
 let account_cost ctx (instr : Atomic.instr) (s : Spec.t) ~instances =
   let c = instr.Atomic.cost s in
   let is_tc =
     String.length instr.Atomic.name >= 3
     && String.equal (String.sub instr.Atomic.name 0 3) "mma"
   in
+  if is_async_name instr.Atomic.name then
+    ctx.counters.Counters.async_copies <-
+      ctx.counters.Counters.async_copies + instances;
   if is_tc then
     ctx.counters.Counters.tensor_core_flops <-
       ctx.counters.Counters.tensor_core_flops + (c.Atomic.flops * instances)
@@ -247,6 +278,8 @@ let rec exec_stmt ctx env active stmt =
       error "__syncthreads() inside divergent control flow (%d of %d threads)"
         (List.length active) ctx.cta_size;
     Option.iter (fun p -> Profiler.on_barrier p ~block:ctx.block) ctx.prof
+  | Spec.Commit_group -> exec_commit_group ctx
+  | Spec.Wait_group n -> exec_wait_group ctx n
   | Spec.For { var; lo; hi; step; body; _ } ->
     if mentions_tid lo || mentions_tid hi || mentions_tid step then
       error "loop %s has thread-dependent bounds" var;
@@ -734,6 +767,9 @@ let rec record_batches px w wmask ~store = function
 
 let account_cost_plan ctx (a : P.atomic) ~instances =
   let c = a.P.a_cost in
+  if a.P.a_is_async then
+    ctx.counters.Counters.async_copies <-
+      ctx.counters.Counters.async_copies + instances;
   if a.P.a_is_tc then
     ctx.counters.Counters.tensor_core_flops <-
       ctx.counters.Counters.tensor_core_flops + (c.Atomic.flops * instances)
@@ -777,8 +813,12 @@ let exec_plan_fastcopy px (a : P.atomic) w m =
       incr lanes
     end
   done;
-  Semantics.exec_warp_move_contig px.c.mem a.P.a_spec ~tids:px.fc_tids
-    ~src_bases:px.fc_src ~dst_bases:px.fc_dst ~lanes:!lanes ~n
+  if a.P.a_is_async then
+    Semantics.exec_warp_cp_async_contig px.c.mem a.P.a_spec ~tids:px.fc_tids
+      ~src_bases:px.fc_src ~dst_bases:px.fc_dst ~lanes:!lanes ~n
+  else
+    Semantics.exec_warp_move_contig px.c.mem a.P.a_spec ~tids:px.fc_tids
+      ~src_bases:px.fc_src ~dst_bases:px.fc_dst ~lanes:!lanes ~n
 
 let exec_plan_per_thread px (a : P.atomic) (mask : WM.t) =
   let ctx = px.c in
@@ -976,6 +1016,8 @@ let rec exec_plan_op px (mask : WM.t) op =
       error "__syncthreads() inside divergent control flow (%d of %d threads)"
         active ctx.cta_size;
     Option.iter (fun p -> Profiler.on_barrier p ~block:ctx.block) ctx.prof
+  | P.Commit_group -> exec_commit_group ctx
+  | P.Wait_group n -> exec_wait_group ctx n
   | P.Frame { f_label; f_body } ->
     Option.iter (fun p -> Profiler.enter_frame p f_label) ctx.prof;
     List.iter (exec_plan_op px mask) f_body;
@@ -1173,6 +1215,9 @@ let rec bc_record_batches px w wmask ~store = function
 
 let bc_account_cost ctx (a : P.atomic) ~instances =
   let c = a.P.a_cost in
+  if a.P.a_is_async then
+    ctx.counters.Counters.async_copies <-
+      ctx.counters.Counters.async_copies + instances;
   if a.P.a_is_tc then
     ctx.counters.Counters.tensor_core_flops <-
       ctx.counters.Counters.tensor_core_flops + (c.Atomic.flops * instances)
@@ -1388,6 +1433,12 @@ let rec bc_exec bx (mask : WM.t) pc endpc =
       (match ctx.prof with Some p -> Profiler.exit_frame p | None -> ());
       bc_exec bx mask (pc + 3 + body_len) endpc
     | 6 (* fail *) -> error "%s" bx.bc_fails.(code.(pc + 1))
+    | 7 (* cp.async.commit_group *) ->
+      exec_commit_group bx.bp.c;
+      bc_exec bx mask (pc + 1) endpc
+    | 8 (* cp.async.wait_group: n *) ->
+      exec_wait_group bx.bp.c (Array.unsafe_get code (pc + 1));
+      bc_exec bx mask (pc + 2) endpc
     | op -> error "corrupt bytecode: opcode %d at pc %d" op pc
   end
 

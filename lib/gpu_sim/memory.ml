@@ -21,6 +21,14 @@ type global = (string, float array) Hashtbl.t
 type block =
   { shared : (string, float array) Hashtbl.t
   ; regs : (string, float array array) Hashtbl.t  (* files by tid *)
+  ; (* cp.async state: copies issued but not yet committed (newest first),
+       and committed groups still in flight (oldest first). A deferred
+       copy is a thunk landing data in shared memory; all counter
+       accounting happened at issue time, so draining is pure data
+       movement. Block-local by construction — [new_block] discards any
+       leftovers, exactly like the shared arrays they would target. *)
+    mutable async_pending : (unit -> unit) list
+  ; mutable async_groups : (unit -> unit) list list
   }
 
 type t =
@@ -37,7 +45,11 @@ let fault fmt = Format.kasprintf (fun s -> raise (Fault s)) fmt
 let create_global () : global = Hashtbl.create 16
 
 let fresh_block () =
-  { shared = Hashtbl.create 16; regs = Hashtbl.create 1024 }
+  { shared = Hashtbl.create 16
+  ; regs = Hashtbl.create 1024
+  ; async_pending = []
+  ; async_groups = []
+  }
 
 let of_global global =
   { global
@@ -62,6 +74,34 @@ let declare_shared t name size = Hashtbl.replace t.shared_sizes name size
 let declare_regs t name size = Hashtbl.replace t.reg_sizes name size
 
 let new_block t = t.blk <- fresh_block ()
+
+(* ----- the cp.async queue ----- *)
+
+let async_stage t thunk =
+  t.blk.async_pending <- thunk :: t.blk.async_pending
+
+(* Seal everything issued since the last commit into one group — possibly
+   empty, which real hardware allows and pipelined tail iterations rely
+   on (an empty commit keeps the group-count invariant without a copy). *)
+let async_commit t =
+  let blk = t.blk in
+  blk.async_groups <- blk.async_groups @ [ List.rev blk.async_pending ];
+  blk.async_pending <- []
+
+let async_inflight t = List.length t.blk.async_groups
+
+(* Drain oldest committed groups until at most [n] remain in flight; each
+   drained copy lands its deferred data in issue order. *)
+let async_wait t n =
+  let blk = t.blk in
+  let rec drain groups =
+    match groups with
+    | g :: rest when List.length groups > n ->
+      List.iter (fun thunk -> thunk ()) g;
+      drain rest
+    | _ -> groups
+  in
+  blk.async_groups <- drain blk.async_groups
 
 (* Grow-and-allocate slow paths, kept out of [buffer] so its common
    path (every simulated memory access) stays small enough to inline. *)

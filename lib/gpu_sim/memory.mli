@@ -53,6 +53,28 @@ val declare_regs : t -> string -> int -> unit
     domains. *)
 val new_block : t -> unit
 
+(** {1 The cp.async queue}
+
+    Per-block deferred-copy state. A cp.async issues as a thunk that will
+    land its (already-read, counter-accounted) data in shared memory when
+    drained; commit seals the issued-but-uncommitted copies into one
+    in-flight group (possibly empty), and wait drains oldest groups until
+    at most [n] remain. {!new_block} discards any leftovers along with
+    the shared arrays they would have written. *)
+
+(** Enqueue one deferred copy (issued, not yet committed). *)
+val async_stage : t -> (unit -> unit) -> unit
+
+(** Seal pending copies into one committed group; empty groups allowed. *)
+val async_commit : t -> unit
+
+(** Committed groups currently in flight. *)
+val async_inflight : t -> int
+
+(** [async_wait t n] — drain oldest committed groups (running their
+    thunks in issue order) until at most [n] remain in flight. *)
+val async_wait : t -> int -> unit
+
 (** {1 View access}
 
     [env] must bind every free variable of the view, including

@@ -9,8 +9,13 @@ type estimate =
   ; dram_util : float
   }
 
-let of_totals ?(smem_penalty = 1.0) ?(vec_width = 4.0) (m : Machine.t)
-    (t : Static_analysis.totals) =
+type pipeline =
+  { stages : int
+  ; occupancy : float
+  }
+
+let of_totals ?(smem_penalty = 1.0) ?(vec_width = 4.0) ?pipeline
+    (m : Machine.t) (t : Static_analysis.totals) =
   let blocks = max 1 t.Static_analysis.blocks in
   let tpb = max 1 t.Static_analysis.threads_per_block in
   (* Occupancy: concurrent blocks per SM limited by threads and shared
@@ -77,7 +82,27 @@ let of_totals ?(smem_penalty = 1.0) ?(vec_width = 4.0) (m : Machine.t)
     /. (m.Machine.dram_bytes_per_sec *. m.Machine.mem_efficiency *. vec_eff)
     /. Float.max dram_fill 1e-3
   in
-  let exec_s = Float.max compute_s (Float.max dram_s smem_s) in
+  (* The latency-hiding term. Without a pipeline judgment the legacy
+     roofline assumes perfect overlap (exec = max of the three streams).
+     With one, copy (the slower of DRAM and shared traffic) and compute
+     overlap only as well as the software pipeline actually kept the
+     async-copy queue full: a single-buffered staging loop serializes
+     them (copy + compute — each iteration's copies block its compute
+     behind the fence), while an N >= 2 stage pipeline pays
+     max(copy, compute) plus the un-overlapped remainder
+     (1 - occupancy) * min(copy, compute), where occupancy is the
+     measured (or assumed) mean queue fill relative to the stage
+     count — Counters.async_occupancy. *)
+  let copy_s = Float.max dram_s smem_s in
+  let exec_s =
+    match pipeline with
+    | None -> Float.max compute_s copy_s
+    | Some { stages; _ } when stages <= 1 -> compute_s +. copy_s
+    | Some { occupancy; _ } ->
+      let occ = Float.max 0.0 (Float.min 1.0 occupancy) in
+      Float.max compute_s copy_s
+      +. ((1.0 -. occ) *. Float.min compute_s copy_s)
+  in
   let launch_s = m.Machine.kernel_launch_overhead_s in
   let time_s = exec_s +. launch_s in
   let tc_util =
@@ -93,8 +118,8 @@ let of_totals ?(smem_penalty = 1.0) ?(vec_width = 4.0) (m : Machine.t)
   in
   { time_s; exec_s; launch_s; compute_s; dram_s; smem_s; tc_util; dram_util }
 
-let of_kernel ?smem_penalty ?vec_width m kernel ?scalars () =
-  of_totals ?smem_penalty ?vec_width m
+let of_kernel ?smem_penalty ?vec_width ?pipeline m kernel ?scalars () =
+  of_totals ?smem_penalty ?vec_width ?pipeline m
     (Static_analysis.of_kernel m.Machine.arch kernel ?scalars ())
 
 let sequence ests =

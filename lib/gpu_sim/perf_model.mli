@@ -21,6 +21,16 @@ type estimate =
   ; dram_util : float  (** achieved fraction of DRAM peak ("memory") *)
   }
 
+(** How well the kernel's staging loop keeps copies in flight — the
+    input to the latency-hiding term. [stages] is the software-pipeline
+    depth the plan was lowered with ({!Lower.Plan.pipelining});
+    [occupancy] the measured mean async-copy-queue fill relative to it
+    ({!Counters.async_occupancy}), clamped into [0, 1]. *)
+type pipeline =
+  { stages : int
+  ; occupancy : float
+  }
+
 (** [smem_penalty] scales the shared-memory time, standing in for measured
     bank-conflict degradation (obtained from the simulator's counters).
 
@@ -28,10 +38,22 @@ type estimate =
     width ({!Lower.Plan.global_vec_width}); it scales achievable DRAM
     efficiency as [0.7 + 0.075 * width] — full 128-bit vectors (the
     default, [4.0]) reach the calibrated [mem_efficiency], purely scalar
-    traffic about three quarters of it. *)
+    traffic about three quarters of it.
+
+    [pipeline] engages the latency-hiding term: without it, execution
+    time is the legacy perfect-overlap roofline
+    [max(compute, dram, smem)]. With [stages <= 1] the copy stream (the
+    slower of DRAM and shared) and compute {e serialize} — a
+    single-buffered staging loop's fence makes each iteration's compute
+    wait out its copies — giving [copy + compute]. With [stages >= 2]
+    they overlap to the degree the queue stayed full:
+    [max(copy, compute) + (1 - occupancy) * min(copy, compute)], which
+    is strictly below the serialized time whenever [occupancy > 0] and
+    both streams are non-trivial. *)
 val of_totals :
   ?smem_penalty:float ->
   ?vec_width:float ->
+  ?pipeline:pipeline ->
   Machine.t ->
   Static_analysis.totals ->
   estimate
@@ -40,6 +62,7 @@ val of_totals :
 val of_kernel :
   ?smem_penalty:float ->
   ?vec_width:float ->
+  ?pipeline:pipeline ->
   Machine.t ->
   Graphene.Spec.kernel ->
   ?scalars:(string * int) list ->

@@ -253,6 +253,11 @@ type report =
   ; instr_mix : (string * int) list
   ; attributed_instructions : float
   ; attributed_bytes : float
+  ; async_copies : int
+  ; async_commits : int
+  ; async_waits : int
+  ; async_mean_inflight : float
+  ; async_max_inflight : int
   ; estimate : Perf_model.estimate option
   ; bound : string
   ; arith_intensity : float
@@ -361,6 +366,11 @@ let report p ~kernel ~arch ~counters ?machine ?(scalars = []) () =
   ; instr_mix = Counters.instr_mix_alist counters
   ; attributed_instructions
   ; attributed_bytes
+  ; async_copies = counters.Counters.async_copies
+  ; async_commits = counters.Counters.async_commits
+  ; async_waits = counters.Counters.async_waits
+  ; async_mean_inflight = Counters.async_mean_inflight counters
+  ; async_max_inflight = counters.Counters.async_max_inflight
   ; estimate
   ; bound
   ; arith_intensity
@@ -423,6 +433,14 @@ let report_to_json rep =
     ];
   Buffer.add_string b ",\n\"instr_mix\":";
   obj b (List.map (fun (k, v) -> (k, string_of_int v)) rep.instr_mix);
+  Buffer.add_string b ",\n\"copy_queue\":";
+  obj b
+    [ ("async_copies", string_of_int rep.async_copies)
+    ; ("async_commits", string_of_int rep.async_commits)
+    ; ("async_waits", string_of_int rep.async_waits)
+    ; ("mean_inflight_groups", jflt rep.async_mean_inflight)
+    ; ("max_inflight_groups", string_of_int rep.async_max_inflight)
+    ];
   (match rep.estimate with
   | None -> ()
   | Some e ->
@@ -474,6 +492,12 @@ let pp_report fmt rep =
   Format.fprintf fmt "instr mix: %s@,"
     (String.concat ", "
        (List.map (fun (k, v) -> Printf.sprintf "%s x%d" k v) rep.instr_mix));
+  if rep.async_copies > 0 then
+    Format.fprintf fmt
+      "copy queue: %d cp.async, %d commits, %d waits | in-flight groups: \
+       %.2f mean, %d max@,"
+      rep.async_copies rep.async_commits rep.async_waits
+      rep.async_mean_inflight rep.async_max_inflight;
   (match rep.estimate with
   | None -> ()
   | Some e ->

@@ -133,6 +133,14 @@ type report =
   ; instr_mix : (string * int) list  (** sorted by instruction name *)
   ; attributed_instructions : float  (** fraction of {!totals} covered by rows *)
   ; attributed_bytes : float
+  ; async_copies : int  (** cp.async instances issued (whole run) *)
+  ; async_commits : int  (** cp.async.commit_group executions *)
+  ; async_waits : int  (** cp.async.wait_group executions *)
+  ; async_mean_inflight : float
+        (** mean committed groups in flight at the wait points
+            ({!Counters.async_mean_inflight}) — divide by the plan's
+            pipeline depth for queue occupancy *)
+  ; async_max_inflight : int  (** deepest the copy queue ever got *)
   ; estimate : Perf_model.estimate option  (** when a machine was given *)
   ; bound : string  (** ["compute"] | ["dram"] | ["smem"] | ["launch"] *)
   ; arith_intensity : float  (** flops per global byte *)

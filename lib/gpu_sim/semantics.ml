@@ -134,6 +134,39 @@ let exec_warp_move_contig mem (s : Spec.t) ~tids ~src_bases ~dst_bases ~lanes
       data ~len:n
   done
 
+(* Deferred cp.async: read the source NOW (into fresh arrays — the offset
+   and scratch buffers the executors pass around are reused, so a thunk
+   must own its data), defer the shared-memory write onto the block's
+   async queue. All counter accounting for the copy happens at issue time
+   in the interpreter, exactly as for the synchronous move it replaces —
+   only the data landing is deferred to the draining wait_group. *)
+let exec_thread_cp_async mem (s : Spec.t) offs tid =
+  let src, dst = single_io s in
+  let s_offs = offs src tid in
+  let n = Array.length s_offs in
+  let data = Array.make n 0.0 in
+  Memory.read_offs_into mem ~tid src s_offs data;
+  let d_offs = Array.copy (offs dst tid) in
+  Memory.async_stage mem (fun () ->
+      Memory.write_offs_n mem ~tid dst d_offs data ~len:n)
+
+(* The contiguous fast-path form (vector-widened full-span copies):
+   per-lane reads at issue, per-lane deferred writes in the same lane
+   order at drain. *)
+let exec_warp_cp_async_contig mem (s : Spec.t) ~tids ~src_bases ~dst_bases
+    ~lanes ~n =
+  let src, dst = single_io s in
+  for l = 0 to lanes - 1 do
+    let tid = Array.unsafe_get tids l in
+    let data = Array.make n 0.0 in
+    Memory.read_contig_into mem ~tid src
+      ~base:(Array.unsafe_get src_bases l)
+      ~len:n data;
+    let dbase = Array.unsafe_get dst_bases l in
+    Memory.async_stage mem (fun () ->
+        Memory.write_contig mem ~tid dst ~base:dbase data ~len:n)
+  done
+
 let exec_thread_fma mem (s : Spec.t) offs tid =
   match (s.Spec.ins, s.Spec.outs) with
   | [ a; b ], [ c ] ->
@@ -377,6 +410,7 @@ type code =
   | C_mma_m16n8k16
   | C_mma_m8n8k4
   | C_shfl of Spec.shfl_kind
+  | C_cp_async
   | C_move
   | C_fma
   | C_unary of Op.unary
@@ -392,6 +426,7 @@ let classify ~(instr : Atomic.instr) ~(spec : Spec.t) =
   | None ->
     if starts_with "mma.m16n8k16" name then C_mma_m16n8k16
     else if String.equal "mma.m8n8k4" name then C_mma_m8n8k4
+    else if starts_with "cp.async" name then C_cp_async
     else (
       match spec.Spec.kind with
       | Spec.Shfl kind -> C_shfl kind
@@ -431,6 +466,10 @@ let exec_coded ?trace ?(block = 0) ~offs mem code ~(instr : Atomic.instr)
     exec_mma mem ~m:8 ~n:8 ~k:4 ~a_coords:mma_m8n8k4_a ~b_coords:mma_m8n8k4_b
       ~c_coords:mma_m8n8k4_c spec offs members
   | C_shfl kind -> exec_shfl mem kind spec env offs members
+  | C_cp_async ->
+    if Array.length members = 1 then
+      exec_thread_cp_async mem spec offs members.(0)
+    else unhandled instr.Atomic.name members
   | C_move ->
     if Array.length members = 1 then exec_thread_move mem spec offs members.(0)
     else unhandled instr.Atomic.name members
@@ -482,6 +521,10 @@ let exec ?trace ?(block = 0) ?offsets mem ~instr ~spec ~env ~members =
     else if String.equal "mma.m8n8k4" name then
       exec_mma mem ~m:8 ~n:8 ~k:4 ~a_coords:mma_m8n8k4_a
         ~b_coords:mma_m8n8k4_b ~c_coords:mma_m8n8k4_c spec offs members
+    else if starts_with "cp.async" name then (
+      match members with
+      | [| tid |] -> exec_thread_cp_async mem spec offs tid
+      | _ -> unhandled name members)
     else (
       match (spec.Spec.kind, members) with
       | Spec.Shfl kind, _ -> exec_shfl mem kind spec env offs members

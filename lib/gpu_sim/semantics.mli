@@ -41,6 +41,9 @@ type code =
   | C_mma_m16n8k16
   | C_mma_m8n8k4
   | C_shfl of Graphene.Spec.shfl_kind
+  | C_cp_async
+      (** deferred global→shared copy: source read at issue, destination
+          write enqueued on the block's async-copy queue *)
   | C_move
   | C_fma
   | C_unary of Graphene.Op.unary
@@ -74,6 +77,20 @@ val exec_coded :
     checks, faults and destination rounding are identical to executing
     the scalar move per lane. *)
 val exec_warp_move_contig :
+  Memory.t ->
+  Graphene.Spec.t ->
+  tids:int array ->
+  src_bases:int array ->
+  dst_bases:int array ->
+  lanes:int ->
+  n:int ->
+  unit
+
+(** The deferred (cp.async) form of {!exec_warp_move_contig}: each lane's
+    source span is read at issue time into a fresh buffer and its
+    destination write enqueued on the block's async-copy queue, to land —
+    in the same lane order — when a wait_group drains the copy's group. *)
+val exec_warp_cp_async_contig :
   Memory.t ->
   Graphene.Spec.t ->
   tids:int array ->

@@ -92,7 +92,9 @@ let of_kernel arch (k : Spec.kernel) ?(scalars = []) () =
     List.fold_left
       (fun acc stmt ->
         match stmt with
-        | Spec.Comment _ | Spec.Sync | Spec.Alloc _ -> acc
+        | Spec.Comment _ | Spec.Sync | Spec.Alloc _ | Spec.Commit_group
+        | Spec.Wait_group _ ->
+          acc
         | Spec.For { var; lo; hi; step; body; _ } ->
           let env = base_env bindings in
           let lo_v = E.eval ~env lo

@@ -101,8 +101,9 @@ let kernel ?(name = "fmha") ?(swizzle_smem = true) ?(causal = false) arch
         [ Staging.copy stg ~src:k
             ~src_row0:(E.add kv_row0 (E.mul cb (E.const chunk)))
             ~src_col0:E.zero ~dst:kv
-        ; B.sync
         ]
+        @ Staging.fence [ stg ]
+        @ [ B.sync ]
         @ Tc_pipeline.init_acc pipe_s
         @ Tc_pipeline.accumulate pipe_s ~a:qs ~a_row0:E.zero ~a_col0:E.zero
             ~b:
@@ -193,8 +194,9 @@ let kernel ?(name = "fmha") ?(swizzle_smem = true) ?(causal = false) arch
             [ Staging.copy stg ~src:v
                 ~src_row0:(E.add kv_row0 (E.mul cb (E.const chunk)))
                 ~src_col0:E.zero ~dst:kv
-            ; B.sync
             ]
+            @ Staging.fence [ stg ]
+            @ [ B.sync ]
             @ Tc_pipeline.accumulate pipe_o ~a:ss ~a_row0:E.zero
                 ~a_col0:(E.mul cb (E.const chunk))
                 ~b:
@@ -221,7 +223,9 @@ let kernel ?(name = "fmha") ?(swizzle_smem = true) ?(causal = false) arch
     @ [ B.init ~threads:thr (1.0 /. Float.sqrt (float_of_int dh)) ~dst:scale_rf ()
       ; B.comment "stage the Q strip"
       ; Staging.copy stg ~src:q ~src_row0:q_row0 ~src_col0:E.zero ~dst:qs
-      ; B.comment "phase 1: S = Q K^T * (1/sqrt(dh))"
+      ]
+    @ Staging.fence [ stg ]
+    @ [ B.comment "phase 1: S = Q K^T * (1/sqrt(dh))"
       ; s_phase
       ; B.comment "phase 2: P = softmax(S) in shared memory"
       ]

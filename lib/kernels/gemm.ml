@@ -263,6 +263,7 @@ let tensor_core ?name ?(batch = 1) ?(dtype = Dt.FP16) arch cfg ~epilogue ~m ~n ~
       ( [ alloc_as0; alloc_bs0 ]
       , [ B.for_ "kk" (E.const ntiles) (fun kk ->
               stage_tile kk ~into:(as0, bs0)
+              @ Staging.fence [ stg_a; stg_b ]
               @ [ B.sync ]
               @ compute_from (as0, bs0)
               @ [ B.sync ])
@@ -275,8 +276,12 @@ let tensor_core ?name ?(batch = 1) ?(dtype = Dt.FP16) arch cfg ~epilogue ~m ~n ~
         let even = E.mul kk2 (E.const 2) in
         let odd = E.add even E.one in
         let next_even = E.add even (E.const 2) in
+        (* The fences sit just before each consumer barrier, so the odd
+           tile's copies overlap the even tile's compute (and vice
+           versa) until the wait forces them to land. *)
         [ B.if_ B.(odd <. E.const ntiles) (stage_tile odd ~into:(as1, bs1)) ]
         @ compute_from (as0, bs0)
+        @ Staging.fence [ stg_a; stg_b ]
         @ [ B.sync
           ; B.if_
               B.(next_even <. E.const ntiles)
@@ -285,11 +290,13 @@ let tensor_core ?name ?(batch = 1) ?(dtype = Dt.FP16) arch cfg ~epilogue ~m ~n ~
         @ [ B.if_
               B.(odd <. E.const ntiles)
               (compute_from (as1, bs1))
-          ; B.sync
           ]
+        @ Staging.fence [ stg_a; stg_b ]
+        @ [ B.sync ]
       in
       ( [ alloc_as0; alloc_bs0; alloc_as1; alloc_bs1 ]
       , stage_tile E.zero ~into:(as0, bs0)
+        @ Staging.fence [ stg_a; stg_b ]
         @ [ B.sync; B.for_ "kk2" (E.const ((ntiles + 1) / 2)) body ] )
     end
   in
@@ -415,8 +422,9 @@ let split_k ?(name = "gemm_splitk") arch cfg ~epilogue ~splits ~m ~n ~k () =
         ; Staging.copy stg_b ~src:b
             ~src_row0:(E.add k0 (E.mul kk (E.const bk)))
             ~src_col0:(E.mul bid_n (E.const bn)) ~dst:bs
-        ; B.sync
         ]
+        @ Staging.fence [ stg_a; stg_b ]
+        @ [ B.sync ]
         @ Tc_pipeline.accumulate pipe ~a:as_ ~a_row0:E.zero ~a_col0:E.zero
             ~b:(Tc_pipeline.B_k_major
                   { t = bs; row0 = E.zero; col0 = E.zero; ld = bn })
@@ -577,7 +585,9 @@ let tensor_core_layouts ?(name = "gemm_tc_layouts") ?(ta = false)
   in
   let main_loop =
     B.for_ "kk" (E.const (k / bk)) (fun kk ->
-        stage kk @ [ B.sync ]
+        stage kk
+        @ Staging.fence [ stg_a; stg_b ]
+        @ [ B.sync ]
         @ Tc_pipeline.accumulate_op pipe ~a:a_op ~b:b_op ~kc:bk
         @ [ B.sync ])
   in

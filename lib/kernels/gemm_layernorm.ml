@@ -47,8 +47,9 @@ let kernel ?(name = "gemm_layernorm_fused") ?(eps = 1e-5) arch ~m ~k ~width
             ~src_col0:(E.mul kk (E.const bk)) ~dst:xs
         ; Staging.copy stg ~src:w ~src_row0:(E.mul kk (E.const bk))
             ~src_col0:E.zero ~dst:ws
-        ; B.sync
         ]
+        @ Staging.fence [ stg ]
+        @ [ B.sync ]
         @ Tc_pipeline.accumulate pipe ~a:xs ~a_row0:E.zero ~a_col0:E.zero
             ~b:(Tc_pipeline.B_k_major
                   { t = ws; row0 = E.zero; col0 = E.zero; ld = width })

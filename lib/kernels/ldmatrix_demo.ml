@@ -46,7 +46,18 @@ let kernel () =
       ()
   in
   B.kernel "ldmatrix_demo" ~grid ~cta ~params:[ src; out ]
-    [ al_smem; al_regs; stage; B.sync; ldmatrix_move; writeback ]
+    [ al_smem
+    ; al_regs
+    ; stage
+    ; (* The staging move lowers to cp.async on SM86, whose shared-memory
+         write is deferred onto the block's async-copy queue: drain it
+         before the barrier publishes the tile. *)
+      B.commit_group
+    ; B.wait_group 0
+    ; B.sync
+    ; ldmatrix_move
+    ; writeback
+    ]
 
 let expected ~input ~lane ~reg =
   (* Matrix j = reg / 2 walks the 2x2 tiles of the 16x16 input leftmost-

@@ -67,8 +67,9 @@ let kernel ?(name = "lstm_cell_fused") ?(act = Op.Relu) arch
             ~src_col0:(E.mul kk (E.const bk)) ~dst:as_
         ; Staging.copy stg_b ~src:w ~src_row0:(E.mul kk (E.const bk))
             ~src_col0:(E.mul bid_n (E.const bn)) ~dst:bs
-        ; B.sync
         ]
+        @ Staging.fence [ stg_a; stg_b ]
+        @ [ B.sync ]
         @ Tc_pipeline.accumulate pipe ~a:as_ ~a_row0:E.zero ~a_col0:E.zero
             ~b:(Tc_pipeline.B_k_major
                   { t = bs; row0 = E.zero; col0 = E.zero; ld = bn })

@@ -51,8 +51,9 @@ let kernel ?(name = "mlp_fused") ?(act = Op.Relu) arch ~m ~width ~layers ~bm
     in
     [ Staging.copy stg ~src:w ~src_row0:(E.const (l * width)) ~src_col0:E.zero
         ~dst:ws
-    ; B.sync
     ]
+    @ Staging.fence [ stg ]
+    @ [ B.sync ]
     @ Tc_pipeline.init_acc pipe
     @ Tc_pipeline.accumulate pipe ~a:act_in ~a_row0:E.zero ~a_col0:E.zero
         ~b:
@@ -101,6 +102,7 @@ let kernel ?(name = "mlp_fused") ?(act = Op.Relu) arch ~m ~width ~layers ~bm
     @ [ Staging.copy stg ~src:x ~src_row0:(E.mul bid (E.const bm))
           ~src_col0:E.zero ~dst:act_a
       ]
+    @ Staging.fence [ stg ]
     @ layer_stmts
   in
   let fused =

@@ -28,6 +28,16 @@ let create ?(dtype = Dt.FP16) ~thr ~nthreads ~vw ~use_cp_async ~prefix () =
 
 let allocs t = t.alloc_stmts
 
+(* The copies issued by a cp.async staging are DEFERRED: they land only
+   when a wait_group drains their commit group. Every staging user must
+   fence between its last [copy] and the barrier that publishes the tile,
+   or the shared data is never written. The register-staged (non-async)
+   path completes eagerly and needs no fence, hence []. *)
+let fence stgs =
+  if List.exists (fun t -> t.use_cp_async) stgs then
+    [ B.commit_group; B.wait_group 0 ]
+  else []
+
 let copy t ~src ~src_row0 ~src_col0 ~dst =
   let dims = T.to_ints_exn (L.dims dst.Ts.layout) in
   let rows, cols =

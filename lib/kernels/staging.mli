@@ -2,10 +2,16 @@
 
     A thread block copies a [rows x cols] sub-tile of a global row-major
     tensor into a shared-memory tensor, vectorized and coalesced
-    (consecutive threads access consecutive vectors). On SM86 each access is
-    one [cp.async]; otherwise the copy is staged through registers
-    (vectorized global load + shared store), matching what Volta kernels
-    must do. *)
+    (consecutive threads access consecutive vectors). On SM86 each access
+    is one [cp.async] — an {e asynchronous} copy: the simulator (like the
+    hardware) defers the shared-memory write onto the block's async-copy
+    queue, and the data lands only when a [cp.async.wait_group] drains
+    its commit group. Callers must therefore place {!fence} between the
+    last {!copy} and the barrier that publishes the tile (kernels built
+    before the async semantics omitted this; the copy used to complete
+    eagerly). On architectures without cp.async the copy is staged
+    through registers (vectorized global load + shared store, complete
+    on issue), matching what Volta kernels must do. *)
 
 type t
 
@@ -21,12 +27,27 @@ val create :
   unit ->
   t
 
-(** Register allocations (empty when cp.async is used). *)
+(** The staging-register allocations the register-staged path needs.
+    Deliberately empty when cp.async is used — the async path writes
+    shared memory straight from the copy queue and allocates nothing —
+    so callers can splice the result unconditionally. *)
 val allocs : t -> Graphene.Spec.stmt list
+
+(** [fence stgs] — the commit/wait pair ([cp.async.commit_group;
+    cp.async.wait_group 0]) that forces every cp.async copy issued by the
+    stagings in [stgs] to complete, or [] when none of them uses
+    cp.async. Insert between the last {!copy} and the publishing
+    [B.sync]; the software-pipelining pass (see docs/LOWERING.md, "The
+    pipelining pass") recognizes exactly this shape and deepens it to a
+    rotating multi-stage schedule. *)
+val fence : t list -> Graphene.Spec.stmt list
 
 (** [copy t ~src ~src_row0 ~src_col0 ~dst] — stage [dst]'s full extent
     ([rows x cols], from its layout) from [src] starting at the given
-    coordinates. [cols] (and the total vector count) must divide evenly. *)
+    coordinates. [dst] must be rank 2 with [cols] divisible by [vw] and
+    the total vector count dividing (or divided by) [nthreads];
+    violations raise [Invalid_argument] naming the tile shape and thread
+    count. *)
 val copy :
   t ->
   src:Gpu_tensor.Tensor.t ->

@@ -20,6 +20,8 @@
      BARRIER     4 |
      FRAME       5 | label body_len | <body>
      FAIL        6 | fail
+     COMMIT      7 |
+     WAIT        8 | n
 
    [lo]/[hi]/[step] index [bc_exprs], [cond] indexes [bc_conds],
    [label] indexes [bc_labels], [fail] indexes [bc_fails], [a_id]
@@ -40,6 +42,8 @@ let op_branch_div = 3
 let op_barrier = 4
 let op_frame = 5
 let op_fail = 6
+let op_commit = 7
+let op_wait = 8
 
 (* ----- builder ----- *)
 
@@ -134,6 +138,10 @@ and emit_op b depth = function
     emit_ops b (depth + 1) b_else;
     b.code.(e_at) <- b.len - e0
   | P.Barrier -> push b op_barrier
+  | P.Commit_group -> push b op_commit
+  | P.Wait_group n ->
+    push b op_wait;
+    push b n
   | P.Frame { f_label; f_body } ->
     push b op_frame;
     push b (add_label b f_label);
@@ -217,6 +225,8 @@ let opcode_name = function
   | 4 -> "barrier"
   | 5 -> "frame"
   | 6 -> "fail"
+  | 7 -> "commit"
+  | 8 -> "wait"
   | _ -> "?"
 
 (* Instruction count and opcode histogram over ALL instructions,
@@ -225,7 +235,7 @@ let opcode_name = function
    linear decode from each op's operand end visits every instruction
    exactly once. *)
 let histogram (bc : P.bytecode) =
-  let counts = Array.make 7 0 in
+  let counts = Array.make 9 0 in
   let code = bc.P.bc_code in
   let rec walk pc endpc =
     if pc < endpc then begin
@@ -239,6 +249,8 @@ let histogram (bc : P.bytecode) =
       | 4 (* barrier *) -> walk (pc + 1) endpc
       | 5 (* frame *) -> walk (pc + 3) endpc
       | 6 (* fail *) -> walk (pc + 2) endpc
+      | 7 (* commit *) -> walk (pc + 1) endpc
+      | 8 (* wait *) -> walk (pc + 2) endpc
       | _ -> invalid_arg "Bytecode.histogram: corrupt code"
     end
   in
@@ -281,7 +293,7 @@ let summary ~cta_size (bc : P.bytecode) =
          (fun op ->
            if counts.(op) = 0 then None
            else Some (Printf.sprintf "%s %d" (opcode_name op) counts.(op)))
-         [ 0; 1; 2; 3; 4; 5; 6 ])
+         [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ])
   in
   let l, b, lp, th = tier_counts bc in
   Printf.sprintf
@@ -339,6 +351,12 @@ let listing (bc : P.bytecode) =
         walk indent (pc + 3 + len) endpc
       | 6 ->
         line "%04d fail %S" pc bc.P.bc_fails.(code.(pc + 1));
+        walk indent (pc + 2) endpc
+      | 7 ->
+        line "%04d commit" pc;
+        walk indent (pc + 1) endpc
+      | 8 ->
+        line "%04d wait %d" pc code.(pc + 1);
         walk indent (pc + 2) endpc
       | _ -> invalid_arg "Bytecode.listing: corrupt code"
     end

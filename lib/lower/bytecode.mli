@@ -15,6 +15,8 @@
     BARRIER     4 |
     FRAME       5 | label body_len | <body>
     FAIL        6 | fail
+    COMMIT      7 |
+    WAIT        8 | n
     v}
 
     [depth] is a divergent branch's static nesting level; the executor
@@ -29,6 +31,12 @@ val op_branch_div : int
 val op_barrier : int
 val op_frame : int
 val op_fail : int
+
+(** cp.async.commit_group / cp.async.wait_group (see docs/LOWERING.md,
+    "The pipelining pass"). *)
+val op_commit : int
+
+val op_wait : int
 
 (** Flatten a plan's body. Pure: does not touch [plan.bytecode]. *)
 val of_plan : Plan.t -> Plan.bytecode
@@ -46,7 +54,7 @@ val install : Plan.t -> unit
 
 val opcode_name : int -> string
 
-(** Instruction counts indexed by opcode (length 7). *)
+(** Instruction counts indexed by opcode (length 9). *)
 val histogram : Plan.bytecode -> int array
 
 val instruction_count : Plan.bytecode -> int

@@ -56,6 +56,8 @@ type 'leaf fstmt =
       { var : string; lo : E.t; hi : E.t; step : E.t; body : 'leaf fstmt list }
   | F_branch of Spec.pred * 'leaf fstmt list * 'leaf fstmt list
   | F_barrier
+  | F_commit_group
+  | F_wait_group of int
   | F_frame of string * 'leaf fstmt list
   | F_fail of string
 
@@ -71,6 +73,8 @@ let rec pp_fstmt pp_leaf fmt = function
     Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,} else {@,%a@,}" Spec.pp_pred p
       (pp_fbody pp_leaf) then_ (pp_fbody pp_leaf) else_
   | F_barrier -> Format.fprintf fmt "__syncthreads()"
+  | F_commit_group -> Format.fprintf fmt "cp.async.commit_group()"
+  | F_wait_group n -> Format.fprintf fmt "cp.async.wait_group(%d)" n
   | F_frame (label, body) ->
     Format.fprintf fmt "@[<v 2>frame %S {@,%a@]@,}" label (pp_fbody pp_leaf)
       body
@@ -92,6 +96,8 @@ let rec map_leaves f = function
   | F_branch (p, t, e) ->
     F_branch (p, List.map (map_leaves f) t, List.map (map_leaves f) e)
   | F_barrier -> F_barrier
+  | F_commit_group -> F_commit_group
+  | F_wait_group n -> F_wait_group n
   | F_frame (lbl, body) -> F_frame (lbl, List.map (map_leaves f) body)
   | F_fail m -> F_fail m
 
@@ -114,6 +120,8 @@ and flatten_stmt (st : Spec.stmt) : Spec.t fstmt list =
   match st with
   | Spec.Comment _ | Spec.Alloc _ -> []
   | Spec.Sync -> [ F_barrier ]
+  | Spec.Commit_group -> [ F_commit_group ]
+  | Spec.Wait_group n -> [ F_wait_group n ]
   | Spec.For { var; lo; hi; step; body; _ } ->
     if mentions_tid lo || mentions_tid hi || mentions_tid step then
       [ F_fail (Printf.sprintf "loop %s has thread-dependent bounds" var) ]
@@ -217,6 +225,8 @@ and depcheck_stmt loops = function
   | F_branch (p, then_, else_) ->
     F_branch (p, depcheck_stmts loops then_, depcheck_stmts loops else_)
   | F_barrier -> F_barrier
+  | F_commit_group -> F_commit_group
+  | F_wait_group n -> F_wait_group n
   | F_frame (label, body) -> F_frame (label, depcheck_stmts loops body)
   | F_fail msg -> F_fail msg
 
@@ -261,6 +271,8 @@ and vectorize_stmt ~enabled ~cta_size divergent = function
       , vectorize_stmts ~enabled ~cta_size dv then_
       , vectorize_stmts ~enabled ~cta_size dv else_ )
   | F_barrier -> F_barrier
+  | F_commit_group -> F_commit_group
+  | F_wait_group n -> F_wait_group n
   | F_frame (label, body) ->
     F_frame (label, vectorize_stmts ~enabled ~cta_size divergent body)
   | F_fail msg -> F_fail msg
@@ -344,6 +356,7 @@ let compile_atomic st ids scope (s : Spec.t) (instr : Atomic.instr)
     String.length instr.Atomic.name >= 3
     && String.equal (String.sub instr.Atomic.name 0 3) "mma"
   in
+  let is_async = starts_with "cp.async" instr.Atomic.name in
   let width =
     match vleaf.Vectorize.l_verdict with
     | Vectorize.Widened w -> w
@@ -402,6 +415,7 @@ let compile_atomic st ids scope (s : Spec.t) (instr : Atomic.instr)
   ; a_instr = instr
   ; a_cost = cost
   ; a_is_tc = is_tc
+  ; a_is_async = is_async
   ; a_dur = max 1 cost.Atomic.instructions
   ; a_label = s.Spec.label
   ; a_kind = Spec.kind_name s.Spec.kind
@@ -447,6 +461,8 @@ and compile_op st ids scope = function
       ; b_else = compile_ops st ids scope else_
       }
   | F_barrier -> Plan.Barrier
+  | F_commit_group -> Plan.Commit_group
+  | F_wait_group n -> Plan.Wait_group n
   | F_frame (label, body) ->
     Plan.Frame { f_label = label; f_body = compile_ops st ids scope body }
   | F_fail msg -> Plan.Fail msg
@@ -458,7 +474,7 @@ let shared_alloc_size (t : Ts.t) =
   let w = Shape.Swizzle.window t.Ts.swizzle in
   (cosize + w - 1) / w * w
 
-let compile_pass ~vec_enabled arch diagnostics =
+let compile_pass ~vec_enabled ~pipelining arch diagnostics =
   Pass.make ~name:"compile"
     ~doc:"expressions, predicates and view offsets to closures"
     ~render:Plan.to_string
@@ -507,6 +523,7 @@ let compile_pass ~vec_enabled arch diagnostics =
       ; warp_tids
       ; diagnostics
       ; vec_enabled
+      ; pipelining
       ; bytecode = None
       })
 
@@ -532,26 +549,80 @@ let bytecode_pass =
    bit-identity tests lower the same kernel both ways in one process. *)
 let vectorize_default () = Option.is_none (Sys.getenv_opt "GRAPHENE_NO_VECTORIZE")
 
-let lower ?log ?vectorize arch (k : Spec.kernel) : Plan.t =
+(* Software pipelining defaults off (1 stage); GRAPHENE_SWPIPE_STAGES=N
+   turns it on process-wide, and the [?stages] parameter overrides —
+   the bit-identity tests lower the same kernel at several depths in
+   one process. *)
+let stages_default () =
+  match Sys.getenv_opt "GRAPHENE_SWPIPE_STAGES" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> 1)
+  | None -> 1
+
+let pipelining_of_verdict (v : Swpipe.verdict) : Plan.pipelining =
+  let note = Swpipe.verdict_to_string v in
+  match v.Swpipe.loops with
+  | [] -> { Plan.unpipelined with Plan.pl_note = note }
+  | loops ->
+    { Plan.pl_stages =
+        List.fold_left (fun acc p -> max acc p.Swpipe.p_stages) 1 loops
+    ; pl_buffers = List.concat_map (fun p -> p.Swpipe.p_buffers) loops
+    ; pl_stage_bytes =
+        List.fold_left (fun acc p -> acc + p.Swpipe.p_stage_bytes) 0 loops
+    ; pl_queue_bound =
+        List.fold_left (fun acc p -> max acc p.Swpipe.p_queue_bound) 0 loops
+    ; pl_note = note
+    }
+
+let lower ?log ?vectorize ?stages arch (k : Spec.kernel) : Plan.t =
   let vec_enabled =
     match vectorize with Some b -> b | None -> vectorize_default ()
+  in
+  let stages =
+    match stages with Some n -> max 1 n | None -> stages_default ()
   in
   (match log with
   | Some f ->
     f ~pass:"input" ~doc:"source kernel" (Spec.kernel_to_string k)
   | None -> ());
   let k, diagnostics = Pass.apply ?log validate_pass k in
-  let flat = Pass.apply ?log flatten_pass k in
-  let resolved = Pass.apply ?log (resolve_pass arch) flat in
-  let annotated = Pass.apply ?log depcheck_pass resolved in
-  let cta_size = Tt.size k.Spec.cta in
-  let vectorized =
-    Pass.apply ?log
-      (vectorize_pass ~enabled:vec_enabled ~cta_size)
-      annotated
+  (* The statement-level front half, reusable on the swpipe-rewritten
+     kernel (the rewrite happens at the spec level, so the rewritten
+     loops flow through resolve/depcheck/vectorize like any others). *)
+  let front ?log k =
+    let flat = Pass.apply ?log flatten_pass k in
+    let resolved = Pass.apply ?log (resolve_pass arch) flat in
+    let annotated = Pass.apply ?log depcheck_pass resolved in
+    let cta_size = Tt.size k.Spec.cta in
+    Pass.apply ?log (vectorize_pass ~enabled:vec_enabled ~cta_size) annotated
+  in
+  let vectorized = front ?log k in
+  let swpipe_pass =
+    Pass.make ~name:"swpipe"
+      ~doc:"software-pipeline async staging loops (rotating shared buffers)"
+      ~render:(fun (_, _, pl) -> pl.Plan.pl_note)
+      (fun (k, vectorized) ->
+        let k', verdict = Swpipe.rewrite arch ~stages k in
+        let pl = pipelining_of_verdict verdict in
+        match verdict.Swpipe.loops with
+        | [] -> (k, vectorized, pl)
+        | _ ->
+          (* Re-run the front half on the rewritten kernel (without
+             re-logging it); the compile pass must receive the
+             rewritten kernel so the tree engine re-interprets the
+             pipelined form — the three-engine consistency is
+             structural, not re-proved per engine. *)
+          (k', front k', pl))
+  in
+  let k, vectorized, pipelining =
+    Pass.apply ?log swpipe_pass (k, vectorized)
   in
   let plan =
-    Pass.apply ?log (compile_pass ~vec_enabled arch diagnostics) (k, vectorized)
+    Pass.apply ?log
+      (compile_pass ~vec_enabled ~pipelining arch diagnostics)
+      (k, vectorized)
   in
   Pass.apply ?log bytecode_pass plan
 
@@ -575,7 +646,7 @@ type cache_stats =
   ; misses : int
   }
 
-let cache : (Arch.t * bool * Spec.kernel, Plan.t) Hashtbl.t =
+let cache : (Arch.t * bool * int * Spec.kernel, Plan.t) Hashtbl.t =
   Hashtbl.create 32
 let cache_mutex = Mutex.create ()
 let cache_hits = ref 0
@@ -594,17 +665,21 @@ let cache_clear () =
   cache_misses := 0;
   Mutex.unlock cache_mutex
 
-let lower_cached ?log ?vectorize arch (k : Spec.kernel) : Plan.t * bool =
+let lower_cached ?log ?vectorize ?stages arch (k : Spec.kernel) :
+    Plan.t * bool =
   match log with
   | Some _ ->
     (* A logging caller wants the per-pass renders, so the pipeline must
        actually run; don't pollute the cache statistics either way. *)
-    (lower ?log ?vectorize arch k, false)
+    (lower ?log ?vectorize ?stages arch k, false)
   | None -> (
     let vec_enabled =
       match vectorize with Some b -> b | None -> vectorize_default ()
     in
-    let key = (arch, vec_enabled, k) in
+    let stages =
+      match stages with Some n -> max 1 n | None -> stages_default ()
+    in
+    let key = (arch, vec_enabled, stages, k) in
     Mutex.lock cache_mutex;
     match Hashtbl.find_opt cache key with
     | Some plan ->
@@ -614,7 +689,7 @@ let lower_cached ?log ?vectorize arch (k : Spec.kernel) : Plan.t * bool =
     | None ->
       incr cache_misses;
       Mutex.unlock cache_mutex;
-      let plan = lower ~vectorize:vec_enabled arch k in
+      let plan = lower ~vectorize:vec_enabled ~stages arch k in
       Mutex.lock cache_mutex;
       let plan =
         match Hashtbl.find_opt cache key with

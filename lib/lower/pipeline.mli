@@ -1,6 +1,6 @@
-(** The lowering pipeline: [Spec.kernel] -> {!Plan.t} in seven named
-    passes (validate, flatten, resolve, depcheck, vectorize, compile,
-    bytecode). See docs/LOWERING.md.
+(** The lowering pipeline: [Spec.kernel] -> {!Plan.t} in eight named
+    passes (validate, flatten, resolve, depcheck, vectorize, swpipe,
+    compile, bytecode). See docs/LOWERING.md.
 
     The depcheck pass classifies every leaf quantity (view offset
     enumerations, collective member functions) by slot-dependence tier
@@ -17,16 +17,22 @@
     {!Plan.Fail} op, so the error fires only if control flow reaches
     it — the same lazy error semantics as the tree interpreter. *)
 
-(** [lower ?log ?vectorize arch kernel] runs the full pipeline. When
-    [log] is given it receives the rendered IR after every pass (plus
-    the ["input"] kernel listing), in order. [vectorize] controls the
-    widening pass; it defaults to on unless the [GRAPHENE_NO_VECTORIZE]
-    environment variable is set. A disabled lowering still runs the
-    pass for its diagnostics and bank lint, but every atomic stays
-    scalar. *)
+(** [lower ?log ?vectorize ?stages arch kernel] runs the full pipeline.
+    When [log] is given it receives the rendered IR after every pass
+    (plus the ["input"] kernel listing), in order. [vectorize] controls
+    the widening pass; it defaults to on unless the
+    [GRAPHENE_NO_VECTORIZE] environment variable is set. A disabled
+    lowering still runs the pass for its diagnostics and bank lint, but
+    every atomic stays scalar. [stages] controls the software-pipelining
+    pass (see {!Swpipe}): it defaults to the [GRAPHENE_SWPIPE_STAGES]
+    environment variable, or 1 (off); at [stages >= 2] eligible async
+    staging loops are rewritten to rotating-buffer pipelines, and the
+    swpipe outcome is recorded in the plan's [pipelining] field either
+    way. *)
 val lower :
   ?log:Pass.log ->
   ?vectorize:bool ->
+  ?stages:int ->
   Graphene.Arch.t ->
   Graphene.Spec.kernel ->
   Plan.t
@@ -37,8 +43,8 @@ val unmatched_message : Graphene.Arch.t -> Graphene.Spec.t -> string
 
 (** {1 Plan cache}
 
-    Lowering is pure in [(arch, vectorize, kernel)], and a kernel
-    mentions its scalar parameters only by name (values bind per
+    Lowering is pure in [(arch, vectorize, stages, kernel)], and a
+    kernel mentions its scalar parameters only by name (values bind per
     launch), so plans memoize under structural kernel equality — i.e.
     modulo scalar parameter values. The cache is process-wide and
     thread-safe (the autotuner lowers candidates from several domains
@@ -47,11 +53,12 @@ val unmatched_message : Graphene.Arch.t -> Graphene.Spec.t -> string
 (** [lower_cached arch kernel] returns the memoized plan and whether it
     was a cache hit. Passing [?log] bypasses the cache entirely (the
     caller wants the per-pass renders) and does not touch the
-    statistics. [vectorize] defaults as in {!lower} and is part of the
-    cache key. *)
+    statistics. [vectorize] and [stages] default as in {!lower} and are
+    part of the cache key. *)
 val lower_cached :
   ?log:Pass.log ->
   ?vectorize:bool ->
+  ?stages:int ->
   Graphene.Arch.t ->
   Graphene.Spec.kernel ->
   Plan.t * bool

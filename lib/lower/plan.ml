@@ -42,6 +42,9 @@ type atomic =
   ; a_instr : Atomic.instr  (** resolved exactly once, at lowering *)
   ; a_cost : Atomic.cost
   ; a_is_tc : bool
+  ; a_is_async : bool
+        (** a cp.async data movement: execution defers the destination
+            write onto the block's async-copy queue *)
   ; a_dur : int
   ; a_label : string
   ; a_kind : string
@@ -88,6 +91,11 @@ type op =
       ; b_else : op list
       }
   | Barrier
+  | Commit_group
+      (** seal cp.async copies issued since the last commit into one
+          in-flight group (possibly empty) on the block's queue *)
+  | Wait_group of int
+      (** drain oldest committed groups until at most [n] remain *)
   | Frame of { f_label : string; f_body : op list }
   | Fail of string
 
@@ -111,6 +119,24 @@ type bytecode =
             preallocated taken/not-taken mask arena *)
   }
 
+(* What the swpipe pass did to this plan (pl_stages = 1 when nothing
+   was pipelined; pl_note carries the per-loop verdict/refusal lines). *)
+type pipelining =
+  { pl_stages : int
+  ; pl_buffers : (string * int) list
+  ; pl_stage_bytes : int
+  ; pl_queue_bound : int
+  ; pl_note : string
+  }
+
+let unpipelined =
+  { pl_stages = 1
+  ; pl_buffers = []
+  ; pl_stage_bytes = 0
+  ; pl_queue_bound = 0
+  ; pl_note = "swpipe: off"
+  }
+
 type t =
   { kernel : Spec.kernel
   ; arch : Graphene.Arch.t
@@ -127,6 +153,9 @@ type t =
             ascending — built once per plan, never per atomic *)
   ; diagnostics : string list  (** advisory validation findings *)
   ; vec_enabled : bool  (** whether the vectorize pass was allowed to widen *)
+  ; pipelining : pipelining
+        (** software-pipelining outcome (see {!Swpipe}); [pl_stages = 1]
+            means the plan runs single-buffered *)
   ; mutable bytecode : bytecode option
         (** the flattened instruction array, installed by the pipeline's
             final bytecode stage (or on first demand via [Bytecode.get]);
@@ -141,7 +170,7 @@ let rec count_ops ops =
       acc
       +
       match op with
-      | Atomic_exec _ | Barrier | Fail _ -> 1
+      | Atomic_exec _ | Barrier | Commit_group | Wait_group _ | Fail _ -> 1
       | Loop { l_body; _ } -> 1 + count_ops l_body
       | Branch { b_then; b_else; _ } -> 1 + count_ops b_then + count_ops b_else
       | Frame { f_body; _ } -> 1 + count_ops f_body)
@@ -154,7 +183,7 @@ let rec count_atomics ops =
       +
       match op with
       | Atomic_exec _ -> 1
-      | Barrier | Fail _ -> 0
+      | Barrier | Commit_group | Wait_group _ | Fail _ -> 0
       | Loop { l_body; _ } -> count_atomics l_body
       | Branch { b_then; b_else; _ } ->
         count_atomics b_then + count_atomics b_else
@@ -166,7 +195,7 @@ let rec iter_atomics f ops =
     (fun op ->
       match op with
       | Atomic_exec a -> f a
-      | Barrier | Fail _ -> ()
+      | Barrier | Commit_group | Wait_group _ | Fail _ -> ()
       | Loop { l_body; _ } -> iter_atomics f l_body
       | Branch { b_then; b_else; _ } ->
         iter_atomics f b_then;
@@ -295,6 +324,8 @@ let rec pp_op fmt = function
       (if b_tid_dep then " #divergent" else "")
       pp_ops b_then pp_ops b_else
   | Barrier -> Format.fprintf fmt "barrier"
+  | Commit_group -> Format.fprintf fmt "cp.async.commit_group"
+  | Wait_group n -> Format.fprintf fmt "cp.async.wait_group %d" n
   | Frame { f_label; f_body } ->
     Format.fprintf fmt "@[<v 2>frame %S {@,%a@]@,}" f_label pp_ops f_body
   | Fail msg -> (
@@ -337,6 +368,10 @@ let pp fmt t =
       Format.fprintf fmt "alloc %s : %s[%d]@," al.al_buffer
         (Ms.to_ir_string al.al_mem) al.al_size)
     t.allocs;
+  if t.pipelining.pl_stages > 1 then
+    Format.fprintf fmt "// pipelined: %d stages, %d B/stage, queue bound %d@,"
+      t.pipelining.pl_stages t.pipelining.pl_stage_bytes
+      t.pipelining.pl_queue_bound;
   if t.diagnostics <> [] then
     List.iter (fun d -> Format.fprintf fmt "// WARN %s@," d) t.diagnostics;
   Format.fprintf fmt "%a@]" pp_ops t.body

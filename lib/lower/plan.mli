@@ -38,6 +38,10 @@ type atomic =
   ; a_instr : Graphene.Atomic.instr
   ; a_cost : Graphene.Atomic.cost
   ; a_is_tc : bool
+  ; a_is_async : bool
+        (** a cp.async data movement: execution defers the destination
+            write onto the block's async-copy queue, to land at the next
+            draining {!Wait_group} *)
   ; a_dur : int
   ; a_label : string
   ; a_kind : string
@@ -81,6 +85,11 @@ type op =
       ; b_else : op list
       }
   | Barrier
+  | Commit_group
+      (** seal cp.async copies issued since the last commit into one
+          in-flight group (possibly empty) on the block's queue *)
+  | Wait_group of int
+      (** drain oldest committed groups until at most [n] remain *)
   | Frame of { f_label : string; f_body : op list }
   | Fail of string
       (** a problem diagnosed at lowering whose error must fire only if
@@ -104,6 +113,22 @@ type bytecode =
             preallocated taken/not-taken mask arena *)
   }
 
+(** What the swpipe pass did to this plan. [pl_stages = 1] means the
+    plan runs single-buffered (pass off, refused, or nothing matched);
+    [pl_note] carries the per-loop verdict/refusal lines in
+    {!Swpipe.verdict_to_string} format. *)
+type pipelining =
+  { pl_stages : int  (** effective stage count across pipelined loops *)
+  ; pl_buffers : (string * int) list
+        (** rotated shared buffers with their slot stride in scalars *)
+  ; pl_stage_bytes : int  (** shared bytes staged per steady iteration *)
+  ; pl_queue_bound : int  (** peak committed async-copy groups in flight *)
+  ; pl_note : string
+  }
+
+(** The [pl_stages = 1] placeholder. *)
+val unpipelined : pipelining
+
 type t =
   { kernel : Graphene.Spec.kernel
   ; arch : Graphene.Arch.t
@@ -120,6 +145,7 @@ type t =
             CTA, ascending; built once per plan *)
   ; diagnostics : string list
   ; vec_enabled : bool  (** whether the vectorize pass was allowed to widen *)
+  ; pipelining : pipelining  (** software-pipelining outcome *)
   ; mutable bytecode : bytecode option
         (** the flattened instruction array (see {!Bytecode}); anyone
             rewriting [body] must reset this to [None] so stale code is

@@ -5,6 +5,7 @@ module Profiler = Gpu_sim.Profiler
 
 type result =
   { config : Gemm.config
+  ; stages : int
   ; estimate : PM.estimate
   ; score_s : float
   ; profile : Profiler.report option
@@ -13,6 +14,18 @@ type result =
   ; vec_width : float
   ; exec_engine : string
   }
+
+(* Software-pipeline depths the sweep tries per tile configuration.
+   1 = single-buffered (the swpipe pass off). *)
+let stages_space = [ 1; 2; 3 ]
+
+(* Modeled queue occupancy for an N-stage pipeline when no measured
+   value exists yet: the steady state keeps N-1 of N slots in flight
+   (the Nth is the one being drained), matching what the simulator
+   measures on deep-enough staging loops. *)
+let assumed_occupancy stages =
+  if stages <= 1 then 0.0
+  else float_of_int (stages - 1) /. float_of_int stages
 
 let candidates arch ~m ~n ~k =
   let base = Gemm.default_config arch in
@@ -62,7 +75,7 @@ let candidates arch ~m ~n ~k =
    the interpreter stays fast) and attribute the measured traffic per spec.
    Traffic patterns — coalescing, bank conflicts, instruction mix — depend
    on the decomposition, not on the data, so zero-filled inputs suffice. *)
-let profile_candidate machine ~epilogue (config : Gemm.config) ~m ~n ~k =
+let profile_candidate machine ~epilogue (config : Gemm.config) ~stages ~m ~n ~k =
   let arch = machine.Gpu_sim.Machine.arch in
   let pm = config.Gemm.bm * min 2 (m / config.Gemm.bm) in
   let pn = config.Gemm.bn * min 2 (n / config.Gemm.bn) in
@@ -86,7 +99,7 @@ let profile_candidate machine ~epilogue (config : Gemm.config) ~m ~n ~k =
        (one pool task each), so nesting grid parallelism inside
        candidate parallelism would only oversubscribe the pool. *)
     let t0 = Unix.gettimeofday () in
-    (match Lower.Pipeline.lower_cached arch kernel with
+    (match Lower.Pipeline.lower_cached arch kernel ~stages with
     | exception _ -> None
     | plan, lower_cache_hit -> (
       let lower_s = Unix.gettimeofday () -. t0 in
@@ -113,24 +126,32 @@ let tune ?(profile_top = 0) ?domains machine ~epilogue ~m ~n ~k () =
      contiguous groups (one pool task each); regrouping in enumeration
      order makes the scored list — and the stable sort below — identical
      to a sequential sweep at every domain count. *)
-  let score config =
+  let score (config, stages) =
     let t0 = Unix.gettimeofday () in
     match Gemm.tensor_core arch config ~epilogue ~m ~n ~k () with
     | kernel ->
-      (* Lower through the plan cache so the vectorize pass's legality
+      (* Lower through the plan cache so the lowering passes' legality
          verdicts feed the score: a candidate whose global staging fails
          to widen pays the scalar DRAM-efficiency penalty in the model
-         instead of ranking on tile shape alone. *)
-      let vec_width =
-        match Lower.Pipeline.lower_cached arch kernel with
+         instead of ranking on tile shape alone, and a candidate the
+         swpipe pass refuses to pipeline (too few k-tiles, shared memory
+         would overflow under rotation) is scored serialized — the
+         effective stage count comes from the plan, not the request. *)
+      let vec_width, eff_stages =
+        match Lower.Pipeline.lower_cached arch kernel ~stages with
         | plan, _ ->
-          Option.value ~default:4.0
-            (Lower.Plan.global_vec_width plan.Lower.Plan.body)
-        | exception _ -> 1.0
+          ( Option.value ~default:4.0
+              (Lower.Plan.global_vec_width plan.Lower.Plan.body)
+          , plan.Lower.Plan.pipelining.Lower.Plan.pl_stages )
+        | exception _ -> (1.0, 1)
       in
-      let estimate = PM.of_kernel ~vec_width machine kernel () in
+      let pipeline =
+        { PM.stages = eff_stages; occupancy = assumed_occupancy eff_stages }
+      in
+      let estimate = PM.of_kernel ~vec_width ~pipeline machine kernel () in
       Some
         { config
+        ; stages = eff_stages
         ; estimate
         ; score_s = Unix.gettimeofday () -. t0
         ; profile = None
@@ -141,7 +162,15 @@ let tune ?(profile_top = 0) ?domains machine ~epilogue ~m ~n ~k () =
         }
     | exception Invalid_argument _ -> None
   in
-  let cands = candidates arch ~m ~n ~k in
+  (* Pair every tile configuration with every pipeline depth; candidates
+     whose swpipe request is refused collapse to the same serialized
+     score as stages = 1, and the later dedup keeps the first (lowest
+     requested depth) of each (config, effective-stages) pair. *)
+  let cands =
+    List.concat_map
+      (fun config -> List.map (fun s -> (config, s)) stages_space)
+      (candidates arch ~m ~n ~k)
+  in
   let total = List.length cands in
   let nscore = ndomains_for total in
   let scored =
@@ -156,6 +185,21 @@ let tune ?(profile_top = 0) ?domains machine ~epilogue ~m ~n ~k () =
       |> List.concat
       |> List.filter_map Fun.id
     end
+  in
+  (* When the swpipe pass refuses a deeper request the candidate scores
+     as its effective depth; drop the duplicates so each
+     (config, effective-stages) pair appears once in the ranking. *)
+  let scored =
+    let seen = Hashtbl.create 64 in
+    List.filter
+      (fun r ->
+        let key = (r.config, r.stages) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      scored
   in
   let ranked =
     List.sort
@@ -176,7 +220,7 @@ let tune ?(profile_top = 0) ?domains machine ~epilogue ~m ~n ~k () =
     let ndomains = ndomains_for to_profile in
     let profile_one i =
       let r = arr.(i) in
-      match profile_candidate machine ~epilogue r.config ~m ~n ~k with
+      match profile_candidate machine ~epilogue r.config ~stages:r.stages ~m ~n ~k with
       | None -> r
       | Some (report, lower_s, lower_cache_hit) ->
         { r with
@@ -207,9 +251,12 @@ let best machine ~epilogue ~m ~n ~k () =
   | [] -> failwith "Autotune.best: no valid configuration"
 
 let pp_result fmt r =
-  Format.fprintf fmt "%3dx%3dx%2d tiles, warp %2dx%2d, vec %.1f -> %a"
+  Format.fprintf fmt
+    "%3dx%3dx%2d tiles, warp %2dx%2d, vec %.1f, %d stage%s -> %a"
     r.config.Gemm.bm r.config.Gemm.bn r.config.Gemm.bk r.config.Gemm.wm
-    r.config.Gemm.wn r.vec_width PM.pp r.estimate;
+    r.config.Gemm.wn r.vec_width r.stages
+    (if r.stages = 1 then "" else "s")
+    PM.pp r.estimate;
   match r.profile with
   | None -> ()
   | Some rep ->

@@ -11,6 +11,11 @@
 
 type result =
   { config : Kernels.Gemm.config
+  ; stages : int
+        (** effective software-pipeline depth the candidate was lowered
+            with — the plan's {!Lower.Plan.pipelining} stage count, not
+            the requested one, so a candidate whose staging loop the
+            swpipe pass refused to rewrite reports [1] *)
   ; estimate : Gpu_sim.Perf_model.estimate
   ; score_s : float
         (** wall time spent building this candidate's kernel IR and
@@ -41,8 +46,14 @@ val candidates :
   Graphene.Arch.t -> m:int -> n:int -> k:int -> Kernels.Gemm.config list
 
 (** [tune machine ~epilogue ~m ~n ~k ()] — candidates ranked fastest
-    first. [profile_top] (default 0) simulates that many of the top
-    candidates at a proxy size (≤ 2x2x2 block tiles) with the {!Gpu_sim.Profiler}
+    first. The sweep pairs every tile configuration with every
+    software-pipeline depth in [{1, 2, 3}], lowers each pair (the swpipe
+    pass may refuse, collapsing the candidate to its effective depth —
+    duplicates are dropped), and scores it with the performance model's
+    latency-hiding term ({!Gpu_sim.Perf_model.pipeline}) at the modeled
+    steady-state occupancy [(N - 1) / N]. [profile_top] (default 0)
+    simulates that many of the top candidates at a proxy size
+    (≤ 2x2x2 block tiles) with the {!Gpu_sim.Profiler}
     and attaches the per-spec report, so a ranking can explain what
     distinguishes the winner (coalescing, bank conflicts, instruction
     mix) rather than just the modeled time.

@@ -318,7 +318,7 @@ let test_instruction_counts () =
         (name ^ ": histogram sums to instruction count")
         (Bytecode.instruction_count bc)
         (Array.fold_left ( + ) 0 (Bytecode.histogram bc));
-      check_int (name ^ ": histogram has 7 buckets") 7
+      check_int (name ^ ": histogram has 9 buckets") 9
         (Array.length (Bytecode.histogram bc));
       check_bool
         (name ^ ": atomics pool matches EXEC count")

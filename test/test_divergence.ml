@@ -206,6 +206,8 @@ let test_collective_without_members_raises () =
         ; b_else = strip_ops b_else
         }
     | Plan.Barrier -> Plan.Barrier
+    | Plan.Commit_group -> Plan.Commit_group
+    | Plan.Wait_group n -> Plan.Wait_group n
     | Plan.Frame { f_label; f_body } ->
       Plan.Frame { f_label; f_body = strip_ops f_body }
     | Plan.Fail m -> Plan.Fail m

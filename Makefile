@@ -1,6 +1,6 @@
 # Convenience wrappers around dune. `make ci` is what CI runs.
 
-.PHONY: build test profile-smoke parallel-smoke bytecode-smoke vector-smoke swpipe-smoke layout-smoke perf-smoke serve-smoke bench golden ci clean
+.PHONY: build test profile-smoke parallel-smoke bytecode-smoke vector-smoke swpipe-smoke layout-smoke perf-smoke serve-smoke search-smoke bench golden ci clean
 
 build:
 	dune build
@@ -52,6 +52,13 @@ perf-smoke:
 # twice must produce identical deterministic metrics (see docs/SERVING.md).
 serve-smoke:
 	dune build @bench/serve-smoke
+
+# Schedule-space search smoke: a seeded three-tier search over tiny GEMM
+# and FMHA problems run twice (deterministic trajectory, verified
+# winners, fixed-sweep baseline beaten — see docs/TUNING.md), plus the
+# CLI `tune --search` path end-to-end.
+search-smoke:
+	dune build @bin/search-smoke @bench/search-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -566,6 +566,76 @@ let emit_serve_bench ?(quick = false) () =
       (List.length result.Serve.Engine.summary.Serve.Metrics.buckets)
   end
 
+(* ----- schedule-space search benchmark -----
+
+   The three-tier superoptimizer (docs/TUNING.md) over the GEMM and FMHA
+   decomposition spaces. Everything but wall-clock is deterministic per
+   seed; [quick] runs tiny problems twice and fails on any difference in
+   the deterministic JSON, or if a winner goes unverified or loses to
+   the old fixed sweep (the `search-smoke` alias). The full mode records
+   each search trajectory — tier-1 frontier statistics, proxy feedback,
+   winner vs fixed-sweep baseline, per-tier wall — in BENCH_tune.json. *)
+let emit_tune_bench ?(quick = false) () =
+  Format.printf "== Schedule-space search: three-tier superoptimizer%s ==@."
+    (if quick then " (quick smoke)" else "");
+  let machine = Gpu_sim.Machine.a6000 in
+  let arch = machine.Gpu_sim.Machine.arch in
+  let spaces =
+    if quick then
+      [ (Tuner.Search.gemm_space arch ~m:128 ~n:128 ~k:128 (), 256, 4)
+      ; (Tuner.Search.fmha_space arch ~seq:64 ~dh:32 (), 256, 3)
+      ]
+    else
+      [ (Tuner.Search.gemm_space arch ~m:4096 ~n:4096 ~k:1024 (), 4096, 8)
+      ; (Tuner.Search.fmha_space arch ~seq:256 ~dh:64 (), 4096, 8)
+      ]
+  in
+  let run (space, budget, proxy_top) =
+    Tuner.Search.search ~seed:42 ~max_candidates:budget ~proxy_top machine
+      space ()
+  in
+  let outcomes = List.map run spaces in
+  List.iter
+    (fun o -> Format.printf "%a@.@." Tuner.Search.pp_outcome o)
+    outcomes;
+  List.iter
+    (fun o ->
+      if not o.Tuner.Search.o_verified then begin
+        Format.printf "tune bench FAILED: %s winner not verified@."
+          o.Tuner.Search.o_space;
+        exit 1
+      end;
+      if not (Tuner.Search.winner_beats_baseline o) then begin
+        Format.printf
+          "tune bench FAILED: %s winner loses to the fixed-sweep baseline@."
+          o.Tuner.Search.o_space;
+        exit 1
+      end)
+    outcomes;
+  if quick then begin
+    (* Same seed, fresh search: the whole trajectory — frontier counts,
+       refusal histograms, ranking, refined estimates, winner — must
+       reproduce byte-identically. *)
+    let again = List.map run spaces in
+    let det o = Tuner.Search.to_json ~wall:false o in
+    if List.for_all2 (fun a b -> String.equal (det a) (det b)) outcomes again
+    then Format.printf "search smoke OK (deterministic across runs)@.@."
+    else begin
+      Format.printf "search smoke FAILED: same seed, different trajectory@.";
+      exit 1
+    end
+  end
+  else begin
+    let oc = open_out "BENCH_tune.json" in
+    output_string oc "{\"schema\":\"graphene.tune_bench.v1\",\n\"searches\":[\n";
+    output_string oc
+      (String.concat ",\n" (List.map Tuner.Search.to_json outcomes));
+    output_string oc "]}\n";
+    close_out oc;
+    Format.printf "wrote BENCH_tune.json (%d searches)@.@."
+      (List.length outcomes)
+  end
+
 let () =
   (* `--engine tree|closure|bytecode` sets the default executor for
      every run that does not pin one (the serve engine's shards, the
@@ -589,6 +659,8 @@ let () =
   | _, None -> ());
   if Array.mem "--serve-only" Sys.argv then
     emit_serve_bench ~quick:(Array.mem "--quick" Sys.argv) ()
+  else if Array.mem "--tune-only" Sys.argv then
+    emit_tune_bench ~quick:(Array.mem "--quick" Sys.argv) ()
   else if Array.mem "--sim-only" Sys.argv then
     emit_sim_bench ~quick:(Array.mem "--quick" Sys.argv) ()
   else begin
@@ -611,7 +683,10 @@ let () =
     (try emit_sim_bench ()
      with exn ->
        Format.printf "BENCH_sim.json skipped: %s@." (Printexc.to_string exn));
-    try emit_serve_bench ()
+    (try emit_serve_bench ()
+     with exn ->
+       Format.printf "BENCH_serve.json skipped: %s@." (Printexc.to_string exn));
+    try emit_tune_bench ()
     with exn ->
-      Format.printf "BENCH_serve.json skipped: %s@." (Printexc.to_string exn)
+      Format.printf "BENCH_tune.json skipped: %s@." (Printexc.to_string exn)
   end

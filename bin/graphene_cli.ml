@@ -514,7 +514,10 @@ let tune_cmd =
     Arg.(
       value
       & pos_right 0 int []
-      & info [] ~docv:"M N K" ~doc:"Problem sizes (defaults 4096 4096 1024).")
+      & info [] ~docv:"SIZES"
+          ~doc:
+            "Problem sizes: M N K for gemm (defaults 4096 4096 1024), \
+             SEQ DH for fmha (defaults 256 64).")
   in
   let kernel_pos =
     Arg.(value & pos 0 string "gemm" & info [] ~docv:"KERNEL")
@@ -528,31 +531,117 @@ let tune_cmd =
              a measured per-spec profile (coalescing, bank conflicts) to \
              each line.")
   in
-  let run arch _kernel sizes profile_top domains =
-    let m, n, k =
-      match sizes with
-      | [ m; n; k ] -> (m, n, k)
-      | [] -> (4096, 4096, 1024)
-      | _ -> (4096, 4096, 1024)
-    in
+  let search =
+    Arg.(
+      value & flag
+      & info [ "search" ]
+          ~doc:
+            "Run the three-tier schedule-space search instead of the fixed \
+             sweep: model-score the full decomposition space (tile shapes x \
+             swizzle x vectorize x pipeline depth), proxy-simulate the \
+             front-runners with measured occupancy/width feedback, and \
+             verify the winner bit-identical against the reference \
+             interpreter. See docs/TUNING.md.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 4096
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Maximum candidates the search scores; larger spaces are \
+             subsampled by a seeded priority (nested: a bigger budget only \
+             ever adds candidates).")
+  in
+  let proxy_top =
+    Arg.(
+      value & opt int 8
+      & info [ "proxy-top" ] ~docv:"N"
+          ~doc:"Front-runners to proxy-simulate in the search's tier 2.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Seed for the budget subsample and the verification inputs. The \
+             same seed reproduces the identical search (only wall-clock \
+             fields vary).")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the search trajectory as JSON to $(docv).")
+  in
+  let run arch kernel sizes profile_top search budget proxy_top seed out
+      domains =
     let machine = Gpu_sim.Machine.of_arch arch in
-    let results =
-      Tuner.Autotune.tune ~profile_top ?domains machine
-        ~epilogue:Kernels.Epilogue.none ~m ~n ~k ()
-    in
-    Format.printf "top configurations for %dx%dx%d on %s:@." m n k
-      (Arch.display_name arch);
-    List.iteri
-      (fun i r ->
-        if i < 8 then
-          Format.printf "%2d. %a@." (i + 1) Tuner.Autotune.pp_result r)
-      results
+    if search then begin
+      let space =
+        match kernel with
+        | "gemm" ->
+          let m, n, k =
+            match sizes with [ m; n; k ] -> (m, n, k) | _ -> (4096, 4096, 1024)
+          in
+          Tuner.Search.gemm_space arch ~m ~n ~k ()
+        | "fmha" ->
+          let seq, dh =
+            match sizes with [ s; d ] -> (s, d) | _ -> (256, 64)
+          in
+          Tuner.Search.fmha_space arch ~seq ~dh ()
+        | other ->
+          Format.eprintf "error: no search space for kernel %s (try gemm or \
+                          fmha)@." other;
+          exit 2
+      in
+      let o =
+        Tuner.Search.search ~seed ~max_candidates:budget ~proxy_top ?domains
+          machine space ()
+      in
+      Format.printf "%a@." Tuner.Search.pp_outcome o;
+      Option.iter
+        (fun f ->
+          write_file f (Tuner.Search.to_json o);
+          Format.printf "wrote %s@." f)
+        out;
+      if not o.Tuner.Search.o_verified then begin
+        Format.printf "no candidate passed verification@.";
+        exit 1
+      end
+    end
+    else begin
+      if kernel <> "gemm" then begin
+        Format.eprintf
+          "error: the fixed sweep only tunes gemm; use --search for %s@."
+          kernel;
+        exit 2
+      end;
+      let m, n, k =
+        match sizes with [ m; n; k ] -> (m, n, k) | _ -> (4096, 4096, 1024)
+      in
+      let results =
+        Tuner.Autotune.tune ~profile_top ?domains machine
+          ~epilogue:Kernels.Epilogue.none ~m ~n ~k ()
+      in
+      Format.printf "top configurations for %dx%dx%d on %s:@." m n k
+        (Arch.display_name arch);
+      List.iteri
+        (fun i r ->
+          if i < 8 then
+            Format.printf "%2d. %a@." (i + 1) Tuner.Autotune.pp_result r)
+        results
+    end
   in
   Cmd.v
     (Cmd.info "tune"
        ~doc:
-         "Rank GEMM tile configurations for a problem size using the           performance model over each candidate's IR.")
-    Term.(const run $ arch_arg $ kernel_pos $ mnk $ profile_top $ domains_arg)
+         "Rank kernel decompositions for a problem size: the fixed GEMM \
+          sweep by default, or the three-tier schedule-space search \
+          ($(b,--search)) over gemm and fmha spaces with exact verification \
+          of the winner.")
+    Term.(
+      const run $ arch_arg $ kernel_pos $ mnk $ profile_top $ search $ budget
+      $ proxy_top $ seed $ out $ domains_arg)
 
 let serve_cmd =
   let seed =

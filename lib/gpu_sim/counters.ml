@@ -11,9 +11,11 @@ type t =
   ; mutable global_requests : int
   ; mutable global_vec_requests : int
   ; mutable global_vec_bytes : int
+  ; mutable global_vec_elems : int
   ; mutable shared_requests : int
   ; mutable shared_vec_requests : int
   ; mutable shared_vec_bytes : int
+  ; mutable shared_vec_elems : int
   ; mutable async_copies : int
   ; mutable async_commits : int
   ; mutable async_waits : int
@@ -35,9 +37,11 @@ let create () =
   ; global_requests = 0
   ; global_vec_requests = 0
   ; global_vec_bytes = 0
+  ; global_vec_elems = 0
   ; shared_requests = 0
   ; shared_vec_requests = 0
   ; shared_vec_bytes = 0
+  ; shared_vec_elems = 0
   ; async_copies = 0
   ; async_commits = 0
   ; async_waits = 0
@@ -59,9 +63,11 @@ let reset t =
   t.global_requests <- 0;
   t.global_vec_requests <- 0;
   t.global_vec_bytes <- 0;
+  t.global_vec_elems <- 0;
   t.shared_requests <- 0;
   t.shared_vec_requests <- 0;
   t.shared_vec_bytes <- 0;
+  t.shared_vec_elems <- 0;
   t.async_copies <- 0;
   t.async_commits <- 0;
   t.async_waits <- 0;
@@ -168,14 +174,16 @@ let record_requests t ~global ~elems ~width ~bytes =
       t.global_requests <- t.global_requests + reqs;
       if width > 1 then begin
         t.global_vec_requests <- t.global_vec_requests + reqs;
-        t.global_vec_bytes <- t.global_vec_bytes + bytes
+        t.global_vec_bytes <- t.global_vec_bytes + bytes;
+        t.global_vec_elems <- t.global_vec_elems + elems
       end
     end
     else begin
       t.shared_requests <- t.shared_requests + reqs;
       if width > 1 then begin
         t.shared_vec_requests <- t.shared_vec_requests + reqs;
-        t.shared_vec_bytes <- t.shared_vec_bytes + bytes
+        t.shared_vec_bytes <- t.shared_vec_bytes + bytes;
+        t.shared_vec_elems <- t.shared_vec_elems + elems
       end
     end
   end
@@ -194,9 +202,11 @@ let merge dst src =
   dst.global_requests <- dst.global_requests + src.global_requests;
   dst.global_vec_requests <- dst.global_vec_requests + src.global_vec_requests;
   dst.global_vec_bytes <- dst.global_vec_bytes + src.global_vec_bytes;
+  dst.global_vec_elems <- dst.global_vec_elems + src.global_vec_elems;
   dst.shared_requests <- dst.shared_requests + src.shared_requests;
   dst.shared_vec_requests <- dst.shared_vec_requests + src.shared_vec_requests;
   dst.shared_vec_bytes <- dst.shared_vec_bytes + src.shared_vec_bytes;
+  dst.shared_vec_elems <- dst.shared_vec_elems + src.shared_vec_elems;
   dst.async_copies <- dst.async_copies + src.async_copies;
   dst.async_commits <- dst.async_commits + src.async_commits;
   dst.async_waits <- dst.async_waits + src.async_waits;
@@ -225,6 +235,23 @@ let async_mean_inflight t =
 
 let async_occupancy t ~stages =
   if stages <= 0 then 0.0 else async_mean_inflight t /. float_of_int stages
+
+(* Measured mean global access width, in per-thread elements per request
+   (1.0 = all scalar, 4.0 = all v4). Every scalar request carries one
+   element; the vectorized requests carry [global_vec_elems] between
+   them, booked at request time — byte counters won't do here, they sum
+   over every thread of the warp, not per request. This is the executed
+   counterpart of the plan's structural {!Lower.Plan.global_vec_width}:
+   schedule search feeds it back into the perf model's DRAM-efficiency
+   term after proxy simulation, replacing the static estimate with what
+   the decomposition actually issued. *)
+let global_mean_vec_width t =
+  if t.global_requests = 0 then 1.0
+  else begin
+    let scalar = t.global_requests - t.global_vec_requests in
+    float_of_int (scalar + t.global_vec_elems)
+    /. float_of_int t.global_requests
+  end
 
 let instr_mix_alist t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.instr_mix []

@@ -20,10 +20,16 @@ type t =
   ; mutable global_vec_requests : int
         (** the subset of [global_requests] issued at vector width > 1 *)
   ; mutable global_vec_bytes : int
-        (** bytes moved by those vectorized global requests *)
+        (** bytes moved by those vectorized global requests (summed over
+            every participating thread of the warp) *)
+  ; mutable global_vec_elems : int
+        (** per-thread scalar elements moved by those vectorized global
+            requests — [global_vec_elems / global_vec_requests] is the
+            mean executed vector width *)
   ; mutable shared_requests : int
   ; mutable shared_vec_requests : int
   ; mutable shared_vec_bytes : int
+  ; mutable shared_vec_elems : int
   ; mutable async_copies : int
         (** cp.async instances issued (deferred global→shared copies) *)
   ; mutable async_commits : int  (** cp.async.commit_group executions *)
@@ -112,6 +118,12 @@ val async_mean_inflight : t -> float
 (** [async_occupancy t ~stages] — {!async_mean_inflight} normalized by the
     pipeline depth: 1.0 in a steady [stages]-deep pipeline. *)
 val async_occupancy : t -> stages:int -> float
+
+(** Measured mean global access width in per-thread elements per request
+    (1.0 = all scalar, 4.0 = all v4). The executed counterpart of
+    {!Lower.Plan.global_vec_width}: proxy simulation feeds it back into
+    the perf model's DRAM-efficiency term. *)
+val global_mean_vec_width : t -> float
 
 (** The instruction mix as an association list, sorted by instruction name
     (deterministic, for reports). *)

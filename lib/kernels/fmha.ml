@@ -25,6 +25,18 @@ let next_pow2 n =
 
 let neg_huge = -3.0e38
 
+(* The structural constraints [kernel] enforces, as one predicate — the
+   schedule search enumerates (chunk, nthreads) points against it
+   rather than re-deriving the divisibility rules. *)
+let supports ~seq ~dh ~chunk ~nthreads =
+  let warps = nthreads / 32 in
+  warps >= 1
+  && seq mod chunk = 0
+  && chunk mod (8 * warps) = 0
+  && dh mod 16 = 0
+  && dh mod (8 * warps) = 0
+  && seq mod (nthreads / row_block) = 0
+
 let kernel ?(name = "fmha") ?(swizzle_smem = true) ?(causal = false) arch
     ~batch ~heads ~seq ~dh ~chunk ~nthreads () =
   let warps = nthreads / 32 in

@@ -9,6 +9,12 @@
     layouts"), the detail the paper credits for its edge over the TensorRT
     kernels. *)
 
+(** Do the structural divisibility constraints of {!kernel} hold for
+    this (seq, dh, chunk, nthreads) point? [kernel] raises
+    [Invalid_argument] exactly when this is [false]; the schedule
+    search ({!Tuner.Search.fmha_space}) enumerates against it. *)
+val supports : seq:int -> dh:int -> chunk:int -> nthreads:int -> bool
+
 (** [kernel arch ~batch ~heads ~seq ~dh ~chunk ~nthreads ()].
     Q/K/V/O parameters are [(batch*heads*seq) x dh] row-major, heads
     concatenated. Each block processes 16 query rows; [chunk] K/V rows are

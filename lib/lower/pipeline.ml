@@ -563,8 +563,13 @@ let stages_default () =
 
 let pipelining_of_verdict (v : Swpipe.verdict) : Plan.pipelining =
   let note = Swpipe.verdict_to_string v in
+  let refusals =
+    List.map
+      (fun (var, r) -> (var, Swpipe.reason_to_string r))
+      v.Swpipe.refusals
+  in
   match v.Swpipe.loops with
-  | [] -> { Plan.unpipelined with Plan.pl_note = note }
+  | [] -> { Plan.unpipelined with Plan.pl_note = note; pl_refusals = refusals }
   | loops ->
     { Plan.pl_stages =
         List.fold_left (fun acc p -> max acc p.Swpipe.p_stages) 1 loops
@@ -574,6 +579,7 @@ let pipelining_of_verdict (v : Swpipe.verdict) : Plan.pipelining =
     ; pl_queue_bound =
         List.fold_left (fun acc p -> max acc p.Swpipe.p_queue_bound) 0 loops
     ; pl_note = note
+    ; pl_refusals = refusals
     }
 
 let lower ?log ?vectorize ?stages arch (k : Spec.kernel) : Plan.t =

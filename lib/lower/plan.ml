@@ -120,13 +120,17 @@ type bytecode =
   }
 
 (* What the swpipe pass did to this plan (pl_stages = 1 when nothing
-   was pipelined; pl_note carries the per-loop verdict/refusal lines). *)
+   was pipelined; pl_note carries the per-loop verdict/refusal lines,
+   pl_refusals the same refusals structurally — (loop var, reason slug)
+   — so schedule search can aggregate them as prune telemetry without
+   parsing the note). *)
 type pipelining =
   { pl_stages : int
   ; pl_buffers : (string * int) list
   ; pl_stage_bytes : int
   ; pl_queue_bound : int
   ; pl_note : string
+  ; pl_refusals : (string * string) list
   }
 
 let unpipelined =
@@ -135,6 +139,7 @@ let unpipelined =
   ; pl_stage_bytes = 0
   ; pl_queue_bound = 0
   ; pl_note = "swpipe: off"
+  ; pl_refusals = []
   }
 
 type t =
@@ -247,6 +252,27 @@ let bank_warning_counts ops =
       end)
     ops;
   (!atomics, !cycles)
+
+(* Histogram of the vectorize pass's refusal reasons over the plan's
+   per-thread moves — (reason slug, count), sorted by slug. Only moves
+   where widening was conceivable are counted (matching [pp_atomic]'s
+   verdict display), so the histogram is exactly the scalar residue a
+   schedule search should attribute when a candidate ranks on narrow
+   traffic. *)
+let refusal_histogram ops =
+  let tbl = Hashtbl.create 8 in
+  iter_atomics
+    (fun a ->
+      if a.a_per_thread && is_move a then
+        match a.a_vec with
+        | Vectorize.Widened _ -> ()
+        | Vectorize.Refused r ->
+          let name = Vectorize.reason_name r in
+          Hashtbl.replace tbl name
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl name)))
+    ops;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* Bytes-weighted mean vector width over the global-memory views of
    per-thread moves — the static stand-in for "achieved global access

@@ -124,6 +124,10 @@ type pipelining =
   ; pl_stage_bytes : int  (** shared bytes staged per steady iteration *)
   ; pl_queue_bound : int  (** peak committed async-copy groups in flight *)
   ; pl_note : string
+  ; pl_refusals : (string * string) list
+        (** per-loop refusals as [(loop var, reason slug)] — the
+            structural form of the refusal lines in [pl_note], consumed
+            as prune telemetry by schedule search *)
   }
 
 (** The [pl_stages = 1] placeholder. *)
@@ -169,6 +173,11 @@ val vec_counts : op list -> int * int
 (** [(atomics flagged, total extra cycles per CTA-wide batch)] of the
     static bank-conflict lint. *)
 val bank_warning_counts : op list -> int * int
+
+(** Histogram of the vectorize pass's refusal reasons over per-thread
+    moves — [(reason slug, count)], sorted by slug. Prune/refusal
+    telemetry for schedule search. *)
+val refusal_histogram : op list -> (string * int) list
 
 (** Bytes-weighted mean vector width over the global views of per-thread
     moves (structural, per atomic); [None] without global move traffic.

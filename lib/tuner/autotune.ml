@@ -17,70 +17,25 @@ type result =
 
 (* Software-pipeline depths the sweep tries per tile configuration.
    1 = single-buffered (the swpipe pass off). *)
-let stages_space = [ 1; 2; 3 ]
+let stages_space = Search.stages_space
 
-(* Modeled queue occupancy for an N-stage pipeline when no measured
-   value exists yet: the steady state keeps N-1 of N slots in flight
-   (the Nth is the one being drained), matching what the simulator
-   measures on deep-enough staging loops. *)
-let assumed_occupancy stages =
-  if stages <= 1 then 0.0
-  else float_of_int (stages - 1) /. float_of_int stages
-
-let candidates arch ~m ~n ~k =
-  let base = Gemm.default_config arch in
-  let tiles = [ 32; 64; 128; 256 ] in
-  let bks = [ 16; 32; 64 ] in
-  let warp_tiles = [ 16; 32; 64 ] in
-  let smem_budget = (Gpu_sim.Machine.of_arch arch).Gpu_sim.Machine.smem_bytes_per_block in
-  List.concat_map
-    (fun bm ->
-      List.concat_map
-        (fun bn ->
-          List.concat_map
-            (fun bk ->
-              List.concat_map
-                (fun wm ->
-                  List.filter_map
-                    (fun wn ->
-                      let ok =
-                        m mod bm = 0 && n mod bn = 0 && k mod bk = 0
-                        && bm mod wm = 0 && bn mod wn = 0
-                        && wm mod 16 = 0
-                        && (match arch with
-                           | Arch.SM86 -> wn mod 8 = 0
-                           | Arch.SM70 -> wn mod 16 = 0)
-                        &&
-                        let warps = bm / wm * (bn / wn) in
-                        warps >= 1 && warps <= 8
-                        &&
-                        let nthreads = warps * 32 in
-                        (* cooperative staging must divide evenly *)
-                        let vecs t = t / 8 in
-                        (vecs (bm * bk) mod nthreads = 0
-                        || nthreads mod vecs (bm * bk) = 0)
-                        && (vecs (bk * bn) mod nthreads = 0
-                           || nthreads mod vecs (bk * bn) = 0)
-                        && (bm * bk) + (bk * bn) <= smem_budget / 2
-                      in
-                      if ok then Some { base with Gemm.bm; bn; bk; wm; wn }
-                      else None)
-                    warp_tiles)
-                warp_tiles)
-            bks)
-        tiles)
-    tiles
+(* The fixed sweep's enumeration — shared with {!Search.gemm_space},
+   whose [legacy] candidates are exactly this sweep. *)
+let candidates = Search.gemm_configs
 
 (* Simulate a candidate on a proxy problem (at most 2x2x2 block tiles, so
    the interpreter stays fast) and attribute the measured traffic per spec.
    Traffic patterns — coalescing, bank conflicts, instruction mix — depend
-   on the decomposition, not on the data, so zero-filled inputs suffice. *)
-let profile_candidate machine ~epilogue (config : Gemm.config) ~stages ~m ~n ~k =
+   on the decomposition, not on the data, so zero-filled inputs suffice.
+   [build] is the tune-wide memoized kernel builder, so a proxy kernel
+   already built by the scoring sweep (small problems, where the proxy
+   equals the full size) is never rebuilt here. *)
+let profile_candidate machine ~build (config : Gemm.config) ~stages ~m ~n ~k =
   let arch = machine.Gpu_sim.Machine.arch in
   let pm = config.Gemm.bm * min 2 (m / config.Gemm.bm) in
   let pn = config.Gemm.bn * min 2 (n / config.Gemm.bn) in
   let pk = config.Gemm.bk * min 2 (k / config.Gemm.bk) in
-  match Gemm.tensor_core arch config ~epilogue ~m:pm ~n:pn ~k:pk () with
+  match build config ~m:pm ~n:pn ~k:pk with
   | exception _ -> None
   | kernel ->
     let args =
@@ -121,70 +76,73 @@ let tune ?(profile_top = 0) ?domains machine ~epilogue ~m ~n ~k () =
     in
     max 1 (min d total)
   in
-  (* Build each candidate's kernel IR and score it with the performance
-     model. Candidates are independent, so the sweep splits into
-     contiguous groups (one pool task each); regrouping in enumeration
-     order makes the scored list — and the stable sort below — identical
-     to a sequential sweep at every domain count. *)
-  let score (config, stages) =
-    let t0 = Unix.gettimeofday () in
-    match Gemm.tensor_core arch config ~epilogue ~m ~n ~k () with
-    | kernel ->
-      (* Lower through the plan cache so the lowering passes' legality
-         verdicts feed the score: a candidate whose global staging fails
-         to widen pays the scalar DRAM-efficiency penalty in the model
-         instead of ranking on tile shape alone, and a candidate the
-         swpipe pass refuses to pipeline (too few k-tiles, shared memory
-         would overflow under rotation) is scored serialized — the
-         effective stage count comes from the plan, not the request. *)
-      let vec_width, eff_stages =
-        match Lower.Pipeline.lower_cached arch kernel ~stages with
-        | plan, _ ->
-          ( Option.value ~default:4.0
-              (Lower.Plan.global_vec_width plan.Lower.Plan.body)
-          , plan.Lower.Plan.pipelining.Lower.Plan.pl_stages )
-        | exception _ -> (1.0, 1)
-      in
-      let pipeline =
-        { PM.stages = eff_stages; occupancy = assumed_occupancy eff_stages }
-      in
-      let estimate = PM.of_kernel ~vec_width ~pipeline machine kernel () in
-      Some
-        { config
-        ; stages = eff_stages
-        ; estimate
-        ; score_s = Unix.gettimeofday () -. t0
-        ; profile = None
-        ; lower_s = 0.0
-        ; lower_cache_hit = false
-        ; vec_width
-        ; exec_engine = ""
-        }
-    | exception Invalid_argument _ -> None
+  (* One kernel build per (config, problem size), shared by the scoring
+     sweep (which previously rebuilt the same IR once per requested
+     stages) and the profile phase's proxy kernels. First insert wins
+     under the mutex, so concurrent scorers agree on one value. *)
+  let built = Hashtbl.create 64 in
+  let built_mu = Mutex.create () in
+  let build config ~m ~n ~k =
+    let key = (config, m, n, k) in
+    let cached =
+      Mutex.lock built_mu;
+      let r = Hashtbl.find_opt built key in
+      Mutex.unlock built_mu;
+      r
+    in
+    match cached with
+    | Some kernel -> kernel
+    | None ->
+      let kernel = Gemm.tensor_core arch config ~epilogue ~m ~n ~k () in
+      Mutex.lock built_mu;
+      if not (Hashtbl.mem built key) then Hashtbl.add built key kernel;
+      let kernel = Hashtbl.find built key in
+      Mutex.unlock built_mu;
+      kernel
   in
   (* Pair every tile configuration with every pipeline depth; candidates
      whose swpipe request is refused collapse to the same serialized
      score as stages = 1, and the later dedup keeps the first (lowest
-     requested depth) of each (config, effective-stages) pair. *)
-  let cands =
+     requested depth) of each (config, effective-stages) pair. The
+     scoring itself is {!Search}'s tier 1 — this sweep is that engine on
+     the legacy sub-space (every candidate [legacy], process-default
+     vectorize, unlowerable candidates kept with a scalar-serialized
+     score). *)
+  let pairs =
     List.concat_map
       (fun config -> List.map (fun s -> (config, s)) stages_space)
       (candidates arch ~m ~n ~k)
   in
-  let total = List.length cands in
-  let nscore = ndomains_for total in
+  let configs = Array.of_list (List.map fst pairs) in
+  let cands =
+    List.mapi
+      (fun id (config, stages) ->
+        { Search.id
+        ; knobs = []
+        ; stages
+        ; vectorize = None
+        ; legacy = true
+        ; build = (fun () -> build config ~m ~n ~k)
+        ; proxy = (fun () -> build config ~m ~n ~k)
+        })
+      pairs
+  in
   let scored =
-    if nscore <= 1 then List.filter_map score cands
-    else begin
-      let carr = Array.of_list cands in
-      Gpu_sim.Domain_pool.run_list
-        (Gpu_sim.Domain_pool.global ())
-        (List.map
-           (fun (lo, hi) () -> List.init (hi - lo) (fun i -> score carr.(lo + i)))
-           (Gpu_sim.Domain_pool.block_ranges ~total ~chunks:nscore))
-      |> List.concat
-      |> List.filter_map Fun.id
-    end
+    Search.tier1 ?domains ~keep_unlowerable:true machine cands
+    |> List.filter_map (function
+         | _, Search.Pruned _ -> None
+         | _, Search.Scored s ->
+           Some
+             { config = configs.(s.Search.cand.Search.id)
+             ; stages = s.Search.eff_stages
+             ; estimate = s.Search.estimate
+             ; score_s = s.Search.score_s
+             ; profile = None
+             ; lower_s = 0.0
+             ; lower_cache_hit = false
+             ; vec_width = s.Search.vec_width
+             ; exec_engine = ""
+             })
   in
   (* When the swpipe pass refuses a deeper request the candidate scores
      as its effective depth; drop the duplicates so each
@@ -220,7 +178,9 @@ let tune ?(profile_top = 0) ?domains machine ~epilogue ~m ~n ~k () =
     let ndomains = ndomains_for to_profile in
     let profile_one i =
       let r = arr.(i) in
-      match profile_candidate machine ~epilogue r.config ~stages:r.stages ~m ~n ~k with
+      match
+        profile_candidate machine ~build r.config ~stages:r.stages ~m ~n ~k
+      with
       | None -> r
       | Some (report, lower_s, lower_cache_hit) ->
         { r with
@@ -245,8 +205,8 @@ let tune ?(profile_top = 0) ?domains machine ~epilogue ~m ~n ~k () =
     profiled @ List.filteri (fun i _ -> i >= to_profile) ranked
   end
 
-let best machine ~epilogue ~m ~n ~k () =
-  match tune machine ~epilogue ~m ~n ~k () with
+let best ?profile_top ?domains machine ~epilogue ~m ~n ~k () =
+  match tune ?profile_top ?domains machine ~epilogue ~m ~n ~k () with
   | hd :: _ -> hd
   | [] -> failwith "Autotune.best: no valid configuration"
 

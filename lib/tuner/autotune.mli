@@ -76,8 +76,11 @@ val tune :
   unit ->
   result list
 
-(** The winner; raises [Failure] when no configuration is valid. *)
+(** The winner — {!tune} with the same options, head of the ranking;
+    raises [Failure] when no configuration is valid. *)
 val best :
+  ?profile_top:int ->
+  ?domains:int ->
   Gpu_sim.Machine.t ->
   epilogue:Kernels.Epilogue.t ->
   m:int ->
